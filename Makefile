@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/smart_city.exe
+	dune exec examples/ar_assistant.exe
+	dune exec examples/drone_swarm.exe
+	dune exec examples/custom_model.exe
+
+clean:
+	dune clean
