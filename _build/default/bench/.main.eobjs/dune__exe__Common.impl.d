@@ -1,0 +1,1 @@
+bench/common.ml: Array Decision Es_baselines Es_edge Es_sim Es_surgery Es_util List Printf

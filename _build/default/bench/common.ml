@@ -1,0 +1,46 @@
+(* Shared plumbing for the experiment harness: policy lists, simulation
+   defaults, and table formatting. *)
+
+open Es_edge
+
+let fmt_ms = Es_util.Table.fmt_ms
+let fmt_pct = Es_util.Table.fmt_pct
+let fmt_f = Es_util.Table.fmt_f
+
+let heading id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* The policy roster used across figure experiments, EdgeSurgeon last. *)
+let policies () = Es_baselines.Baselines.all ()
+
+let policy_names () =
+  List.map (fun (p : Es_baselines.Baselines.t) -> p.Es_baselines.Baselines.name) (policies ())
+
+let core_policies () =
+  let open Es_baselines.Baselines in
+  [ device_only; server_only; neurosurgeon; surgery_only; alloc_only; edgesurgeon ]
+
+let sim_options ?(duration = 40.0) ?(seed = 7) () =
+  { Es_sim.Runner.default_options with duration_s = duration; warmup_s = 5.0; seed }
+
+let simulate ?duration ?seed cluster decisions =
+  Es_sim.Runner.run ~options:(sim_options ?duration ?seed ()) cluster decisions
+
+(* Run one policy end to end on a cluster: solve, then simulate. *)
+let run_policy ?duration ?seed cluster (p : Es_baselines.Baselines.t) =
+  let decisions = p.Es_baselines.Baselines.solve cluster in
+  (decisions, simulate ?duration ?seed cluster decisions)
+
+let mean_accuracy (decisions : Decision.t array) =
+  if Array.length decisions = 0 then nan
+  else
+    Array.fold_left
+      (fun acc (d : Decision.t) -> acc +. d.Decision.plan.Es_surgery.Plan.accuracy)
+      0.0 decisions
+    /. float_of_int (Array.length decisions)
+
+let print_table ?align ~header rows = Es_util.Table.print ?align ~header rows

@@ -1,0 +1,30 @@
+(* EdgeSurgeon benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe              # run every experiment
+     dune exec bench/main.exe -- F1 T2     # run a subset
+     dune exec bench/main.exe -- --list    # list experiment ids *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let ids = List.map (fun (id, _, _) -> id) Experiments.all in
+  match args with
+  | [ "--list" ] ->
+      List.iter (fun (id, descr, _) -> Printf.printf "%-6s %s\n" id descr) Experiments.all
+  | [] ->
+      Printf.printf "EdgeSurgeon experiment harness: running all %d experiments\n"
+        (List.length Experiments.all);
+      List.iter (fun (_, _, run) -> run ()) Experiments.all
+  | requested ->
+      List.iter
+        (fun want ->
+          match
+            List.find_opt
+              (fun (id, _, _) -> String.lowercase_ascii id = String.lowercase_ascii want)
+              Experiments.all
+          with
+          | Some (_, _, run) -> run ()
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s\n" want (String.concat ", " ids);
+              exit 2)
+        requested

@@ -1,0 +1,429 @@
+(* edgesim — command-line front end to the EdgeSurgeon library.
+
+   Subcommands:
+     models                     list the model zoo (or inspect one model)
+     plan MODEL                 show a model's Pareto surgery candidates
+     run                        solve + simulate one policy on a scenario
+     compare                    run every policy on a scenario side by side
+     online                     online re-optimization under a load burst *)
+
+open Cmdliner
+open Es_edge
+
+(* ---------- shared arguments ---------- *)
+
+let scenario_arg =
+  let doc =
+    Printf.sprintf "Scenario name: %s."
+      (String.concat ", " Es_workload.Scenarios.names)
+  in
+  Arg.(value & opt string "default" & info [ "scenario" ] ~docv:"NAME" ~doc)
+
+let devices_arg =
+  let doc = "Override the number of devices." in
+  Arg.(value & opt (some int) None & info [ "devices"; "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Scenario generation seed." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let ap_mbps_arg =
+  let doc = "Override every access point's uplink capacity (Mbps)." in
+  Arg.(value & opt (some float) None & info [ "ap-mbps" ] ~docv:"MBPS" ~doc)
+
+let duration_arg =
+  let doc = "Simulated seconds." in
+  Arg.(value & opt float 40.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let build_cluster scenario devices seed ap_mbps =
+  match Es_workload.Scenarios.by_name scenario with
+  | exception Not_found ->
+      Error (Printf.sprintf "unknown scenario %S (try: %s)" scenario
+               (String.concat ", " Es_workload.Scenarios.names))
+  | spec ->
+      let spec = match devices with Some n -> Scenario.with_n_devices n spec | None -> spec in
+      let spec = match seed with Some s -> Scenario.with_seed s spec | None -> spec in
+      let spec = match ap_mbps with Some b -> Scenario.with_ap_mbps b spec | None -> spec in
+      Ok (Scenario.build spec)
+
+let policy_by_name name =
+  List.find_opt
+    (fun (p : Es_baselines.Baselines.t) ->
+      String.lowercase_ascii p.Es_baselines.Baselines.name = String.lowercase_ascii name)
+    (Es_baselines.Baselines.all ())
+
+(* ---------- models ---------- *)
+
+let models_cmd =
+  let inspect =
+    let doc = "Print the full layer table of one model." in
+    Arg.(value & opt (some string) None & info [ "inspect" ] ~docv:"MODEL" ~doc)
+  in
+  let export =
+    let doc = "Serialize a zoo model to a file: MODEL:PATH." in
+    Arg.(value & opt (some string) None & info [ "export" ] ~docv:"MODEL:PATH" ~doc)
+  in
+  let load =
+    let doc = "Load a serialized model file, validate it, print its summary." in
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"PATH" ~doc)
+  in
+  let run inspect export load =
+    match (inspect, export, load) with
+    | _, Some spec, _ -> (
+        match String.index_opt spec ':' with
+        | None ->
+            Printf.eprintf "--export expects MODEL:PATH\n";
+            1
+        | Some i -> (
+            let name = String.sub spec 0 i in
+            let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match Es_dnn.Zoo.by_name name with
+            | g ->
+                Es_dnn.Serialize.save g ~path;
+                Printf.printf "wrote %s to %s\n" name path;
+                0
+            | exception Not_found ->
+                Printf.eprintf "unknown model %S\n" name;
+                1))
+    | _, _, Some path -> (
+        match Es_dnn.Serialize.load ~path with
+        | Ok g ->
+            Format.printf "%a" Es_dnn.Graph.pp_summary g;
+            0
+        | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            1)
+    | Some name, _, _ -> (
+        match Es_dnn.Zoo.by_name name with
+        | g ->
+            Format.printf "%a" Es_dnn.Graph.pp_summary g;
+            0
+        | exception Not_found ->
+            Printf.eprintf "unknown model %S\n" name;
+            1)
+    | None, None, None ->
+        Printf.printf "%-16s %6s %8s %9s %6s\n" "model" "nodes" "GFLOPs" "Mparams" "exits";
+        List.iter
+          (fun g ->
+            Printf.printf "%-16s %6d %8.2f %9.2f %6d\n" g.Es_dnn.Graph.name
+              (Es_dnn.Graph.n_nodes g)
+              (Es_dnn.Graph.total_flops g /. 1e9)
+              (Es_dnn.Graph.total_params g /. 1e6)
+              (List.length (Es_dnn.Graph.exit_candidate_ids g)))
+          (Es_dnn.Zoo.all ());
+        0
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List, inspect, export or load models")
+    Term.(const run $ inspect $ export $ load)
+
+(* ---------- plan ---------- *)
+
+let plan_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc:"Zoo model name.")
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N" ~doc:"Show at most N candidates.")
+  in
+  let run model limit =
+    match Es_dnn.Zoo.by_name model with
+    | exception Not_found ->
+        Printf.eprintf "unknown model %S\n" model;
+        1
+    | g ->
+        let cands = Es_surgery.Candidate.pareto_candidates g in
+        Printf.printf "%d Pareto candidates for %s (showing %d):\n" (List.length cands) model
+          (min limit (List.length cands));
+        List.iteri
+          (fun i p ->
+            if i < limit then
+              Printf.printf "  %-50s dev=%7.1fM srv=%7.1fM xfer=%8.1fKB\n"
+                (Es_surgery.Plan.describe p)
+                (Es_surgery.Plan.dev_flops p /. 1e6)
+                (Es_surgery.Plan.srv_flops p /. 1e6)
+                (Es_surgery.Plan.transfer_bytes p /. 1e3))
+          cands;
+        0
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Show a model's Pareto surgery candidates")
+    Term.(const run $ model $ limit)
+
+(* ---------- run ---------- *)
+
+let print_report name (r : Es_sim.Metrics.report) =
+  Printf.printf
+    "%-14s DSR %5.1f%%  mean %7.1fms  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  (%d reqs, %d dropped)\n"
+    name (100.0 *. r.Es_sim.Metrics.dsr)
+    (1000.0 *. r.Es_sim.Metrics.mean_latency_s)
+    (1000.0 *. r.Es_sim.Metrics.p50_s)
+    (1000.0 *. r.Es_sim.Metrics.p95_s)
+    (1000.0 *. r.Es_sim.Metrics.p99_s)
+    r.Es_sim.Metrics.total_generated r.Es_sim.Metrics.total_dropped
+
+let run_cmd =
+  let policy =
+    Arg.(value & opt string "EdgeSurgeon" & info [ "policy" ] ~docv:"NAME" ~doc:"Policy name.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every per-device decision.")
+  in
+  let run scenario devices seed ap_mbps duration policy verbose =
+    match build_cluster scenario devices seed ap_mbps with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok cluster -> (
+        match policy_by_name policy with
+        | None ->
+            Printf.eprintf "unknown policy %S (try: %s)\n" policy
+              (String.concat ", "
+                 (List.map
+                    (fun (p : Es_baselines.Baselines.t) -> p.Es_baselines.Baselines.name)
+                    (Es_baselines.Baselines.all ())));
+            1
+        | Some p ->
+            Format.printf "%a" Cluster.pp_summary cluster;
+            let decisions = p.Es_baselines.Baselines.solve cluster in
+            if verbose then
+              Array.iter (fun d -> Format.printf "  %a@." Decision.pp d) decisions;
+            let options = { Es_sim.Runner.default_options with duration_s = duration } in
+            let report = Es_sim.Runner.run ~options cluster decisions in
+            print_report p.Es_baselines.Baselines.name report;
+            0)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Solve and simulate one policy on a scenario")
+    Term.(
+      const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ duration_arg $ policy
+      $ verbose)
+
+(* ---------- compare ---------- *)
+
+let compare_cmd =
+  let run scenario devices seed ap_mbps duration =
+    match build_cluster scenario devices seed ap_mbps with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok cluster ->
+        Format.printf "%a" Cluster.pp_summary cluster;
+        List.iter
+          (fun (p : Es_baselines.Baselines.t) ->
+            let decisions = p.Es_baselines.Baselines.solve cluster in
+            let options = { Es_sim.Runner.default_options with duration_s = duration } in
+            let report = Es_sim.Runner.run ~options cluster decisions in
+            print_report p.Es_baselines.Baselines.name report)
+          (Es_baselines.Baselines.all ());
+        0
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Run every policy on a scenario side by side")
+    Term.(const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ duration_arg)
+
+(* ---------- sweep ---------- *)
+
+let sweep_cmd =
+  let param =
+    let doc = "Swept parameter: devices, ap-mbps, or rate (load multiplier)." in
+    Arg.(value & opt string "ap-mbps" & info [ "param" ] ~docv:"NAME" ~doc)
+  in
+  let values =
+    let doc = "Comma-separated sweep values." in
+    Arg.(value & opt string "25,50,100,200" & info [ "values" ] ~docv:"V1,V2,..." ~doc)
+  in
+  let csv =
+    let doc = "Write results as CSV to this file instead of a table on stdout." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc)
+  in
+  let run scenario devices seed duration param values csv =
+    let parsed_values =
+      String.split_on_char ',' values |> List.filter_map float_of_string_opt
+    in
+    if parsed_values = [] then begin
+      Printf.eprintf "no valid values in %S\n" values;
+      1
+    end
+    else begin
+      match build_cluster scenario devices seed None with
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          1
+      | Ok base ->
+          let cluster_at v =
+            match param with
+            | "devices" ->
+                Result.to_option
+                  (build_cluster scenario (Some (int_of_float v)) seed None)
+            | "ap-mbps" -> Result.to_option (build_cluster scenario devices seed (Some v))
+            | "rate" -> Some (Es_joint.Online.scale_rates base v)
+            | _ -> None
+          in
+          if cluster_at (List.hd parsed_values) = None then begin
+            Printf.eprintf "unknown sweep parameter %S (devices|ap-mbps|rate)\n" param;
+            1
+          end
+          else begin
+            let policies = Es_baselines.Baselines.all () in
+            let rows = ref [] in
+            List.iter
+              (fun v ->
+                match cluster_at v with
+                | None -> ()
+                | Some cluster ->
+                    List.iter
+                      (fun (p : Es_baselines.Baselines.t) ->
+                        let decisions = p.Es_baselines.Baselines.solve cluster in
+                        let options =
+                          { Es_sim.Runner.default_options with duration_s = duration }
+                        in
+                        let r = Es_sim.Runner.run ~options cluster decisions in
+                        rows :=
+                          ( v,
+                            p.Es_baselines.Baselines.name,
+                            r.Es_sim.Metrics.dsr,
+                            r.Es_sim.Metrics.mean_latency_s,
+                            r.Es_sim.Metrics.p99_s )
+                          :: !rows)
+                      policies)
+              parsed_values;
+            let rows = List.rev !rows in
+            (match csv with
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    Printf.fprintf oc "%s,policy,dsr,mean_s,p99_s\n" param;
+                    List.iter
+                      (fun (v, name, dsr, mean, p99) ->
+                        Printf.fprintf oc "%g,%s,%.6f,%.6f,%.6f\n" v name dsr mean p99)
+                      rows);
+                Printf.printf "wrote %d rows to %s\n" (List.length rows) path
+            | None ->
+                Printf.printf "%-10s %-14s %8s %10s %10s\n" param "policy" "DSR(%)" "mean(ms)"
+                  "p99(ms)";
+                List.iter
+                  (fun (v, name, dsr, mean, p99) ->
+                    Printf.printf "%-10g %-14s %8.1f %10.1f %10.1f\n" v name (100. *. dsr)
+                      (1000. *. mean) (1000. *. p99))
+                  rows);
+            0
+          end
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep a parameter across every policy, optionally to CSV")
+    Term.(
+      const run $ scenario_arg $ devices_arg $ seed_arg $ duration_arg $ param $ values $ csv)
+
+(* ---------- online ---------- *)
+
+let online_cmd =
+  let burst =
+    Arg.(value & opt float 3.0 & info [ "burst" ] ~docv:"FACTOR" ~doc:"Burst load multiplier.")
+  in
+  let epoch =
+    Arg.(value & opt float 15.0 & info [ "epoch" ] ~docv:"SECONDS" ~doc:"Re-optimization period.")
+  in
+  let run scenario devices seed ap_mbps burst epoch =
+    match build_cluster scenario devices seed ap_mbps with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok cluster ->
+        let duration = 180.0 in
+        let profile =
+          Es_workload.Profiles.step_burst ~start_s:(duration /. 3.0)
+            ~stop_s:(2.0 *. duration /. 3.0) ~factor:burst
+        in
+        let options = { Es_sim.Runner.default_options with duration_s = duration } in
+        let adaptive = Es_joint.Online.run ~options ~epoch_s:epoch ~rate_profile:profile cluster in
+        let static = Es_joint.Online.run_static ~options ~rate_profile:profile cluster in
+        Printf.printf "load burst x%.1f during [%.0fs, %.0fs) of %.0fs\n" burst (duration /. 3.0)
+          (2.0 *. duration /. 3.0) duration;
+        print_report "static" static.Es_joint.Online.report;
+        print_report
+          (Printf.sprintf "adaptive(%d)" adaptive.Es_joint.Online.resolve_count)
+          adaptive.Es_joint.Online.report;
+        0
+  in
+  Cmd.v (Cmd.info "online" ~doc:"Online re-optimization under a load burst")
+    Term.(const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ burst $ epoch)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Save the generated trace as CSV.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH" ~doc:"Replay a CSV trace through the simulator.")
+  in
+  let burst =
+    Arg.(
+      value & opt (some float) None
+      & info [ "burst" ] ~docv:"FACTOR"
+          ~doc:"Generate with a step burst of this factor in the middle third.")
+  in
+  let run scenario devices seed duration out replay burst =
+    match build_cluster scenario devices seed None with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok cluster -> (
+        let arrivals =
+          match replay with
+          | Some path -> Es_workload.Traces.load_csv ~path
+          | None ->
+              let profile =
+                match burst with
+                | None -> Es_workload.Profiles.constant 1.0
+                | Some factor ->
+                    Es_workload.Profiles.step_burst ~start_s:(duration /. 3.0)
+                      ~stop_s:(2.0 *. duration /. 3.0) ~factor
+              in
+              Ok
+                (Es_workload.Traces.piecewise
+                   ~seed:(Option.value seed ~default:7)
+                   ~duration_s:duration ~rate_profile:profile cluster)
+        in
+        match arrivals with
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            1
+        | Ok arrivals -> (
+            Printf.printf "%d arrivals over %.0fs for %d devices\n" (Array.length arrivals)
+              duration (Cluster.n_devices cluster);
+            match out with
+            | Some path ->
+                Es_workload.Traces.save_csv arrivals ~path;
+                Printf.printf "saved to %s\n" path;
+                0
+            | None ->
+                let decisions =
+                  (Es_joint.Optimizer.solve cluster).Es_joint.Optimizer.decisions
+                in
+                let options =
+                  { Es_sim.Runner.default_options with duration_s = duration }
+                in
+                let report = Es_sim.Runner.run ~options ~arrivals cluster decisions in
+                print_report "EdgeSurgeon" report;
+                0))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate, save, or replay arrival traces")
+    Term.(const run $ scenario_arg $ devices_arg $ seed_arg $ duration_arg $ out $ replay $ burst)
+
+let () =
+  let info =
+    Cmd.info "edgesim" ~version:"1.0.0"
+      ~doc:"Joint model surgery and resource allocation for edge DNN inference"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ models_cmd; plan_cmd; run_cmd; compare_cmd; sweep_cmd; online_cmd; trace_cmd ]))

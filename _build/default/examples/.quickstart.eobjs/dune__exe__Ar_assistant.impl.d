@@ -1,0 +1,1 @@
+examples/ar_assistant.ml: Array Decision Es_dnn Es_edge Es_joint Es_sim Es_surgery Es_util Es_workload List Printf Scenario

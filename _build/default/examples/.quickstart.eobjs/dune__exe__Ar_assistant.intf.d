@@ -1,0 +1,1 @@
+examples/ar_assistant.mli:

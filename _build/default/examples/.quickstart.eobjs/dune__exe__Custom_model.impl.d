@@ -1,0 +1,1 @@
+examples/custom_model.ml: Array Cluster Decision Es_dnn Es_edge Es_joint Es_sim Es_surgery Filename Format Graph Layer Link List Printf Processor Serialize Shape Sys

@@ -1,0 +1,1 @@
+examples/drone_swarm.ml: Array Cluster Decision Es_edge Es_joint Es_sim Es_surgery Es_util Es_workload List Printf Scenario

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cluster Decision Es_dnn Es_edge Es_joint Es_sim Format Latency Link Printf Processor

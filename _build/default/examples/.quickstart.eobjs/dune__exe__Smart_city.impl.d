@@ -1,0 +1,1 @@
+examples/smart_city.ml: Array Cluster Decision Es_baselines Es_edge Es_joint Es_sim Es_surgery Es_workload Format List Printf Scenario

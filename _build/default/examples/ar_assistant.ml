@@ -1,0 +1,63 @@
+(* Augmented-reality assistant.
+
+   Eight wearable-class devices run per-frame scene understanding with
+   50-120 ms motion-to-photon deadlines over 5G/WiFi.  The example explores
+   the accuracy-latency trade-off: how much accuracy must the deployment
+   give up as the latency budget tightens, and what does the multi-exit
+   deployment look like?
+
+     dune exec examples/ar_assistant.exe *)
+
+open Es_edge
+
+let () =
+  let base = Es_workload.Scenarios.ar_assistant in
+  Printf.printf "AR assistant: %d devices, deadlines %.0f-%.0f ms\n\n" base.Scenario.n_devices
+    (1000. *. fst base.Scenario.deadline_range)
+    (1000. *. snd base.Scenario.deadline_range);
+
+  (* Sweep the latency budget: scale every deadline down and watch the
+     optimizer trade accuracy for speed. *)
+  Printf.printf "%-12s %8s %10s %10s %10s\n" "deadline-x" "DSR(%)" "mean(ms)" "mean-acc"
+    "surgical";
+  List.iter
+    (fun scale ->
+      let lo, hi = base.Scenario.deadline_range in
+      let spec = { base with Scenario.deadline_range = (lo *. scale, hi *. scale) } in
+      let cluster = Scenario.build spec in
+      let out = Es_joint.Optimizer.solve cluster in
+      let report = Es_sim.Runner.run cluster out.Es_joint.Optimizer.decisions in
+      let accs =
+        Array.map
+          (fun (d : Decision.t) -> d.Decision.plan.Es_surgery.Plan.accuracy)
+          out.Es_joint.Optimizer.decisions
+      in
+      let surgical =
+        Array.fold_left
+          (fun acc (d : Decision.t) ->
+            let p = d.Decision.plan in
+            if p.Es_surgery.Plan.width < 1.0 || p.Es_surgery.Plan.exit_node <> None then acc + 1
+            else acc)
+          0 out.Es_joint.Optimizer.decisions
+      in
+      Printf.printf "%-12.2f %8.1f %10.1f %10.3f %7d/%d\n" scale
+        (100. *. report.Es_sim.Metrics.dsr)
+        (1000. *. report.Es_sim.Metrics.mean_latency_s)
+        (Es_util.Stats.mean_of accs) surgical (Array.length accs))
+    [ 2.0; 1.0; 0.75; 0.5; 0.35 ];
+
+  (* A multi-exit deployment for one wearable model: where do inputs leave? *)
+  let model = Es_dnn.Zoo.mobilenet_v2 () in
+  let me = Es_surgery.Multi_exit.build model in
+  Printf.printf "\nmulti-exit mobilenet_v2 deployment (input-dependent exits):\n";
+  Array.iteri
+    (fun i (p : Es_surgery.Plan.t) ->
+      Printf.printf "  exit %d: %5.1f%% of inputs, %6.1f MFLOPs, accuracy %.3f\n" i
+        (100. *. me.Es_surgery.Multi_exit.probs.(i))
+        (Es_dnn.Graph.total_flops p.Es_surgery.Plan.graph /. 1e6)
+        p.Es_surgery.Plan.accuracy)
+    me.Es_surgery.Multi_exit.exits;
+  Printf.printf "  expected compute: %.1f MFLOPs (full model %.1f), deployment accuracy %.3f\n"
+    (Es_surgery.Multi_exit.expected_flops me /. 1e6)
+    (Es_dnn.Graph.total_flops model /. 1e6)
+    me.Es_surgery.Multi_exit.deployment_accuracy

@@ -1,0 +1,56 @@
+(* Drone swarm over LTE.
+
+   Twelve drones with Jetson-class onboard compute stream detection
+   workloads over a bandwidth-poor LTE uplink to a single ground-station
+   GPU.  The example shows (a) how the optimizer's placement shifts from
+   offloading to on-board execution as the uplink shrinks, and (b) online
+   re-optimization when half the swarm starts a high-rate survey burst.
+
+     dune exec examples/drone_swarm.exe *)
+
+open Es_edge
+
+let () =
+  let base = Es_workload.Scenarios.drone_swarm in
+
+  (* (a) Bandwidth sweep: watch offloading collapse gracefully. *)
+  Printf.printf "%-10s %8s %10s %12s %12s\n" "AP(Mbps)" "DSR(%)" "mean(ms)" "offloading"
+    "mean-width";
+  List.iter
+    (fun mbps ->
+      let cluster = Scenario.build (Scenario.with_ap_mbps mbps base) in
+      let out = Es_joint.Optimizer.solve cluster in
+      let report = Es_sim.Runner.run cluster out.Es_joint.Optimizer.decisions in
+      let offloading =
+        Array.fold_left
+          (fun acc d -> if Decision.offloads d then acc + 1 else acc)
+          0 out.Es_joint.Optimizer.decisions
+      in
+      let widths =
+        Array.map
+          (fun (d : Decision.t) -> d.Decision.plan.Es_surgery.Plan.width)
+          out.Es_joint.Optimizer.decisions
+      in
+      Printf.printf "%-10.0f %8.1f %10.1f %9d/%d %12.2f\n" mbps
+        (100. *. report.Es_sim.Metrics.dsr)
+        (1000. *. report.Es_sim.Metrics.mean_latency_s)
+        offloading (Cluster.n_devices cluster) (Es_util.Stats.mean_of widths))
+    [ 200.0; 100.0; 50.0; 20.0; 8.0 ];
+
+  (* (b) Survey burst: doubled load for a minute; adaptive vs static. *)
+  let cluster = Scenario.build base in
+  let profile = Es_workload.Profiles.step_burst ~start_s:60.0 ~stop_s:120.0 ~factor:2.0 in
+  let options = { Es_sim.Runner.default_options with duration_s = 180.0 } in
+  let adaptive = Es_joint.Online.run ~options ~epoch_s:15.0 ~rate_profile:profile cluster in
+  let static = Es_joint.Online.run_static ~options ~rate_profile:profile cluster in
+  let summary label (r : Es_sim.Metrics.report) =
+    Printf.printf "%-10s DSR %5.1f%%  mean %7.1fms  p99 %8.1fms\n" label
+      (100. *. r.Es_sim.Metrics.dsr)
+      (1000. *. r.Es_sim.Metrics.mean_latency_s)
+      (1000. *. r.Es_sim.Metrics.p99_s)
+  in
+  Printf.printf "\nsurvey burst x2 during [60s,120s):\n";
+  summary "static" static.Es_joint.Online.report;
+  summary
+    (Printf.sprintf "adapt(%dx)" adaptive.Es_joint.Online.resolve_count)
+    adaptive.Es_joint.Online.report

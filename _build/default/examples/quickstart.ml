@@ -1,0 +1,53 @@
+(* Quickstart: the EdgeSurgeon public API in ~60 lines.
+
+   Build a tiny edge cluster by hand, let the joint optimizer pick a surgery
+   plan and resource grant for every device, inspect them, and verify the
+   result in the discrete-event simulator.
+
+     dune exec examples/quickstart.exe *)
+
+open Es_edge
+
+let () =
+  (* 1. Models come from the zoo: layer-accurate DAGs with analytic costs. *)
+  let resnet = Es_dnn.Zoo.resnet18 () in
+  let mobilenet = Es_dnn.Zoo.mobilenet_v2 () in
+  Printf.printf "resnet18: %.2f GFLOPs, mobilenet_v2: %.2f GFLOPs\n"
+    (Es_dnn.Graph.total_flops resnet /. 1e9)
+    (Es_dnn.Graph.total_flops mobilenet /. 1e9);
+
+  (* 2. Describe the cluster: two wireless devices, one GPU edge server. *)
+  let cluster =
+    Cluster.make
+      ~devices:
+        [
+          Cluster.device ~id:0 ~proc:Processor.raspberry_pi ~link:Link.wifi ~model:resnet
+            ~rate:2.0 ~deadline:0.15 ~accuracy_floor:0.62 ();
+          Cluster.device ~id:1 ~proc:Processor.smartphone ~link:Link.nr5g ~model:mobilenet
+            ~rate:4.0 ~deadline:0.08 ~accuracy_floor:0.64 ();
+        ]
+      ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_gpu ~ap_bandwidth_mbps:200.0 () ]
+  in
+
+  (* 3. Jointly optimize model surgery + resource allocation. *)
+  let out = Es_joint.Optimizer.solve cluster in
+  Printf.printf "\noptimizer: objective %.4f after %d iterations (%.3fs)\n"
+    out.Es_joint.Optimizer.objective out.Es_joint.Optimizer.iterations
+    out.Es_joint.Optimizer.solve_time_s;
+  Array.iter
+    (fun d ->
+      Format.printf "  %a@." Decision.pp d;
+      let b = Latency.breakdown cluster d in
+      Printf.printf "    device %.1fms + uplink %.1fms + server %.1fms + downlink %.1fms = %.1fms\n"
+        (1000. *. b.Latency.device_s) (1000. *. b.Latency.uplink_s)
+        (1000. *. b.Latency.server_s) (1000. *. b.Latency.downlink_s)
+        (1000. *. Latency.total b))
+    out.Es_joint.Optimizer.decisions;
+
+  (* 4. Verify under queueing in the simulator. *)
+  let report = Es_sim.Runner.run cluster out.Es_joint.Optimizer.decisions in
+  Printf.printf "\nsimulated 60s: DSR %.1f%%, mean %.1fms, p99 %.1fms over %d requests\n"
+    (100. *. report.Es_sim.Metrics.dsr)
+    (1000. *. report.Es_sim.Metrics.mean_latency_s)
+    (1000. *. report.Es_sim.Metrics.p99_s)
+    report.Es_sim.Metrics.total_generated

@@ -1,0 +1,52 @@
+(* Smart-city camera analytics.
+
+   24 street cameras (IoT boards and Raspberry Pis, a few Jetson cabinets)
+   run detection and classification models against two curbside servers.
+   The example compares every policy on the same deployment and then shows
+   what surgery the joint optimizer actually performed per camera.
+
+     dune exec examples/smart_city.exe *)
+
+open Es_edge
+
+let () =
+  let cluster = Scenario.build Es_workload.Scenarios.smart_city in
+  Format.printf "%a@." Cluster.pp_summary cluster;
+
+  (* Side-by-side policy comparison under simulation. *)
+  Printf.printf "%-14s %8s %10s %10s %10s\n" "policy" "DSR(%)" "mean(ms)" "p95(ms)" "p99(ms)";
+  List.iter
+    (fun (p : Es_baselines.Baselines.t) ->
+      let decisions = p.Es_baselines.Baselines.solve cluster in
+      let report = Es_sim.Runner.run cluster decisions in
+      Printf.printf "%-14s %8.1f %10.1f %10.1f %10.1f\n" p.Es_baselines.Baselines.name
+        (100. *. report.Es_sim.Metrics.dsr)
+        (1000. *. report.Es_sim.Metrics.mean_latency_s)
+        (1000. *. report.Es_sim.Metrics.p95_s)
+        (1000. *. report.Es_sim.Metrics.p99_s))
+    (Es_baselines.Baselines.all ());
+
+  (* What did the joint optimizer decide, camera by camera? *)
+  let out = Es_joint.Optimizer.solve cluster in
+  Printf.printf "\nEdgeSurgeon decisions (%d cameras):\n" (Cluster.n_devices cluster);
+  Printf.printf "%-30s %-9s %6s %6s %9s %9s %7s\n" "camera" "placement" "width" "exit"
+    "bw(Mbps)" "share(%)" "acc";
+  Array.iter
+    (fun (d : Decision.t) ->
+      let dev = cluster.Cluster.devices.(d.Decision.device) in
+      let plan = d.Decision.plan in
+      let placement =
+        if Es_surgery.Plan.is_device_only plan then "local"
+        else if Es_surgery.Plan.is_server_only plan then
+          Printf.sprintf "srv%d" d.Decision.server
+        else Printf.sprintf "split@%d" plan.Es_surgery.Plan.cut
+      in
+      Printf.printf "%-30s %-9s %6.2f %6s %9.1f %9.1f %7.3f\n" dev.Cluster.dev_name placement
+        plan.Es_surgery.Plan.width
+        (match plan.Es_surgery.Plan.exit_node with
+        | None -> "full"
+        | Some id -> string_of_int id)
+        (d.Decision.bandwidth_bps /. 1e6)
+        (100. *. d.Decision.compute_share)
+        plan.Es_surgery.Plan.accuracy)
+    out.Es_joint.Optimizer.decisions

@@ -1,0 +1,1 @@
+lib/alloc/admission.ml: Array Cluster Decision Es_edge Es_surgery Es_util Float Latency List Plan Policy Processor

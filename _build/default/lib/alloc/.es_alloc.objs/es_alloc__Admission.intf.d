@@ -1,0 +1,1 @@
+lib/alloc/admission.mli: Es_edge Es_surgery

@@ -1,0 +1,1 @@
+lib/alloc/assign.ml: Array Cluster Es_edge Es_surgery Float Plan Processor

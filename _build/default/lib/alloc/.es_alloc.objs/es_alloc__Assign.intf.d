@@ -1,0 +1,1 @@
+lib/alloc/assign.mli: Es_edge Es_surgery

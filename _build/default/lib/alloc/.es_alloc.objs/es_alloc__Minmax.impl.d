@@ -1,0 +1,1 @@
+lib/alloc/minmax.ml: Array Es_util Float List

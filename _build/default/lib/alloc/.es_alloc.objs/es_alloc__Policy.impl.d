@@ -1,0 +1,1 @@
+lib/alloc/policy.ml: Array Cluster Decision Es_edge Es_surgery Link List Minmax Option Plan Processor Share

@@ -1,0 +1,1 @@
+lib/alloc/policy.mli: Es_edge Es_surgery Minmax

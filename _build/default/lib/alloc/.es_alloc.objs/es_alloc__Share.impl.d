@@ -1,0 +1,1 @@
+lib/alloc/share.ml: Array Float List Minmax

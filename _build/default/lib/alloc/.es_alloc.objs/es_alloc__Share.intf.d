@@ -1,0 +1,1 @@
+lib/alloc/share.mli: Minmax

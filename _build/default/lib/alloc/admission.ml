@@ -1,0 +1,77 @@
+open Es_edge
+open Es_surgery
+
+type outcome = {
+  decisions : Decision.t array;
+  served : int list;
+  rejected : int list;
+}
+
+let load_density cluster ~assignment plan dev_id =
+  let dev = cluster.Cluster.devices.(dev_id) in
+  let srv = cluster.Cluster.servers.(assignment.(dev_id)) in
+  let work = Plan.server_time srv.Cluster.sproc.Processor.perf plan in
+  let bw_frac =
+    8.0 *. (Plan.transfer_bytes plan +. Plan.result_bytes plan) /. srv.Cluster.ap_bandwidth_bps
+  in
+  dev.Cluster.rate *. (work +. bw_frac)
+
+type criterion = [ `Stable | `Deadlines ]
+
+let control ?(weight = fun _ -> 1.0) ?(until = `Stable) ~local_plan cluster ~assignment ~plans
+    =
+  let nd = Cluster.n_devices cluster in
+  if Array.length plans <> nd || Array.length assignment <> nd then
+    invalid_arg "Admission.control: plans/assignment size mismatch";
+  let plans = Array.copy plans in
+  let rejected = ref [] in
+  let satisfies decisions =
+    match until with
+    | `Stable -> true
+    | `Deadlines ->
+        Array.for_all
+          (fun (d : Decision.t) ->
+            (not (Decision.offloads d))
+            || Latency.mm1_estimate cluster d
+               <= cluster.Cluster.devices.(d.Decision.device).Cluster.deadline)
+          decisions
+  in
+  let try_allocate () =
+    match Policy.decisions Policy.Minmax_alloc cluster ~assignment ~plans with
+    | Some ds when satisfies ds -> Some ds
+    | Some _ | None -> None
+  in
+  let offloaders () =
+    Array.to_list (Array.mapi (fun i p -> (i, p)) plans)
+    |> List.filter (fun (_, p) -> not (Plan.is_device_only p))
+    |> List.map fst
+  in
+  let rec loop () =
+    match try_allocate () with
+    | Some decisions ->
+        let served = offloaders () in
+        { decisions; served; rejected = List.rev !rejected }
+    | None -> (
+        (* Evict the worst load-per-value offloader. *)
+        let candidates = offloaders () in
+        match
+          Es_util.Numeric.argmax_by
+            (fun i ->
+              let dev = cluster.Cluster.devices.(i) in
+              let w = Float.max (weight dev) 1e-9 in
+              load_density cluster ~assignment plans.(i) i /. w)
+            candidates
+        with
+        | None ->
+            (* No offloaders left yet still infeasible: cannot happen — the
+               min-max allocator accepts an empty item set. *)
+            assert false
+        | Some victim ->
+            let fallback = local_plan victim in
+            if not (Plan.is_device_only fallback) then
+              invalid_arg "Admission.control: local_plan must be device-only";
+            plans.(victim) <- fallback;
+            rejected := victim :: !rejected;
+            loop ())
+  in
+  loop ()

@@ -1,0 +1,43 @@
+(** Admission control for overload.
+
+    When the offered load exceeds what any allocation can stabilize, the
+    remaining degree of freedom is *which* devices get served remotely.
+    Rejected devices fall back to their given local plan (their requests
+    never enter the network) instead of destabilizing everyone's queues.
+
+    The policy is the classic greedy knapsack heuristic: repeatedly evict
+    the offloading device with the highest load density (server + uplink
+    demand per unit of value) until the min-max allocator accepts every
+    server. *)
+
+type outcome = {
+  decisions : Es_edge.Decision.t array;
+  served : int list;  (** device ids still offloading *)
+  rejected : int list;  (** device ids forced local, eviction order *)
+}
+
+type criterion =
+  [ `Stable  (** stop once every queue is stable (no unbounded backlog) *)
+  | `Deadlines
+    (** keep evicting until every still-offloading device also meets its
+        deadline analytically — SLO-grade admission *) ]
+
+val control :
+  ?weight:(Es_edge.Cluster.device -> float) ->
+  ?until:criterion ->
+  local_plan:(int -> Es_surgery.Plan.t) ->
+  Es_edge.Cluster.t ->
+  assignment:int array ->
+  plans:Es_surgery.Plan.t array ->
+  outcome
+(** [control ~local_plan cluster ~assignment ~plans] serves the largest
+    weighted set of devices satisfying [until] (default [`Stable]).
+    [weight] (default 1 per device) is the value of serving a device —
+    weight devices by rate to maximize served requests instead.
+    [local_plan dev_id] supplies the fallback plan for an evicted device.
+    Always returns a decision set: with every offloader evicted the
+    allocation is trivially feasible. *)
+
+val load_density : Es_edge.Cluster.t -> assignment:int array -> Es_surgery.Plan.t -> int -> float
+(** The eviction key: (rate × server work + normalized uplink demand) of a
+    device's plan at its assigned server, for tests and introspection. *)

@@ -1,0 +1,25 @@
+(** Device→server assignment.
+
+    Assignment is the combinatorial part of the joint problem (generalized
+    assignment — NP-hard), handled with the usual pairing of a greedy
+    load-balancing construction and an improving local search over
+    single-device moves and pairwise swaps. *)
+
+val balanced_greedy :
+  Es_edge.Cluster.t -> plans:Es_surgery.Plan.t array -> int array
+(** Devices in decreasing demand order; each goes to the server with the
+    lowest resulting load, where a server's load is the maximum of its
+    normalized compute load (Σ λ·work / capacity-equivalent) and its AP
+    bandwidth load (Σ λ·bits / B).  Device-only plans are assigned to the
+    least-loaded server (their assignment is inert). *)
+
+val local_search :
+  ?max_passes:int ->
+  n_servers:int ->
+  eval:(int array -> float) ->
+  int array ->
+  int array
+(** Hill-climb on [eval] (lower is better): try moving each device to every
+    other server, then swapping pairs, keeping improvements; stops at a local
+    optimum or after [max_passes] (default 3).  The input array is not
+    mutated. *)

@@ -1,0 +1,208 @@
+type item = {
+  key : int;
+  fixed_s : float;
+  bits : float;
+  work_s : float;
+  deadline_s : float;
+  peak_bps : float;
+  rate : float;
+}
+
+type grant = { bandwidth_bps : float; compute_share : float }
+
+type result = { theta : float; grants : (int * grant) list }
+
+(* Per-item transfer-time bounds at a trial θ.  [u] is the per-request
+   transfer time; the server time is s = R − u. *)
+type split_bounds = { item : item; slack : float; u_lo : float; u_hi : float }
+
+let margin_time margin it = margin /. it.rate
+
+let bounds_at margin theta it =
+  let slack = (theta *. it.deadline_s) -. it.fixed_s in
+  if slack <= 0.0 then None
+  else begin
+    let mt = margin_time margin it in
+    if it.bits = 0.0 && it.work_s = 0.0 then
+      Some { item = it; slack; u_lo = 0.0; u_hi = 0.0 }
+    else if it.bits = 0.0 then begin
+      (* Compute-only: the whole slack (capped by stability) is server time. *)
+      if it.work_s <= Float.min slack mt then Some { item = it; slack; u_lo = 0.0; u_hi = 0.0 }
+      else None
+    end
+    else if it.work_s = 0.0 then begin
+      let u = Float.min slack mt in
+      let u_min = it.bits /. it.peak_bps in
+      if u_min <= u then Some { item = it; slack; u_lo = u; u_hi = u } else None
+    end
+    else begin
+      let u_lo = Float.max (it.bits /. it.peak_bps) (slack -. mt) in
+      let u_hi = Float.min (slack -. it.work_s) mt in
+      if u_lo <= u_hi && u_lo > 0.0 then Some { item = it; slack; u_lo; u_hi } else None
+    end
+  end
+
+(* KKT split for multiplier mu, clamped to the per-item bounds. *)
+let split_at mu b bounds =
+  let it = bounds.item in
+  if it.bits = 0.0 then 0.0
+  else if it.work_s = 0.0 then bounds.u_hi
+  else begin
+    let u = bounds.slack /. (1.0 +. sqrt (mu *. b *. it.work_s /. it.bits)) in
+    Es_util.Numeric.clamp ~lo:bounds.u_lo ~hi:bounds.u_hi u
+  end
+
+let loads margin b all_bounds us =
+  let f = ref 0.0 and g = ref 0.0 in
+  List.iter2
+    (fun bounds u ->
+      let it = bounds.item in
+      if it.bits > 0.0 then f := !f +. (it.bits /. u /. b);
+      if it.work_s > 0.0 then begin
+        let s =
+          if it.bits = 0.0 then Float.min bounds.slack (margin_time margin it)
+          else bounds.slack -. u
+        in
+        g := !g +. (it.work_s /. s)
+      end)
+    all_bounds us;
+  (!f, !g)
+
+(* Minimum of max(bandwidth load, compute load) over the splits; convex, the
+   optimum is at the f = g crossing of the KKT path (or at a clamp end). *)
+let best_loadmax margin b all_bounds =
+  let eval mu =
+    let us = List.map (split_at mu b) all_bounds in
+    let f, g = loads margin b all_bounds us in
+    (Float.max f g, us)
+  in
+  let lo = ref 1e-12 and hi = ref 1e12 in
+  (* f − g is increasing in mu; find the sign change. *)
+  let fg mu =
+    let us = List.map (split_at mu b) all_bounds in
+    let f, g = loads margin b all_bounds us in
+    f -. g
+  in
+  if fg !lo >= 0.0 then eval !lo
+  else if fg !hi <= 0.0 then eval !hi
+  else begin
+    for _ = 1 to 60 do
+      let mid = sqrt (!lo *. !hi) in
+      if fg mid < 0.0 then lo := mid else hi := mid
+    done;
+    eval !hi
+  end
+
+let feasible_at margin b items theta =
+  let rec collect acc = function
+    | [] -> Some (List.rev acc)
+    | it :: rest -> (
+        match bounds_at margin theta it with
+        | None -> None
+        | Some bnd -> collect (bnd :: acc) rest)
+  in
+  match collect [] items with
+  | None -> None
+  | Some all_bounds ->
+      let loadmax, us = best_loadmax margin b all_bounds in
+      if loadmax <= 1.0 +. 1e-9 then Some (all_bounds, us) else None
+
+(* Redistribute leftover capacity proportionally, respecting per-item caps;
+   a few clip passes suffice. *)
+let scale_up_bandwidth b grants peaks =
+  let grants = Array.copy grants in
+  for _ = 1 to 3 do
+    let used = Array.fold_left ( +. ) 0.0 grants in
+    let spare = b -. used in
+    if spare > 1e-6 then begin
+      let expandable = ref 0.0 in
+      Array.iteri (fun i g -> if g > 0.0 && g < peaks.(i) then expandable := !expandable +. g) grants;
+      if !expandable > 0.0 then
+        Array.iteri
+          (fun i g ->
+            if g > 0.0 && g < peaks.(i) then
+              grants.(i) <- Float.min peaks.(i) (g +. (spare *. g /. !expandable)))
+          grants
+    end
+  done;
+  grants
+
+let scale_up_shares shares =
+  let used = Array.fold_left ( +. ) 0.0 shares in
+  if used > 0.0 && used < 1.0 then
+    Array.map (fun s -> if s > 0.0 then Float.min 1.0 (s /. used) else 0.0) shares
+  else shares
+
+let solve ?(stability_margin = 0.95) ?(tol = 1e-3) ~bandwidth_bps items =
+  if bandwidth_bps <= 0.0 then invalid_arg "Minmax.solve: non-positive bandwidth";
+  if items = [] then Some { theta = 0.0; grants = [] }
+  else begin
+    (* Sustained-load prechecks: no θ is feasible when offered load exceeds
+       capacity. *)
+    let bit_load = Es_util.Numeric.sum_by (fun it -> it.rate *. it.bits) items in
+    let work_load = Es_util.Numeric.sum_by (fun it -> it.rate *. it.work_s) items in
+    let peak_ok =
+      List.for_all (fun it -> it.bits = 0.0 || it.rate *. it.bits /. it.peak_bps <= stability_margin) items
+    in
+    if
+      bit_load > stability_margin *. bandwidth_bps
+      || work_load > stability_margin || not peak_ok
+    then None
+    else begin
+      let feasible = feasible_at stability_margin bandwidth_bps items in
+      let theta_lo =
+        List.fold_left (fun acc it -> Float.max acc (it.fixed_s /. it.deadline_s)) 0.0 items
+      in
+      (* Grow an upper bracket. *)
+      let rec grow theta n =
+        if n > 64 then None
+        else
+          match feasible theta with
+          | Some _ -> Some theta
+          | None -> grow (theta *. 2.0) (n + 1)
+      in
+      match grow (Float.max 1.0 (theta_lo +. 1e-6)) 0 with
+      | None -> None
+      | Some hi0 ->
+          let lo = ref theta_lo and hi = ref hi0 in
+          while !hi -. !lo > tol *. Float.max 1.0 !hi do
+            let mid = 0.5 *. (!lo +. !hi) in
+            match feasible mid with Some _ -> hi := mid | None -> lo := mid
+          done;
+          (match feasible !hi with
+          | None -> None (* numerically impossible, but keep total *)
+          | Some (all_bounds, us) ->
+              let n = List.length all_bounds in
+              let keys = Array.make n 0 in
+              let bws = Array.make n 0.0 in
+              let peaks = Array.make n 0.0 in
+              let shares = Array.make n 0.0 in
+              List.iteri
+                (fun i (bounds, u) ->
+                  let it = bounds.item in
+                  keys.(i) <- it.key;
+                  peaks.(i) <- it.peak_bps;
+                  if it.bits > 0.0 then bws.(i) <- it.bits /. u;
+                  if it.work_s > 0.0 then begin
+                    let s =
+                      if it.bits = 0.0 then
+                        Float.min bounds.slack (margin_time stability_margin it)
+                      else bounds.slack -. u
+                    in
+                    shares.(i) <- it.work_s /. s
+                  end)
+                (List.combine all_bounds us);
+              let bws = scale_up_bandwidth bandwidth_bps bws peaks in
+              let shares = scale_up_shares shares in
+              let grants =
+                List.init n (fun i ->
+                    (keys.(i), { bandwidth_bps = bws.(i); compute_share = shares.(i) }))
+              in
+              Some { theta = !hi; grants })
+    end
+  end
+
+let grants_array result ~n =
+  let arr = Array.make n None in
+  List.iter (fun (k, g) -> if k >= 0 && k < n then arr.(k) <- Some g) result.grants;
+  arr

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Array Assign Candidate Cluster Decision Es_alloc Es_edge Es_joint Es_surgery Es_util List Optimizer Plan Policy Processor

@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Es_edge Es_surgery

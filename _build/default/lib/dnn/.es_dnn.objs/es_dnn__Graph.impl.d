@@ -1,0 +1,1 @@
+lib/dnn/graph.ml: Array Format Layer List Printf Shape

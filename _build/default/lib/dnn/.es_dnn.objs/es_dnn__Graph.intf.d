@@ -1,0 +1,1 @@
+lib/dnn/graph.mli: Format Layer Shape

@@ -1,0 +1,1 @@
+lib/dnn/layer.ml: Float Format List Printf Shape

@@ -1,0 +1,1 @@
+lib/dnn/layer.mli: Format Shape

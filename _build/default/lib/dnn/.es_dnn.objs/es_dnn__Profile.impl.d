@@ -1,0 +1,1 @@
+lib/dnn/profile.ml: Array Float Graph Hashtbl Layer Shape

@@ -1,0 +1,1 @@
+lib/dnn/serialize.ml: Array Buffer Fun Graph Layer List Printf Result Shape String

@@ -1,0 +1,1 @@
+lib/dnn/serialize.mli: Graph

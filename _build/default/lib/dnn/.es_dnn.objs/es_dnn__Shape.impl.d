@@ -1,0 +1,1 @@
+lib/dnn/shape.ml: Float Format

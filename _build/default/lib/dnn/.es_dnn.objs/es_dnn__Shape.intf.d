@@ -1,0 +1,1 @@
+lib/dnn/shape.mli: Format

@@ -1,0 +1,1 @@
+lib/dnn/zoo.ml: Graph Layer List Shape

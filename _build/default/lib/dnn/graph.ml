@@ -1,0 +1,196 @@
+type node = {
+  id : int;
+  node_name : string;
+  layer : Layer.t;
+  preds : int array;
+  exitable : bool;
+}
+
+type t = {
+  uid : int;
+  name : string;
+  input_shape : Shape.t;
+  nodes : node array;
+  output : int;
+  shapes : Shape.t array;
+}
+
+let pred_shapes input_shape shapes node =
+  if Array.length node.preds = 0 then [ input_shape ]
+  else Array.to_list (Array.map (fun p -> shapes.(p)) node.preds)
+
+module Builder = struct
+  type b = {
+    bname : string;
+    binput : Shape.t;
+    mutable rev_nodes : node list;
+    mutable bshapes : Shape.t list;  (* reversed *)
+    mutable count : int;
+  }
+
+  let create ~name ~input =
+    let b = { bname = name; binput = input; rev_nodes = []; bshapes = []; count = 0 } in
+    let input_node =
+      { id = 0; node_name = "input"; layer = Layer.Input; preds = [||]; exitable = false }
+    in
+    b.rev_nodes <- [ input_node ];
+    b.bshapes <- [ input ];
+    b.count <- 1;
+    (b, 0)
+
+  let shape_of b id = List.nth b.bshapes (b.count - 1 - id)
+
+  let add b ?name ?(exitable = false) layer preds =
+    List.iter
+      (fun p ->
+        if p < 0 || p >= b.count then
+          invalid_arg (Printf.sprintf "Graph.Builder.add: unknown predecessor %d" p))
+      preds;
+    if preds = [] then invalid_arg "Graph.Builder.add: a non-input node needs predecessors";
+    let id = b.count in
+    let node_name = match name with Some n -> n | None -> Layer.name layer in
+    let shape = Layer.output_shape layer (List.map (shape_of b) preds) in
+    let node = { id; node_name; layer; preds = Array.of_list preds; exitable } in
+    b.rev_nodes <- node :: b.rev_nodes;
+    b.bshapes <- shape :: b.bshapes;
+    b.count <- id + 1;
+    id
+
+  let next_uid =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      !counter
+
+  let finish ?output b =
+    let nodes = Array.of_list (List.rev b.rev_nodes) in
+    let shapes = Array.of_list (List.rev b.bshapes) in
+    let output = match output with Some o -> o | None -> b.count - 1 in
+    if output < 0 || output >= b.count then invalid_arg "Graph.Builder.finish: bad output id";
+    { uid = next_uid (); name = b.bname; input_shape = b.binput; nodes; output; shapes }
+end
+
+let sequential ~name ~input layers =
+  let b, first = Builder.create ~name ~input in
+  let last =
+    List.fold_left
+      (fun prev (lname, exitable, layer) -> Builder.add b ?name:lname ~exitable layer [ prev ])
+      first layers
+  in
+  Builder.finish ~output:last b
+
+let n_nodes g = Array.length g.nodes
+let node_shape g id = g.shapes.(id)
+
+let node_pred_shapes g node = pred_shapes g.input_shape g.shapes node
+
+let node_flops g id =
+  let node = g.nodes.(id) in
+  Layer.flops node.layer (node_pred_shapes g node)
+
+let node_params g id =
+  let node = g.nodes.(id) in
+  Layer.params node.layer (node_pred_shapes g node)
+
+let fold_nodes f init g =
+  let acc = ref init in
+  for i = 0 to n_nodes g - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+let total_flops g = fold_nodes (fun acc i -> acc +. node_flops g i) 0.0 g
+let total_params g = fold_nodes (fun acc i -> acc +. node_params g i) 0.0 g
+let output_shape g = g.shapes.(g.output)
+
+let successors g id =
+  fold_nodes
+    (fun acc i ->
+      if Array.exists (fun p -> p = id) g.nodes.(i).preds then i :: acc else acc)
+    [] g
+  |> List.rev
+
+let exit_candidate_ids g =
+  fold_nodes (fun acc i -> if g.nodes.(i).exitable then i :: acc else acc) [] g |> List.rev
+
+let validate g =
+  let n = n_nodes g in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if n = 0 then err "empty graph"
+  else if g.output < 0 || g.output >= n then err "output id %d out of range" g.output
+  else if g.nodes.(0).layer <> Layer.Input then err "node 0 is not the input"
+  else begin
+    let rec check i =
+      if i >= n then Ok ()
+      else begin
+        let node = g.nodes.(i) in
+        if node.id <> i then err "node %d has id %d" i node.id
+        else if Array.exists (fun p -> p >= i || p < 0) node.preds then
+          err "node %d has a non-topological predecessor" i
+        else begin
+          match Layer.output_shape node.layer (node_pred_shapes g node) with
+          | shape ->
+              if Shape.equal shape g.shapes.(i) then check (i + 1)
+              else err "node %d shape mismatch" i
+          | exception Invalid_argument m -> err "node %d: %s" i m
+        end
+      end
+    in
+    check 0
+  end
+
+let prefix_flops g k = fold_nodes (fun acc i -> if i < k then acc +. node_flops g i else acc) 0.0 g
+let suffix_flops g k = fold_nodes (fun acc i -> if i >= k then acc +. node_flops g i else acc) 0.0 g
+
+let cut_transfer_bytes ?(bytes_per_elt = 4) g k =
+  let n = n_nodes g in
+  if k <= 0 then float_of_int (Shape.bytes ~bytes_per_elt g.input_shape)
+  else if k >= n then 0.0
+  else begin
+    (* A node i < k crosses the cut when some consumer has id >= k.  Each
+       crossing activation is shipped once even with several consumers. *)
+    let crosses = Array.make k false in
+    for i = k to n - 1 do
+      Array.iter (fun p -> if p < k then crosses.(p) <- true) g.nodes.(i).preds
+    done;
+    let total = ref 0.0 in
+    for i = 0 to k - 1 do
+      if crosses.(i) then total := !total +. float_of_int (Shape.bytes ~bytes_per_elt g.shapes.(i))
+    done;
+    !total
+  end
+
+let scale_width f g =
+  if f <= 0.0 || f > 1.0 then invalid_arg "Graph.scale_width: factor outside (0,1]";
+  if f = 1.0 then g
+  else begin
+    let b, _ = Builder.create ~name:(Printf.sprintf "%s@w%.2f" g.name f) ~input:g.input_shape in
+    Array.iter
+      (fun node ->
+        if node.id > 0 then begin
+          let layer =
+            (* The classifier head (the output node) keeps its dimension so
+               the model still predicts the same classes. *)
+            if node.id = g.output then node.layer else Layer.scale_width f node.layer
+          in
+          let id =
+            Builder.add b ~name:node.node_name ~exitable:node.exitable layer
+              (Array.to_list node.preds)
+          in
+          assert (id = node.id)
+        end)
+      g.nodes;
+    Builder.finish ~output:g.output b
+  end
+
+let pp_summary fmt g =
+  Format.fprintf fmt "%s: %d nodes, %.1f MFLOPs, %.2f M params@."
+    g.name (n_nodes g) (total_flops g /. 1e6) (total_params g /. 1e6);
+  Array.iter
+    (fun node ->
+      Format.fprintf fmt "  %3d %-12s %-12s %-10s %8.2f MFLOPs%s@." node.id node.node_name
+        (Layer.name node.layer)
+        (Shape.to_string g.shapes.(node.id))
+        (node_flops g node.id /. 1e6)
+        (if node.exitable then "  [exit]" else ""))
+    g.nodes

@@ -1,0 +1,129 @@
+type pool_kind = Max | Avg
+
+type t =
+  | Input
+  | Conv of { out_c : int; kernel : int; stride : int; pad : int; groups : int }
+  | Fc of { out_features : int }
+  | Pool of { kind : pool_kind; kernel : int; stride : int; pad : int }
+  | Global_pool of pool_kind
+  | Relu
+  | Batch_norm
+  | Add
+  | Concat
+  | Flatten
+  | Softmax
+
+let name = function
+  | Input -> "input"
+  | Conv { kernel; stride; groups; _ } ->
+      if groups > 1 then Printf.sprintf "dwconv%dx%d/%d" kernel kernel stride
+      else Printf.sprintf "conv%dx%d/%d" kernel kernel stride
+  | Fc { out_features } -> Printf.sprintf "fc%d" out_features
+  | Pool { kind; kernel; stride; _ } ->
+      Printf.sprintf "%spool%d/%d" (match kind with Max -> "max" | Avg -> "avg") kernel stride
+  | Global_pool kind -> (match kind with Max -> "gmaxpool" | Avg -> "gavgpool")
+  | Relu -> "relu"
+  | Batch_norm -> "bn"
+  | Add -> "add"
+  | Concat -> "concat"
+  | Flatten -> "flatten"
+  | Softmax -> "softmax"
+
+let single = function
+  | [ s ] -> s
+  | inputs ->
+      invalid_arg
+        (Printf.sprintf "Layer.output_shape: expected 1 predecessor, got %d"
+           (List.length inputs))
+
+let output_shape t inputs =
+  match t with
+  | Input -> single inputs
+  | Conv { out_c; kernel; stride; pad; _ } ->
+      Shape.conv_out (single inputs) ~kernel ~stride ~pad ~out_c
+  | Fc { out_features } -> (
+      match single inputs with
+      | Shape.Vec _ -> Shape.vec out_features
+      | Shape.Map _ -> invalid_arg "Layer.output_shape: Fc over a feature map (flatten first)")
+  | Pool { kernel; stride; pad; _ } ->
+      let s = single inputs in
+      Shape.conv_out s ~kernel ~stride ~pad ~out_c:(Shape.channels s)
+  | Global_pool _ -> Shape.map ~c:(Shape.channels (single inputs)) ~h:1 ~w:1
+  | Relu | Batch_norm | Softmax -> single inputs
+  | Flatten -> Shape.flatten (single inputs)
+  | Add -> (
+      match inputs with
+      | [] -> invalid_arg "Layer.output_shape: Add with no predecessors"
+      | s :: rest ->
+          if List.for_all (Shape.equal s) rest then s
+          else invalid_arg "Layer.output_shape: Add over mismatched shapes")
+  | Concat -> (
+      match inputs with
+      | [] -> invalid_arg "Layer.output_shape: Concat with no predecessors"
+      | Shape.Map { c; h; w } :: rest ->
+          let total =
+            List.fold_left
+              (fun acc s ->
+                match s with
+                | Shape.Map m when m.h = h && m.w = w -> acc + m.c
+                | _ -> invalid_arg "Layer.output_shape: Concat over mismatched maps")
+              c rest
+          in
+          Shape.map ~c:total ~h ~w
+      | Shape.Vec n :: rest ->
+          let total =
+            List.fold_left
+              (fun acc s ->
+                match s with
+                | Shape.Vec m -> acc + m
+                | _ -> invalid_arg "Layer.output_shape: Concat mixing maps and vectors")
+              n rest
+          in
+          Shape.vec total)
+
+let flops t inputs =
+  let out = output_shape t inputs in
+  let fout = float_of_int (Shape.elements out) in
+  match t with
+  | Input -> 0.0
+  | Conv { kernel; groups; _ } ->
+      let in_c = Shape.channels (single inputs) in
+      let macs_per_out = float_of_int (kernel * kernel * (in_c / groups)) in
+      2.0 *. macs_per_out *. fout
+  | Fc { out_features } ->
+      let in_f = Shape.elements (single inputs) in
+      2.0 *. float_of_int in_f *. float_of_int out_features
+  | Pool { kernel; _ } -> float_of_int (kernel * kernel) *. fout
+  | Global_pool _ -> float_of_int (Shape.elements (single inputs))
+  | Relu -> fout
+  | Batch_norm -> 2.0 *. fout
+  | Add -> float_of_int (List.length inputs - 1) *. fout
+  | Concat -> fout
+  | Flatten -> 0.0
+  | Softmax -> 5.0 *. fout
+
+let params t inputs =
+  match t with
+  | Conv { out_c; kernel; groups; _ } ->
+      let in_c = Shape.channels (single inputs) in
+      float_of_int ((kernel * kernel * (in_c / groups) * out_c) + out_c)
+  | Fc { out_features } ->
+      let in_f = Shape.elements (single inputs) in
+      float_of_int ((in_f * out_features) + out_features)
+  | Batch_norm -> 2.0 *. float_of_int (Shape.channels (single inputs))
+  | Input | Pool _ | Global_pool _ | Relu | Add | Concat | Flatten | Softmax -> 0.0
+
+let scale_dim f d = max 1 (int_of_float (Float.round (float_of_int d *. f)))
+
+let scale_width f = function
+  | Conv c ->
+      let out_c = scale_dim f c.out_c in
+      (* Depthwise convs keep groups = channels; recompute below via graph
+         re-inference, here we scale groups proportionally when grouped. *)
+      let groups = if c.groups > 1 then scale_dim f c.groups else c.groups in
+      Conv { c with out_c; groups }
+  | ( Input | Fc _ | Pool _ | Global_pool _ | Relu | Batch_norm | Add | Concat | Flatten
+    | Softmax ) as t ->
+      t
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,45 @@
+(** DNN layer kinds with analytic cost models.
+
+    Model surgery never touches weights — it only needs, per layer, the
+    output shape, the FLOP count, and the parameter count.  These are exact
+    analytic functions of the layer configuration, identical to what a
+    profiler would derive from the published architecture tables. *)
+
+type pool_kind = Max | Avg
+
+type t =
+  | Input
+  | Conv of { out_c : int; kernel : int; stride : int; pad : int; groups : int }
+      (** standard / grouped / depthwise convolution (depthwise when
+          [groups = in_c]) *)
+  | Fc of { out_features : int }
+  | Pool of { kind : pool_kind; kernel : int; stride : int; pad : int }
+  | Global_pool of pool_kind  (** collapses spatial dims to 1×1 *)
+  | Relu
+  | Batch_norm
+  | Add  (** element-wise residual addition of all predecessors *)
+  | Concat  (** channel-wise concatenation of all predecessors *)
+  | Flatten
+  | Softmax
+
+val name : t -> string
+(** Short kind name, e.g. ["conv3x3/2"]. *)
+
+val output_shape : t -> Shape.t list -> Shape.t
+(** Output shape given the predecessor output shapes (in predecessor order).
+    @raise Invalid_argument on arity or shape mismatches, e.g. [Add] over
+    different shapes or [Conv] over a vector. *)
+
+val flops : t -> Shape.t list -> float
+(** Floating-point operations to evaluate the layer once (a fused
+    multiply-add counts as 2 FLOPs, the usual convention). *)
+
+val params : t -> Shape.t list -> float
+(** Number of trainable parameters (weights + biases). *)
+
+val scale_width : float -> t -> t
+(** Scale the layer's internal channel counts by a width multiplier.  [Fc]
+    and shape-preserving layers are returned unchanged (the classifier head
+    keeps its class count; its input size shrinks via the predecessor). *)
+
+val pp : Format.formatter -> t -> unit

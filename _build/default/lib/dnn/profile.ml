@@ -1,0 +1,62 @@
+type perf = {
+  flops_per_s : float;
+  mem_bytes_per_s : float;
+  layer_overhead_s : float;
+}
+
+let perf ~flops_per_s ~mem_bytes_per_s ~layer_overhead_s =
+  if flops_per_s <= 0.0 || mem_bytes_per_s <= 0.0 then
+    invalid_arg "Profile.perf: non-positive throughput";
+  if layer_overhead_s < 0.0 then invalid_arg "Profile.perf: negative overhead";
+  { flops_per_s; mem_bytes_per_s; layer_overhead_s }
+
+let layer_bytes_touched (g : Graph.t) id =
+  let node = g.nodes.(id) in
+  let input_bytes =
+    if Array.length node.preds = 0 then float_of_int (Shape.bytes g.input_shape)
+    else
+      Array.fold_left
+        (fun acc p -> acc +. float_of_int (Shape.bytes g.shapes.(p)))
+        0.0 node.preds
+  in
+  let output_bytes = float_of_int (Shape.bytes g.shapes.(id)) in
+  let param_bytes = 4.0 *. Graph.node_params g id in
+  input_bytes +. output_bytes +. param_bytes
+
+let layer_latency perf g id =
+  (* The input node is a placeholder, not a kernel: no cost anywhere. *)
+  if g.Graph.nodes.(id).Graph.layer = Layer.Input then 0.0
+  else begin
+    let compute = Graph.node_flops g id /. perf.flops_per_s in
+    let memory = layer_bytes_touched g id /. perf.mem_bytes_per_s in
+    Float.max compute memory +. perf.layer_overhead_s
+  end
+
+(* Per-(graph, processor) prefix sums of layer latencies.  The optimizer's
+   inner loops evaluate millions of (cut, processor) latencies on a handful
+   of graphs; memoizing turns each evaluation into two array reads. *)
+let prefix_cache : (int * perf, float array) Hashtbl.t = Hashtbl.create 64
+
+let prefix_sums perf g =
+  let key = (g.Graph.uid, perf) in
+  match Hashtbl.find_opt prefix_cache key with
+  | Some sums -> sums
+  | None ->
+      let n = Graph.n_nodes g in
+      let sums = Array.make (n + 1) 0.0 in
+      for i = 0 to n - 1 do
+        sums.(i + 1) <- sums.(i) +. layer_latency perf g i
+      done;
+      Hashtbl.add prefix_cache key sums;
+      sums
+
+let range_latency perf g ~lo ~hi =
+  let n = Graph.n_nodes g in
+  let lo = max lo 0 and hi = min hi n in
+  if hi <= lo then 0.0
+  else begin
+    let sums = prefix_sums perf g in
+    sums.(hi) -. sums.(lo)
+  end
+
+let total_latency perf g = range_latency perf g ~lo:0 ~hi:(Graph.n_nodes g)

@@ -1,0 +1,215 @@
+let shape_to_string = function
+  | Shape.Map { c; h; w } -> Printf.sprintf "%dx%dx%d" c h w
+  | Shape.Vec n -> Printf.sprintf "vec=%d" n
+
+let shape_of_string s =
+  match String.split_on_char '=' s with
+  | [ "vec"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Ok (Shape.vec n)
+      | _ -> Error "bad vector size")
+  | _ -> (
+      match String.split_on_char 'x' s with
+      | [ c; h; w ] -> (
+          match (int_of_string_opt c, int_of_string_opt h, int_of_string_opt w) with
+          | Some c, Some h, Some w when c > 0 && h > 0 && w > 0 -> Ok (Shape.map ~c ~h ~w)
+          | _ -> Error "bad map dimensions")
+      | _ -> Error "expected CxHxW or vec=N")
+
+let pool_kind_name = function Layer.Max -> "max" | Layer.Avg -> "avg"
+
+let layer_to_string = function
+  | Layer.Input -> "input"
+  | Layer.Conv { out_c; kernel; stride; pad; groups } ->
+      Printf.sprintf "conv out_c=%d k=%d s=%d p=%d g=%d" out_c kernel stride pad groups
+  | Layer.Fc { out_features } -> Printf.sprintf "fc out=%d" out_features
+  | Layer.Pool { kind; kernel; stride; pad } ->
+      Printf.sprintf "pool kind=%s k=%d s=%d p=%d" (pool_kind_name kind) kernel stride pad
+  | Layer.Global_pool kind -> Printf.sprintf "gpool kind=%s" (pool_kind_name kind)
+  | Layer.Relu -> "relu"
+  | Layer.Batch_norm -> "bn"
+  | Layer.Add -> "add"
+  | Layer.Concat -> "concat"
+  | Layer.Flatten -> "flatten"
+  | Layer.Softmax -> "softmax"
+
+let sanitize_name n =
+  String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) n
+
+let to_string (g : Graph.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "model %s\n" (sanitize_name g.Graph.name));
+  Buffer.add_string buf (Printf.sprintf "input %s\n" (shape_to_string g.Graph.input_shape));
+  Array.iter
+    (fun (node : Graph.node) ->
+      if node.Graph.id > 0 then begin
+        let preds =
+          String.concat "," (List.map string_of_int (Array.to_list node.Graph.preds))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "node %d %s %s%s preds=%s\n" node.Graph.id
+             (sanitize_name node.Graph.node_name)
+             (layer_to_string node.Graph.layer)
+             (if node.Graph.exitable then " exit" else "")
+             preds)
+      end)
+    g.Graph.nodes;
+  Buffer.add_string buf (Printf.sprintf "output %d\n" g.Graph.output);
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+let kv_int kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> (
+      match int_of_string_opt v with Some i -> Ok i | None -> Error (key ^ " not an int"))
+  | None -> Error ("missing " ^ key)
+
+let kv_pool_kind kvs =
+  match List.assoc_opt "kind" kvs with
+  | Some "max" -> Ok Layer.Max
+  | Some "avg" -> Ok Layer.Avg
+  | Some other -> Error ("unknown pool kind " ^ other)
+  | None -> Error "missing kind"
+
+let ( let* ) = Result.bind
+
+let parse_layer kind kvs =
+  match kind with
+  | "conv" ->
+      let* out_c = kv_int kvs "out_c" in
+      let* kernel = kv_int kvs "k" in
+      let* stride = kv_int kvs "s" in
+      let* pad = kv_int kvs "p" in
+      let* groups = kv_int kvs "g" in
+      Ok (Layer.Conv { out_c; kernel; stride; pad; groups })
+  | "fc" ->
+      let* out_features = kv_int kvs "out" in
+      Ok (Layer.Fc { out_features })
+  | "pool" ->
+      let* kind = kv_pool_kind kvs in
+      let* kernel = kv_int kvs "k" in
+      let* stride = kv_int kvs "s" in
+      let* pad = kv_int kvs "p" in
+      Ok (Layer.Pool { kind; kernel; stride; pad })
+  | "gpool" ->
+      let* kind = kv_pool_kind kvs in
+      Ok (Layer.Global_pool kind)
+  | "relu" -> Ok Layer.Relu
+  | "bn" -> Ok Layer.Batch_norm
+  | "add" -> Ok Layer.Add
+  | "concat" -> Ok Layer.Concat
+  | "flatten" -> Ok Layer.Flatten
+  | "softmax" -> Ok Layer.Softmax
+  | other -> Error ("unknown layer kind " ^ other)
+
+let parse_preds s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match int_of_string_opt p with
+        | Some i -> go (i :: acc) rest
+        | None -> Error ("bad predecessor " ^ p))
+  in
+  go [] parts
+
+(* A node line's tokens after id and name: layer kind, key=value args, an
+   optional bare "exit" flag, and the final preds=... *)
+let parse_node_tokens tokens =
+  match tokens with
+  | kind :: rest ->
+      let exitable = List.mem "exit" rest in
+      let rest = List.filter (fun t -> t <> "exit") rest in
+      let preds, kvs =
+        List.partition (fun t -> String.length t > 6 && String.sub t 0 6 = "preds=") rest
+      in
+      let kvs =
+        List.filter_map
+          (fun t ->
+            match String.index_opt t '=' with
+            | Some i -> Some (String.sub t 0 i, String.sub t (i + 1) (String.length t - i - 1))
+            | None -> None)
+          kvs
+      in
+      let* layer = parse_layer kind kvs in
+      let* preds =
+        match preds with
+        | [ p ] -> parse_preds (String.sub p 6 (String.length p - 6))
+        | _ -> Error "missing preds="
+      in
+      Ok (layer, exitable, preds)
+  | [] -> Error "empty node body"
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let err line_no msg = Error (Printf.sprintf "line %d: %s" line_no msg) in
+  let state = ref `Expect_model in
+  let builder = ref None in
+  let output = ref None in
+  let rec go line_no = function
+    | [] -> (
+        match (!builder, !output) with
+        | Some b, out -> (
+            match Graph.Builder.finish ?output:out b with
+            | g -> Ok g
+            | exception Invalid_argument m -> Error ("finish: " ^ m))
+        | None, _ -> Error "missing model header")
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || String.length line > 0 && line.[0] = '#' then go (line_no + 1) rest
+        else begin
+          let tokens =
+            String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+          in
+          match (!state, tokens) with
+          | `Expect_model, [ "model"; name ] ->
+              state := `Expect_input name;
+              go (line_no + 1) rest
+          | `Expect_model, _ -> err line_no "expected: model <name>"
+          | `Expect_input name, [ "input"; shape ] -> (
+              match shape_of_string shape with
+              | Ok input ->
+                  let b, _ = Graph.Builder.create ~name ~input in
+                  builder := Some b;
+                  state := `Nodes;
+                  go (line_no + 1) rest
+              | Error m -> err line_no m)
+          | `Expect_input _, _ -> err line_no "expected: input <shape>"
+          | `Nodes, "node" :: id :: name :: body -> (
+              match (int_of_string_opt id, !builder) with
+              | None, _ -> err line_no "bad node id"
+              | _, None -> err line_no "node before input"
+              | Some id, Some b -> (
+                  match parse_node_tokens body with
+                  | Error m -> err line_no m
+                  | Ok (layer, exitable, preds) -> (
+                      match Graph.Builder.add b ~name ~exitable layer preds with
+                      | got when got = id -> go (line_no + 1) rest
+                      | _ -> err line_no "non-sequential node id"
+                      | exception Invalid_argument m -> err line_no m)))
+          | `Nodes, [ "output"; id ] -> (
+              match int_of_string_opt id with
+              | Some id ->
+                  output := Some id;
+                  go (line_no + 1) rest
+              | None -> err line_no "bad output id")
+          | `Nodes, _ -> err line_no "expected: node ... or output <id>"
+        end)
+  in
+  go 1 lines
+
+let save g ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      of_string text

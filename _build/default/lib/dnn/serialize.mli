@@ -1,0 +1,31 @@
+(** Textual model serialization.
+
+    A line-oriented, human-diffable format for layer DAGs, so models can be
+    exported, versioned, and loaded without rebuilding them in code
+    (real deployments exchange ONNX; this is the same idea at the
+    granularity this library needs).  Format:
+
+    {v
+    model resnet18
+    input 3x224x224
+    node 1 conv1 conv out_c=64 k=7 s=2 p=3 g=1 preds=0
+    node 2 bn bn preds=1
+    node 3 relu relu exit preds=2
+    ...
+    output 70
+    v}
+
+    Round-trip is exact: [of_string (to_string g)] reproduces the graph
+    (same layers, names, predecessors, exit flags, output). *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> (Graph.t, string) result
+(** Parse a serialized model.  Errors carry the offending line number and a
+    reason; a graph that parses but violates DAG/shape invariants is also
+    rejected (the builder re-validates shapes on the fly). *)
+
+val save : Graph.t -> path:string -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val load : path:string -> (Graph.t, string) result

@@ -1,0 +1,349 @@
+let conv ?(groups = 1) ~k ~s ~p out_c = Layer.Conv { out_c; kernel = k; stride = s; pad = p; groups }
+let maxpool ~k ~s ?(p = 0) () = Layer.Pool { kind = Layer.Max; kernel = k; stride = s; pad = p }
+
+(* Chain helpers over a builder: each returns the id of its last node. *)
+let conv_relu b ?exitable ~k ~s ~p out_c prev =
+  let c = Graph.Builder.add b (conv ~k ~s ~p out_c) [ prev ] in
+  Graph.Builder.add b ?exitable Layer.Relu [ c ]
+
+let conv_bn_relu b ?exitable ?(groups = 1) ~k ~s ~p out_c prev =
+  let c = Graph.Builder.add b (conv ~groups ~k ~s ~p out_c) [ prev ] in
+  let n = Graph.Builder.add b Layer.Batch_norm [ c ] in
+  Graph.Builder.add b ?exitable Layer.Relu [ n ]
+
+let conv_bn b ?(groups = 1) ~k ~s ~p out_c prev =
+  let c = Graph.Builder.add b (conv ~groups ~k ~s ~p out_c) [ prev ] in
+  Graph.Builder.add b Layer.Batch_norm [ c ]
+
+let classifier_head b ?(hidden = []) ~classes prev =
+  let pool = Graph.Builder.add b (Layer.Global_pool Layer.Avg) [ prev ] in
+  let flat = Graph.Builder.add b Layer.Flatten [ pool ] in
+  let last =
+    List.fold_left
+      (fun acc h ->
+        let fc = Graph.Builder.add b (Layer.Fc { out_features = h }) [ acc ] in
+        Graph.Builder.add b Layer.Relu [ fc ])
+      flat hidden
+  in
+  let logits = Graph.Builder.add b ~name:"logits" (Layer.Fc { out_features = classes }) [ last ] in
+  Graph.Builder.add b Layer.Softmax [ logits ]
+
+let imagenet_input = Shape.map ~c:3 ~h:224 ~w:224
+
+let alexnet () =
+  let b, x = Graph.Builder.create ~name:"alexnet" ~input:imagenet_input in
+  let x = conv_relu b ~k:11 ~s:4 ~p:2 96 x in
+  let x = Graph.Builder.add b ~exitable:true (maxpool ~k:3 ~s:2 ()) [ x ] in
+  let x = conv_relu b ~k:5 ~s:1 ~p:2 256 x in
+  let x = Graph.Builder.add b ~exitable:true (maxpool ~k:3 ~s:2 ()) [ x ] in
+  let x = conv_relu b ~k:3 ~s:1 ~p:1 384 x in
+  let x = conv_relu b ~k:3 ~s:1 ~p:1 384 x in
+  let x = conv_relu b ~k:3 ~s:1 ~p:1 256 x in
+  let x = Graph.Builder.add b ~exitable:true (maxpool ~k:3 ~s:2 ()) [ x ] in
+  let x = Graph.Builder.add b Layer.Flatten [ x ] in
+  let x = Graph.Builder.add b (Layer.Fc { out_features = 4096 }) [ x ] in
+  let x = Graph.Builder.add b Layer.Relu [ x ] in
+  let x = Graph.Builder.add b (Layer.Fc { out_features = 4096 }) [ x ] in
+  let x = Graph.Builder.add b ~exitable:true Layer.Relu [ x ] in
+  let x = Graph.Builder.add b ~name:"logits" (Layer.Fc { out_features = 1000 }) [ x ] in
+  let _ = Graph.Builder.add b Layer.Softmax [ x ] in
+  Graph.Builder.finish b
+
+let vgg16 () =
+  let b, x = Graph.Builder.create ~name:"vgg16" ~input:imagenet_input in
+  let block x widths =
+    let x = List.fold_left (fun acc w -> conv_relu b ~k:3 ~s:1 ~p:1 w acc) x widths in
+    Graph.Builder.add b ~exitable:true (maxpool ~k:2 ~s:2 ()) [ x ]
+  in
+  let x = block x [ 64; 64 ] in
+  let x = block x [ 128; 128 ] in
+  let x = block x [ 256; 256; 256 ] in
+  let x = block x [ 512; 512; 512 ] in
+  let x = block x [ 512; 512; 512 ] in
+  let x = Graph.Builder.add b Layer.Flatten [ x ] in
+  let x = Graph.Builder.add b (Layer.Fc { out_features = 4096 }) [ x ] in
+  let x = Graph.Builder.add b Layer.Relu [ x ] in
+  let x = Graph.Builder.add b (Layer.Fc { out_features = 4096 }) [ x ] in
+  let x = Graph.Builder.add b Layer.Relu [ x ] in
+  let x = Graph.Builder.add b ~name:"logits" (Layer.Fc { out_features = 1000 }) [ x ] in
+  let _ = Graph.Builder.add b Layer.Softmax [ x ] in
+  Graph.Builder.finish b
+
+(* Basic residual block (ResNet-18/34): two 3x3 convs; stride/width change
+   goes through a projected shortcut. *)
+let basic_block b ~stride ~out_c ?(exitable = false) x =
+  let main = conv_bn_relu b ~k:3 ~s:stride ~p:1 out_c x in
+  let main = conv_bn b ~k:3 ~s:1 ~p:1 out_c main in
+  let shortcut = if stride <> 1 then conv_bn b ~k:1 ~s:stride ~p:0 out_c x else x in
+  let add = Graph.Builder.add b Layer.Add [ main; shortcut ] in
+  Graph.Builder.add b ~exitable Layer.Relu [ add ]
+
+let resnet_small ~name ~stage_sizes () =
+  let b, x = Graph.Builder.create ~name ~input:imagenet_input in
+  let x = conv_bn_relu b ~k:7 ~s:2 ~p:3 64 x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ~p:1 ()) [ x ] in
+  let widths = [ 64; 128; 256; 512 ] in
+  let x =
+    List.fold_left2
+      (fun x n_blocks (stage_idx, out_c) ->
+        let rec blocks x i =
+          if i >= n_blocks then x
+          else begin
+            let stride = if i = 0 && stage_idx > 0 then 2 else 1 in
+            let exitable = i = n_blocks - 1 in
+            blocks (basic_block b ~stride ~out_c ~exitable x) (i + 1)
+          end
+        in
+        blocks x 0)
+      x stage_sizes
+      (List.mapi (fun i w -> (i, w)) widths)
+  in
+  classifier_head b ~classes:1000 x |> ignore;
+  Graph.Builder.finish b
+
+let resnet18 () = resnet_small ~name:"resnet18" ~stage_sizes:[ 2; 2; 2; 2 ] ()
+let resnet34 () = resnet_small ~name:"resnet34" ~stage_sizes:[ 3; 4; 6; 3 ] ()
+
+(* Bottleneck block (ResNet-50): 1x1 reduce, 3x3, 1x1 expand (4x). *)
+let bottleneck_block b ~stride ~mid_c ?(exitable = false) ~project x =
+  let out_c = mid_c * 4 in
+  let main = conv_bn_relu b ~k:1 ~s:1 ~p:0 mid_c x in
+  let main = conv_bn_relu b ~k:3 ~s:stride ~p:1 mid_c main in
+  let main = conv_bn b ~k:1 ~s:1 ~p:0 out_c main in
+  let shortcut = if project then conv_bn b ~k:1 ~s:stride ~p:0 out_c x else x in
+  let add = Graph.Builder.add b Layer.Add [ main; shortcut ] in
+  Graph.Builder.add b ~exitable Layer.Relu [ add ]
+
+let resnet50 () =
+  let b, x = Graph.Builder.create ~name:"resnet50" ~input:imagenet_input in
+  let x = conv_bn_relu b ~k:7 ~s:2 ~p:3 64 x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ~p:1 ()) [ x ] in
+  let stages = [ (3, 64); (4, 128); (6, 256); (3, 512) ] in
+  let x =
+    List.fold_left
+      (fun x (stage_idx, (n_blocks, mid_c)) ->
+        let rec blocks x i =
+          if i >= n_blocks then x
+          else begin
+            let stride = if i = 0 && stage_idx > 0 then 2 else 1 in
+            let project = i = 0 in
+            let exitable = i = n_blocks - 1 in
+            blocks (bottleneck_block b ~stride ~mid_c ~exitable ~project x) (i + 1)
+          end
+        in
+        blocks x 0)
+      x
+      (List.mapi (fun i s -> (i, s)) stages)
+  in
+  classifier_head b ~classes:1000 x |> ignore;
+  Graph.Builder.finish b
+
+let mobilenet_v1 () =
+  let b, x = Graph.Builder.create ~name:"mobilenet_v1" ~input:imagenet_input in
+  let dw_sep ~stride ~out_c ?(exitable = false) (x, in_c) =
+    let dw = conv_bn_relu b ~groups:in_c ~k:3 ~s:stride ~p:1 in_c x in
+    let pw = conv_bn_relu b ~exitable ~k:1 ~s:1 ~p:0 out_c dw in
+    (pw, out_c)
+  in
+  let x = conv_bn_relu b ~k:3 ~s:2 ~p:1 32 x in
+  let acc = (x, 32) in
+  let acc = dw_sep ~stride:1 ~out_c:64 acc in
+  let acc = dw_sep ~stride:2 ~out_c:128 acc in
+  let acc = dw_sep ~stride:1 ~out_c:128 ~exitable:true acc in
+  let acc = dw_sep ~stride:2 ~out_c:256 acc in
+  let acc = dw_sep ~stride:1 ~out_c:256 ~exitable:true acc in
+  let acc = dw_sep ~stride:2 ~out_c:512 acc in
+  let acc = dw_sep ~stride:1 ~out_c:512 acc in
+  let acc = dw_sep ~stride:1 ~out_c:512 acc in
+  let acc = dw_sep ~stride:1 ~out_c:512 acc in
+  let acc = dw_sep ~stride:1 ~out_c:512 acc in
+  let acc = dw_sep ~stride:1 ~out_c:512 ~exitable:true acc in
+  let acc = dw_sep ~stride:2 ~out_c:1024 acc in
+  let x, _ = dw_sep ~stride:1 ~out_c:1024 ~exitable:true acc in
+  classifier_head b ~classes:1000 x |> ignore;
+  Graph.Builder.finish b
+
+let mobilenet_v2 () =
+  let b, x = Graph.Builder.create ~name:"mobilenet_v2" ~input:imagenet_input in
+  (* Inverted residual: 1x1 expand (t·c), 3x3 depthwise, 1x1 project;
+     residual add when stride 1 and channels match. *)
+  let inverted ~t ~stride ~out_c ?(exitable = false) (x, in_c) =
+    let mid = in_c * t in
+    let h = if t > 1 then conv_bn_relu b ~k:1 ~s:1 ~p:0 mid x else x in
+    let h = conv_bn_relu b ~groups:mid ~k:3 ~s:stride ~p:1 mid h in
+    let h = conv_bn b ~k:1 ~s:1 ~p:0 out_c h in
+    let out =
+      if stride = 1 && in_c = out_c then Graph.Builder.add b Layer.Add [ h; x ] else h
+    in
+    let out =
+      if exitable then Graph.Builder.add b ~exitable:true Layer.Relu [ out ] else out
+    in
+    (out, out_c)
+  in
+  let x = conv_bn_relu b ~k:3 ~s:2 ~p:1 32 x in
+  let acc = (x, 32) in
+  let repeat ~t ~n ~stride ~out_c ?(exitable = false) acc =
+    let rec go acc i =
+      if i >= n then acc
+      else begin
+        let s = if i = 0 then stride else 1 in
+        let e = exitable && i = n - 1 in
+        go (inverted ~t ~stride:s ~out_c ~exitable:e acc) (i + 1)
+      end
+    in
+    go acc 0
+  in
+  let acc = repeat ~t:1 ~n:1 ~stride:1 ~out_c:16 acc in
+  let acc = repeat ~t:6 ~n:2 ~stride:2 ~out_c:24 ~exitable:true acc in
+  let acc = repeat ~t:6 ~n:3 ~stride:2 ~out_c:32 ~exitable:true acc in
+  let acc = repeat ~t:6 ~n:4 ~stride:2 ~out_c:64 acc in
+  let acc = repeat ~t:6 ~n:3 ~stride:1 ~out_c:96 ~exitable:true acc in
+  let acc = repeat ~t:6 ~n:3 ~stride:2 ~out_c:160 acc in
+  let x, _ = repeat ~t:6 ~n:1 ~stride:1 ~out_c:320 ~exitable:true acc in
+  let x = conv_bn_relu b ~k:1 ~s:1 ~p:0 1280 x in
+  classifier_head b ~classes:1000 x |> ignore;
+  Graph.Builder.finish b
+
+(* A 4-branch inception module: 1x1 / 1x1+3x3 / 1x1+5x5 / pool+1x1,
+   channel-concatenated. *)
+let inception_module b ~c1 ~c3r ~c3 ~c5r ~c5 ~cp ?(exitable = false) x =
+  let b1 = conv_relu b ~k:1 ~s:1 ~p:0 c1 x in
+  let b2 = conv_relu b ~k:1 ~s:1 ~p:0 c3r x in
+  let b2 = conv_relu b ~k:3 ~s:1 ~p:1 c3 b2 in
+  let b3 = conv_relu b ~k:1 ~s:1 ~p:0 c5r x in
+  let b3 = conv_relu b ~k:5 ~s:1 ~p:2 c5 b3 in
+  let b4 = Graph.Builder.add b (maxpool ~k:3 ~s:1 ~p:1 ()) [ x ] in
+  let b4 = conv_relu b ~k:1 ~s:1 ~p:0 cp b4 in
+  Graph.Builder.add b ~exitable Layer.Concat [ b1; b2; b3; b4 ]
+
+let inception_lite () =
+  let b, x = Graph.Builder.create ~name:"inception_lite" ~input:imagenet_input in
+  let x = conv_relu b ~k:7 ~s:2 ~p:3 64 x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ~p:1 ()) [ x ] in
+  let x = conv_relu b ~k:3 ~s:1 ~p:1 192 x in
+  let x = Graph.Builder.add b ~exitable:true (maxpool ~k:3 ~s:2 ~p:1 ()) [ x ] in
+  let x = inception_module b ~c1:64 ~c3r:96 ~c3:128 ~c5r:16 ~c5:32 ~cp:32 x in
+  let x = inception_module b ~c1:128 ~c3r:128 ~c3:192 ~c5r:32 ~c5:96 ~cp:64 ~exitable:true x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ~p:1 ()) [ x ] in
+  let x = inception_module b ~c1:192 ~c3r:96 ~c3:208 ~c5r:16 ~c5:48 ~cp:64 ~exitable:true x in
+  let x = inception_module b ~c1:160 ~c3r:112 ~c3:224 ~c5r:24 ~c5:64 ~cp:64 x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ~p:1 ()) [ x ] in
+  let x = inception_module b ~c1:256 ~c3r:160 ~c3:320 ~c5r:32 ~c5:128 ~cp:128 ~exitable:true x in
+  classifier_head b ~classes:1000 x |> ignore;
+  Graph.Builder.finish b
+
+let yolo_tiny () =
+  let input = Shape.map ~c:3 ~h:416 ~w:416 in
+  let b, x = Graph.Builder.create ~name:"yolo_tiny" ~input in
+  let stage ?(exitable = false) ~pool_stride out_c x =
+    let x = conv_bn_relu b ~exitable ~k:3 ~s:1 ~p:1 out_c x in
+    Graph.Builder.add b (maxpool ~k:2 ~s:pool_stride ()) [ x ]
+  in
+  let x = stage ~pool_stride:2 16 x in
+  let x = stage ~pool_stride:2 32 x in
+  let x = stage ~pool_stride:2 ~exitable:true 64 x in
+  let x = stage ~pool_stride:2 128 x in
+  let x = stage ~pool_stride:2 ~exitable:true 256 x in
+  (* Final pool keeps resolution (stride 1 over a padded 13x13 map is
+     approximated by stride 1, k=2 over 14x14 padding omitted: use k=1). *)
+  let x = conv_bn_relu b ~k:3 ~s:1 ~p:1 512 x in
+  let x = conv_bn_relu b ~exitable:true ~k:3 ~s:1 ~p:1 1024 x in
+  let x = conv_bn_relu b ~k:3 ~s:1 ~p:1 1024 x in
+  let _ = Graph.Builder.add b ~name:"detect" (conv ~k:1 ~s:1 ~p:0 125) [ x ] in
+  Graph.Builder.finish b
+
+(* Fire module (SqueezeNet): 1x1 squeeze, then parallel 1x1 + 3x3 expands,
+   channel-concatenated. *)
+let fire_module b ~squeeze ~expand ?(exitable = false) x =
+  let s = conv_relu b ~k:1 ~s:1 ~p:0 squeeze x in
+  let e1 = conv_relu b ~k:1 ~s:1 ~p:0 expand s in
+  let e3 = conv_relu b ~k:3 ~s:1 ~p:1 expand s in
+  Graph.Builder.add b ~exitable Layer.Concat [ e1; e3 ]
+
+let squeezenet () =
+  let b, x = Graph.Builder.create ~name:"squeezenet" ~input:imagenet_input in
+  let x = conv_relu b ~k:7 ~s:2 ~p:3 96 x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ()) [ x ] in
+  let x = fire_module b ~squeeze:16 ~expand:64 x in
+  let x = fire_module b ~squeeze:16 ~expand:64 x in
+  let x = fire_module b ~squeeze:32 ~expand:128 ~exitable:true x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ()) [ x ] in
+  let x = fire_module b ~squeeze:32 ~expand:128 x in
+  let x = fire_module b ~squeeze:48 ~expand:192 ~exitable:true x in
+  let x = fire_module b ~squeeze:48 ~expand:192 x in
+  let x = fire_module b ~squeeze:64 ~expand:256 ~exitable:true x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ()) [ x ] in
+  let x = fire_module b ~squeeze:64 ~expand:256 ~exitable:true x in
+  let x = conv_relu b ~k:1 ~s:1 ~p:0 1000 x in
+  let pool = Graph.Builder.add b (Layer.Global_pool Layer.Avg) [ x ] in
+  let flat = Graph.Builder.add b ~name:"logits" Layer.Flatten [ pool ] in
+  let _ = Graph.Builder.add b Layer.Softmax [ flat ] in
+  Graph.Builder.finish b
+
+(* Dense block (DenseNet): every layer consumes the concatenation of all
+   previous outputs in the block — the densest DAG in the zoo, exercising
+   multi-consumer cut accounting. *)
+let densenet_lite () =
+  let b, x = Graph.Builder.create ~name:"densenet_lite" ~input:imagenet_input in
+  let growth = 24 in
+  let x = conv_bn_relu b ~k:7 ~s:2 ~p:3 48 x in
+  let x = Graph.Builder.add b (maxpool ~k:3 ~s:2 ~p:1 ()) [ x ] in
+  let dense_layer feats =
+    (* bn-relu-conv3 producing [growth] channels from the concat of feats. *)
+    let cat =
+      match feats with [ single ] -> single | _ -> Graph.Builder.add b Layer.Concat feats
+    in
+    let n = Graph.Builder.add b Layer.Batch_norm [ cat ] in
+    let r = Graph.Builder.add b Layer.Relu [ n ] in
+    Graph.Builder.add b (conv ~k:3 ~s:1 ~p:1 growth) [ r ]
+  in
+  let dense_block ~layers ?(exitable = false) x =
+    let rec go feats i =
+      if i = layers then begin
+        let cat = Graph.Builder.add b ~exitable Layer.Concat (List.rev feats) in
+        cat
+      end
+      else go (dense_layer (List.rev feats) :: feats) (i + 1)
+    in
+    go [ x ] 0
+  in
+  let transition ~out_c x =
+    let c = conv_bn b ~k:1 ~s:1 ~p:0 out_c x in
+    Graph.Builder.add b (Layer.Pool { kind = Layer.Avg; kernel = 2; stride = 2; pad = 0 }) [ c ]
+  in
+  let x = dense_block ~layers:4 ~exitable:true x in
+  let x = transition ~out_c:96 x in
+  let x = dense_block ~layers:6 ~exitable:true x in
+  let x = transition ~out_c:144 x in
+  let x = dense_block ~layers:8 ~exitable:true x in
+  classifier_head b ~classes:1000 x |> ignore;
+  Graph.Builder.finish b
+
+let all () =
+  [
+    alexnet (); vgg16 (); resnet18 (); resnet34 (); resnet50 ();
+    mobilenet_v1 (); mobilenet_v2 (); inception_lite (); yolo_tiny ();
+    squeezenet (); densenet_lite ();
+  ]
+
+let names =
+  [
+    "alexnet"; "vgg16"; "resnet18"; "resnet34"; "resnet50";
+    "mobilenet_v1"; "mobilenet_v2"; "inception_lite"; "yolo_tiny";
+    "squeezenet"; "densenet_lite";
+  ]
+
+let by_name n =
+  match n with
+  | "alexnet" -> alexnet ()
+  | "vgg16" -> vgg16 ()
+  | "resnet18" -> resnet18 ()
+  | "resnet34" -> resnet34 ()
+  | "resnet50" -> resnet50 ()
+  | "mobilenet_v1" -> mobilenet_v1 ()
+  | "mobilenet_v2" -> mobilenet_v2 ()
+  | "inception_lite" -> inception_lite ()
+  | "yolo_tiny" -> yolo_tiny ()
+  | "squeezenet" -> squeezenet ()
+  | "densenet_lite" -> densenet_lite ()
+  | _ -> raise Not_found

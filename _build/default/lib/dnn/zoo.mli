@@ -1,0 +1,52 @@
+(** Model zoo: layer-accurate reconstructions of the standard architectures
+    used throughout the edge-inference literature.
+
+    These are built from the published architecture tables, so layer DAGs,
+    FLOP counts, parameter counts and activation sizes match the real
+    networks — which is all that model surgery and the latency models consume
+    (weights are irrelevant to the optimization problem; see DESIGN.md §2).
+
+    Block boundaries are flagged [exitable] so surgery can attach early-exit
+    heads at the standard positions. *)
+
+val alexnet : unit -> Graph.t
+(** 8-layer AlexNet, 224×224 input, 1000 classes (~1.4 GFLOPs). *)
+
+val vgg16 : unit -> Graph.t
+(** VGG-16, 224×224, 1000 classes (~31 GFLOPs). *)
+
+val resnet18 : unit -> Graph.t
+val resnet34 : unit -> Graph.t
+val resnet50 : unit -> Graph.t
+(** Residual networks with basic (18/34) and bottleneck (50) blocks. *)
+
+val mobilenet_v1 : unit -> Graph.t
+(** Depthwise-separable MobileNet, ~1.1 GFLOPs. *)
+
+val mobilenet_v2 : unit -> Graph.t
+(** Inverted-residual MobileNetV2, ~0.6 GFLOPs. *)
+
+val inception_lite : unit -> Graph.t
+(** A compact GoogLeNet-style network: stem plus five 4-branch inception
+    modules; exercises branchy (non-chain) cuts. *)
+
+val yolo_tiny : unit -> Graph.t
+(** Tiny-YOLOv2-style detector, 416×416 input, fully convolutional. *)
+
+val squeezenet : unit -> Graph.t
+(** SqueezeNet 1.0: fire modules (squeeze + parallel expands), ~1.25 M
+    params — the classic tiny-footprint architecture. *)
+
+val densenet_lite : unit -> Graph.t
+(** A compact DenseNet: dense blocks where each layer consumes the
+    concatenation of every previous layer's output — the most densely
+    connected DAG in the zoo, stressing multi-consumer cut accounting. *)
+
+val all : unit -> Graph.t list
+(** Every model above, in a fixed order. *)
+
+val by_name : string -> Graph.t
+(** Look up by [Graph.name] (e.g. ["resnet50"]).
+    @raise Not_found for unknown names. *)
+
+val names : string list

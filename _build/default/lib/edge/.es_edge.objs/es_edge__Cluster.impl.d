@@ -1,0 +1,1 @@
+lib/edge/cluster.ml: Array Es_dnn Format Link Printf Processor

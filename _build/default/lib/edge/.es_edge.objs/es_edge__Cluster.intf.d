@@ -1,0 +1,1 @@
+lib/edge/cluster.mli: Es_dnn Format Link Processor

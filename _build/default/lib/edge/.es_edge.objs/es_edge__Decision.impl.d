@@ -1,0 +1,1 @@
+lib/edge/decision.ml: Array Cluster Es_surgery Format Printf

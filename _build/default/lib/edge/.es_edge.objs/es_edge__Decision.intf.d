@@ -1,0 +1,1 @@
+lib/edge/decision.mli: Cluster Es_surgery Format

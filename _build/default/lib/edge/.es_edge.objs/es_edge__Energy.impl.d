@@ -1,0 +1,1 @@
+lib/edge/energy.ml: Array Cluster Decision Latency Processor

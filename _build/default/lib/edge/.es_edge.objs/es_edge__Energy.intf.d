@@ -1,0 +1,1 @@
+lib/edge/energy.mli: Cluster Decision

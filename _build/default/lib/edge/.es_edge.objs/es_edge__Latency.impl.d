@@ -1,0 +1,1 @@
+lib/edge/latency.ml: Array Cluster Decision Es_surgery Float Link Plan Processor

@@ -1,0 +1,1 @@
+lib/edge/latency.mli: Cluster Decision

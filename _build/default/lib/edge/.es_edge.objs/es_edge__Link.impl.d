@@ -1,0 +1,1 @@
+lib/edge/link.ml: Es_util Float

@@ -1,0 +1,1 @@
+lib/edge/link.mli: Es_util

@@ -1,0 +1,1 @@
+lib/edge/processor.ml: Es_dnn Printf

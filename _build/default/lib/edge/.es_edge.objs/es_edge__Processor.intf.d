@@ -1,0 +1,1 @@
+lib/edge/processor.mli: Es_dnn

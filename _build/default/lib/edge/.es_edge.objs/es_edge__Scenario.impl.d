@@ -1,0 +1,1 @@
+lib/edge/scenario.ml: Array Cluster Es_dnn Es_surgery Es_util Hashtbl Link List Printf Processor

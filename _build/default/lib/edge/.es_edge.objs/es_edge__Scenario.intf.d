@@ -1,0 +1,1 @@
+lib/edge/scenario.mli: Cluster Link Processor

@@ -1,0 +1,74 @@
+type t = {
+  device : int;
+  server : int;
+  plan : Es_surgery.Plan.t;
+  bandwidth_bps : float;
+  compute_share : float;
+}
+
+let offloads t = not (Es_surgery.Plan.is_device_only t.plan)
+
+let make ~device ~server ~plan ?(bandwidth_bps = 0.0) ?(compute_share = 0.0) () =
+  if bandwidth_bps < 0.0 || compute_share < 0.0 then
+    invalid_arg "Decision.make: negative resource grant";
+  let d = { device; server; plan; bandwidth_bps; compute_share } in
+  if offloads d then begin
+    if bandwidth_bps <= 0.0 then invalid_arg "Decision.make: offloading needs bandwidth";
+    if Es_surgery.Plan.srv_flops plan > 0.0 && compute_share <= 0.0 then
+      invalid_arg "Decision.make: offloading needs a compute share"
+  end;
+  d
+
+let eps = 1e-6
+
+let validate cluster decisions =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
+  if Array.length decisions <> nd then
+    err "expected %d decisions, got %d" nd (Array.length decisions)
+  else begin
+    let bw = Array.make ns 0.0 and share = Array.make ns 0.0 in
+    let rec check i =
+      if i >= nd then Ok ()
+      else begin
+        let d = decisions.(i) in
+        if d.device <> i then err "decision %d is for device %d" i d.device
+        else if offloads d && (d.server < 0 || d.server >= ns) then
+          err "device %d: server %d out of range" i d.server
+        else begin
+          let dev = cluster.Cluster.devices.(i) in
+          if d.plan.Es_surgery.Plan.accuracy < dev.Cluster.accuracy_floor -. eps then
+            err "device %d: accuracy %.3f below floor %.3f" i
+              d.plan.Es_surgery.Plan.accuracy dev.Cluster.accuracy_floor
+          else begin
+            if offloads d then begin
+              bw.(d.server) <- bw.(d.server) +. d.bandwidth_bps;
+              share.(d.server) <- share.(d.server) +. d.compute_share
+            end;
+            check (i + 1)
+          end
+        end
+      end
+    in
+    match check 0 with
+    | Error _ as e -> e
+    | Ok () ->
+        let rec caps s =
+          if s >= ns then Ok ()
+          else begin
+            let srv = cluster.Cluster.servers.(s) in
+            if bw.(s) > srv.Cluster.ap_bandwidth_bps *. (1.0 +. eps) then
+              err "server %d: bandwidth oversubscribed (%.1f of %.1f Mbps)" s (bw.(s) /. 1e6)
+                (srv.Cluster.ap_bandwidth_bps /. 1e6)
+            else if share.(s) > 1.0 +. eps then
+              err "server %d: compute oversubscribed (%.3f)" s share.(s)
+            else caps (s + 1)
+          end
+        in
+        caps 0
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "dev%d -> srv%d  %s  bw=%.1fMbps share=%.3f" t.device t.server
+    (Es_surgery.Plan.describe t.plan)
+    (t.bandwidth_bps /. 1e6) t.compute_share

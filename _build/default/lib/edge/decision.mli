@@ -1,0 +1,34 @@
+(** A joint decision: surgery plan + placement + resources for one device.
+
+    An array of decisions indexed by device id is the full output of any
+    policy (the joint optimizer and every baseline alike); the analytic
+    latency model and the discrete-event simulator both consume it. *)
+
+type t = {
+  device : int;
+  server : int;  (** meaningful only when the plan offloads work *)
+  plan : Es_surgery.Plan.t;
+  bandwidth_bps : float;  (** granted uplink share; 0 for device-only *)
+  compute_share : float;  (** granted fraction of the server; 0 for device-only *)
+}
+
+val make :
+  device:int ->
+  server:int ->
+  plan:Es_surgery.Plan.t ->
+  ?bandwidth_bps:float ->
+  ?compute_share:float ->
+  unit ->
+  t
+(** @raise Invalid_argument when an offloading plan comes with a
+    non-positive bandwidth or compute share, or shares are negative. *)
+
+val offloads : t -> bool
+(** True when any work or data goes to the server. *)
+
+val validate : Cluster.t -> t array -> (unit, string) result
+(** Checks: one decision per device in order; server ids in range; per-server
+    bandwidth sums within AP capacity and compute shares within 1 (small
+    epsilon); accuracy floors respected. *)
+
+val pp : Format.formatter -> t -> unit

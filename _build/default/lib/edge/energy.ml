@@ -1,0 +1,31 @@
+type breakdown = { compute_j : float; tx_j : float; wait_j : float; rx_j : float }
+
+let breakdown cluster (d : Decision.t) =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  let p = dev.Cluster.proc.Processor.power in
+  let l = Latency.breakdown cluster d in
+  {
+    compute_j = p.Processor.busy_w *. l.Latency.device_s;
+    tx_j = p.Processor.tx_w *. l.Latency.uplink_s;
+    wait_j = p.Processor.idle_w *. l.Latency.server_s;
+    rx_j = p.Processor.rx_w *. l.Latency.downlink_s;
+  }
+
+let total b = b.compute_j +. b.tx_j +. b.wait_j +. b.rx_j
+
+let per_request cluster d = total (breakdown cluster d)
+
+let mean_power_w cluster (d : Decision.t) =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  dev.Cluster.rate *. per_request cluster d
+
+let fleet_joules_per_s cluster decisions =
+  Array.fold_left (fun acc d -> acc +. mean_power_w cluster d) 0.0 decisions
+
+let server_joules cluster (d : Decision.t) =
+  if not (Decision.offloads d) then 0.0
+  else begin
+    let srv = cluster.Cluster.servers.(d.Decision.server) in
+    let l = Latency.breakdown cluster d in
+    srv.Cluster.sproc.Processor.power.Processor.busy_w *. l.Latency.server_s
+  end

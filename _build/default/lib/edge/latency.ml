@@ -1,0 +1,95 @@
+open Es_surgery
+
+type breakdown = {
+  device_s : float;
+  uplink_s : float;
+  server_s : float;
+  downlink_s : float;
+}
+
+let breakdown cluster (d : Decision.t) =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  let plan = d.Decision.plan in
+  let device_s = Plan.device_time dev.Cluster.proc.Processor.perf plan in
+  if not (Decision.offloads d) then { device_s; uplink_s = 0.0; server_s = 0.0; downlink_s = 0.0 }
+  else begin
+    let srv = cluster.Cluster.servers.(d.Decision.server) in
+    let rate = d.Decision.bandwidth_bps in
+    let uplink_s = Link.transfer_time dev.Cluster.link ~rate_bps:rate (Plan.transfer_bytes plan) in
+    let server_s =
+      let work = Plan.server_time srv.Cluster.sproc.Processor.perf plan in
+      if work <= 0.0 then 0.0 else work /. d.Decision.compute_share
+    in
+    let downlink_s =
+      Link.transfer_time dev.Cluster.link ~rate_bps:rate (Plan.result_bytes plan)
+    in
+    { device_s; uplink_s; server_s; downlink_s }
+  end
+
+let total b = b.device_s +. b.uplink_s +. b.server_s +. b.downlink_s
+
+let of_decision cluster d = total (breakdown cluster d)
+
+let meets_deadline cluster d =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  of_decision cluster d <= dev.Cluster.deadline +. 1e-12
+
+let server_load cluster decisions =
+  let ns = Cluster.n_servers cluster in
+  let load = Array.make ns 0.0 in
+  Array.iter
+    (fun (d : Decision.t) ->
+      if Decision.offloads d then begin
+        let dev = cluster.Cluster.devices.(d.Decision.device) in
+        let srv = cluster.Cluster.servers.(d.Decision.server) in
+        let work = Plan.server_time srv.Cluster.sproc.Processor.perf d.Decision.plan in
+        load.(d.Decision.server) <- load.(d.Decision.server) +. (dev.Cluster.rate *. work)
+      end)
+    decisions;
+  load
+
+let device_stable cluster (d : Decision.t) =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  let b = breakdown cluster d in
+  let local_ok = dev.Cluster.rate *. b.device_s < 1.0 in
+  let remote_ok =
+    (not (Decision.offloads d)) || dev.Cluster.rate *. b.server_s < 1.0
+  in
+  local_ok && remote_ok
+
+let mm1_estimate cluster (d : Decision.t) =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  let rate = dev.Cluster.rate in
+  let b = breakdown cluster d in
+  let rtt = if Decision.offloads d then dev.Cluster.link.Link.rtt_s else 0.0 in
+  (* Propagation is not queued; inflate only the service portions. *)
+  let inflate service =
+    if service <= 0.0 then 0.0
+    else begin
+      let rho = rate *. service in
+      if rho >= 1.0 then infinity else service /. (1.0 -. rho)
+    end
+  in
+  let half_rtt = rtt /. 2.0 in
+  inflate b.device_s
+  +. inflate (Float.max 0.0 (b.uplink_s -. half_rtt))
+  +. inflate b.server_s
+  +. inflate (Float.max 0.0 (b.downlink_s -. half_rtt))
+  +. rtt
+
+let deadline_satisfaction cluster decisions =
+  if Array.length decisions = 0 then 1.0
+  else begin
+    let hits =
+      Array.fold_left
+        (fun acc d -> if meets_deadline cluster d then acc + 1 else acc)
+        0 decisions
+    in
+    float_of_int hits /. float_of_int (Array.length decisions)
+  end
+
+let mean_latency cluster decisions =
+  if Array.length decisions = 0 then 0.0
+  else
+    Array.fold_left (fun acc d -> acc +. of_decision cluster d) 0.0 decisions
+    /. float_of_int (Array.length decisions)

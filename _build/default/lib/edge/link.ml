@@ -1,0 +1,28 @@
+type t = { name : string; peak_bps : float; rtt_s : float; fading_sigma : float }
+
+let make ~name ~peak_mbps ~rtt_ms ?(fading_sigma = 0.0) () =
+  if peak_mbps <= 0.0 then invalid_arg "Link.make: non-positive rate";
+  { name; peak_bps = peak_mbps *. 1e6; rtt_s = rtt_ms /. 1000.0; fading_sigma }
+
+let wifi = make ~name:"wifi" ~peak_mbps:120.0 ~rtt_ms:4.0 ~fading_sigma:0.25 ()
+let lte = make ~name:"lte" ~peak_mbps:25.0 ~rtt_ms:30.0 ~fading_sigma:0.4 ()
+let nr5g = make ~name:"5g" ~peak_mbps:300.0 ~rtt_ms:8.0 ~fading_sigma:0.2 ()
+let ethernet = make ~name:"ethernet" ~peak_mbps:1000.0 ~rtt_ms:0.5 ()
+
+let transfer_time link ~rate_bps bytes =
+  if bytes <= 0.0 then 0.0
+  else begin
+    let rate = Float.min rate_bps link.peak_bps in
+    if rate <= 0.0 then invalid_arg "Link.transfer_time: non-positive rate";
+    (bytes *. 8.0 /. rate) +. (link.rtt_s /. 2.0)
+  end
+
+let effective_rate rng link rate =
+  if link.fading_sigma <= 0.0 then rate
+  else begin
+    (* Log-normal degradation with mean 1 capped at the nominal rate:
+       mu = -sigma^2/2 gives E[factor] = 1. *)
+    let sigma = link.fading_sigma in
+    let factor = Es_util.Prng.lognormal rng ~mu:(-.sigma *. sigma /. 2.0) ~sigma in
+    rate *. Float.min 1.0 factor
+  end

@@ -1,0 +1,37 @@
+(** Wireless / wired link models.
+
+    A link carries the device↔server traffic.  [peak_bps] caps the rate a
+    single device can reach even when granted the whole access point;
+    bandwidth allocation then assigns each device a share of the AP's
+    capacity up to this cap.  The optional fading factor (applied by the
+    online simulator) draws a per-transfer multiplicative rate degradation,
+    standing in for real wireless variability. *)
+
+type t = {
+  name : string;
+  peak_bps : float;  (** physical-layer ceiling for one device *)
+  rtt_s : float;  (** round-trip propagation + protocol latency *)
+  fading_sigma : float;  (** log-normal sigma of rate degradation; 0 = none *)
+}
+
+val make : name:string -> peak_mbps:float -> rtt_ms:float -> ?fading_sigma:float -> unit -> t
+
+val wifi : t
+(** 802.11ac-class: 120 Mbps peak, 4 ms RTT, moderate fading. *)
+
+val lte : t
+(** LTE uplink: 25 Mbps, 30 ms RTT, strong fading. *)
+
+val nr5g : t
+(** 5G NR: 300 Mbps, 8 ms RTT. *)
+
+val ethernet : t
+(** Wired 1 Gbps, 0.5 ms RTT, no fading. *)
+
+val transfer_time : t -> rate_bps:float -> float -> float
+(** [transfer_time link ~rate_bps bytes] — seconds to move [bytes] at the
+    granted [rate_bps] (capped at [peak_bps]) plus half an RTT.  Zero bytes
+    cost nothing. *)
+
+val effective_rate : Es_util.Prng.t -> t -> float -> float
+(** [effective_rate rng link rate] applies a random fading draw. *)

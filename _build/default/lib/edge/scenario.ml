@@ -1,0 +1,81 @@
+type spec = {
+  seed : int;
+  n_devices : int;
+  servers : (Processor.t * float) list;
+  device_mix : (Processor.t * Link.t * float) list;
+  model_names : string list;
+  rate_range : float * float;
+  deadline_range : float * float;
+  accuracy_slack : float * float;
+}
+
+let default =
+  {
+    seed = 42;
+    n_devices = 20;
+    servers = [ (Processor.edge_gpu, 400.0); (Processor.edge_cpu, 300.0) ];
+    device_mix =
+      [
+        (Processor.iot_board, Link.wifi, 0.25);
+        (Processor.raspberry_pi, Link.wifi, 0.25);
+        (Processor.smartphone, Link.lte, 0.2);
+        (Processor.smartphone, Link.nr5g, 0.15);
+        (Processor.jetson_nano, Link.wifi, 0.15);
+      ];
+    model_names = [ "alexnet"; "resnet18"; "resnet50"; "mobilenet_v2"; "vgg16" ];
+    rate_range = (0.5, 3.0);
+    deadline_range = (0.1, 0.4);
+    (* Published slimmable/multi-exit results put a 0.5x width or a mid-depth
+       exit at a 5-9% relative accuracy drop, so this range makes aggressive
+       surgery available to some devices and forbidden to others. *)
+    accuracy_slack = (0.90, 0.97);
+  }
+
+let build spec =
+  if spec.n_devices <= 0 then invalid_arg "Scenario.build: no devices";
+  if spec.device_mix = [] then invalid_arg "Scenario.build: empty device mix";
+  if spec.model_names = [] then invalid_arg "Scenario.build: no models";
+  let check_range name (lo, hi) =
+    if lo > hi || lo <= 0.0 then invalid_arg (Printf.sprintf "Scenario.build: bad %s range" name)
+  in
+  check_range "rate" spec.rate_range;
+  check_range "deadline" spec.deadline_range;
+  let rng = Es_util.Prng.create spec.seed in
+  (* One graph instance per model name, shared across devices. *)
+  let graphs = Hashtbl.create 8 in
+  let graph_of name =
+    match Hashtbl.find_opt graphs name with
+    | Some g -> g
+    | None ->
+        let g = Es_dnn.Zoo.by_name name in
+        Hashtbl.add graphs name g;
+        g
+  in
+  let mix = Array.of_list (List.map (fun (p, l, w) -> ((p, l), w)) spec.device_mix) in
+  let models = Array.of_list spec.model_names in
+  let devices =
+    List.init spec.n_devices (fun i ->
+        let proc, link = Es_util.Prng.weighted_choice rng mix in
+        let name = models.(Es_util.Prng.int rng (Array.length models)) in
+        let model = graph_of name in
+        let lo, hi = spec.rate_range in
+        let rate = Es_util.Prng.float_in rng lo hi in
+        let lo, hi = spec.deadline_range in
+        let deadline = Es_util.Prng.float_in rng lo hi in
+        let slo, shi = spec.accuracy_slack in
+        let full = (Es_surgery.Accuracy.profile_of_model name).Es_surgery.Accuracy.full_accuracy in
+        let accuracy_floor = full *. Es_util.Prng.float_in rng slo shi in
+        Cluster.device ~id:i ~proc ~link ~model ~rate ~deadline ~accuracy_floor ())
+  in
+  let servers =
+    List.mapi
+      (fun i (proc, mbps) -> Cluster.server ~id:i ~proc ~ap_bandwidth_mbps:mbps ())
+      spec.servers
+  in
+  Cluster.make ~devices ~servers
+
+let with_n_devices n spec = { spec with n_devices = n }
+let with_seed seed spec = { spec with seed }
+
+let with_ap_mbps mbps spec =
+  { spec with servers = List.map (fun (p, _) -> (p, mbps)) spec.servers }

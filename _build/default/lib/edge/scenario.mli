@@ -1,0 +1,30 @@
+(** Reproducible cluster generation.
+
+    A [spec] describes a population statistically; [build] expands it into a
+    concrete {!Cluster.t} deterministically from the seed.  The [default]
+    spec is the baseline configuration every experiment perturbs. *)
+
+type spec = {
+  seed : int;
+  n_devices : int;
+  servers : (Processor.t * float) list;  (** (processor, AP Mbps) per server *)
+  device_mix : (Processor.t * Link.t * float) list;  (** weighted classes *)
+  model_names : string list;  (** zoo models devices draw from *)
+  rate_range : float * float;  (** req/s, uniform *)
+  deadline_range : float * float;  (** seconds, uniform *)
+  accuracy_slack : float * float;
+      (** accuracy floor = published full accuracy × uniform draw from this
+          range; 0.85–0.95 means devices tolerate a 5–15% relative drop *)
+}
+
+val default : spec
+(** 20 devices (IoT boards to Jetsons on WiFi/LTE/5G), one CPU and one GPU
+    server, the five classification models, 100–400 ms deadlines. *)
+
+val build : spec -> Cluster.t
+(** @raise Invalid_argument on empty mixes or inverted ranges. *)
+
+val with_n_devices : int -> spec -> spec
+val with_seed : int -> spec -> spec
+val with_ap_mbps : float -> spec -> spec
+(** Override every server's AP capacity. *)

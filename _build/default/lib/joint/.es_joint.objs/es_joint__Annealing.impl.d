@@ -1,0 +1,1 @@
+lib/joint/annealing.ml: Array Candidate Cluster Decision Es_edge Es_surgery Es_util Float Latency List Objective Optimizer Plan Precision Sys

@@ -1,0 +1,1 @@
+lib/joint/annealing.mli: Es_edge Es_surgery

@@ -1,0 +1,1 @@
+lib/joint/exhaustive.ml: Array Candidate Cluster Decision Es_edge Es_surgery List Objective Optimizer Plan Printf Sys

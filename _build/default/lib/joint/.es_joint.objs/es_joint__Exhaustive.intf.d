@@ -1,0 +1,1 @@
+lib/joint/exhaustive.mli: Es_edge

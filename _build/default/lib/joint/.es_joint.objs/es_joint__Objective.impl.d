@@ -1,0 +1,1 @@
+lib/joint/objective.ml: Array Cluster Decision Es_edge Float Latency

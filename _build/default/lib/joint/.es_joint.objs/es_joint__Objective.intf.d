@@ -1,0 +1,1 @@
+lib/joint/objective.mli: Es_edge

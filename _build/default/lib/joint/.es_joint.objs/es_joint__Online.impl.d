@@ -1,0 +1,1 @@
+lib/joint/online.ml: Array Cluster Decision Es_edge Es_sim Es_workload Float List Optimizer

@@ -1,0 +1,1 @@
+lib/joint/online.mli: Es_edge Es_sim Optimizer

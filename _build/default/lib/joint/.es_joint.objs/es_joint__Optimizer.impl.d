@@ -1,0 +1,1 @@
+lib/joint/optimizer.ml: Array Assign Candidate Cluster Decision Es_alloc Es_dnn Es_edge Es_surgery Es_util Float Latency Link List Objective Plan Policy Precision Processor Sys

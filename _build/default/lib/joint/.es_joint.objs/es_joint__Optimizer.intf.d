@@ -1,0 +1,1 @@
+lib/joint/optimizer.mli: Es_alloc Es_edge Es_surgery

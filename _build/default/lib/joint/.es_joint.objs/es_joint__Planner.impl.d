@@ -1,0 +1,1 @@
+lib/joint/planner.ml: Es_edge List Objective Online Optimizer Processor Scenario

@@ -1,0 +1,1 @@
+lib/joint/planner.mli: Es_edge Optimizer

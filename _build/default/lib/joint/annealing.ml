@@ -1,0 +1,117 @@
+open Es_edge
+open Es_surgery
+
+type config = {
+  iterations : int;
+  initial_temp : float;
+  cooling : float;
+  seed : int;
+  widths : float list;
+  precisions : Precision.t list;
+}
+
+let default_config =
+  {
+    iterations = 2000;
+    initial_temp = 1.0;
+    cooling = 0.995;
+    seed = 17;
+    widths = Candidate.default_widths;
+    precisions = Candidate.default_precisions;
+  }
+
+type output = {
+  decisions : Decision.t array;
+  objective : float;
+  evaluated : int;
+  accepted : int;
+  solve_time_s : float;
+}
+
+let solve ?(config = default_config) cluster =
+  let t0 = Sys.time () in
+  let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
+  if nd = 0 then invalid_arg "Annealing.solve: empty cluster";
+  let rng = Es_util.Prng.create config.seed in
+  (* Per-device candidate pools, accuracy-filtered like the main optimizer. *)
+  let pools =
+    Array.init nd (fun i ->
+        let dev = cluster.Cluster.devices.(i) in
+        let all =
+          Candidate.pareto_candidates ~widths:config.widths ~precisions:config.precisions
+            dev.Cluster.model
+        in
+        let ok =
+          List.filter
+            (fun (p : Plan.t) -> p.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9)
+            all
+        in
+        Array.of_list (if ok = [] then all else ok))
+  in
+  (* State: plan index + server per device.  Start all-local (stable). *)
+  let local_index pool =
+    let best = ref 0 and best_flops = ref infinity in
+    Array.iteri
+      (fun i (p : Plan.t) ->
+        if Plan.is_device_only p && Plan.dev_flops p < !best_flops then begin
+          best := i;
+          best_flops := Plan.dev_flops p
+        end)
+      pool;
+    !best
+  in
+  let plan_idx = Array.mapi (fun i _ -> local_index pools.(i)) pools in
+  let assignment = Array.make nd 0 in
+  let evaluated = ref 0 and accepted = ref 0 in
+  let score () =
+    incr evaluated;
+    let plans = Array.mapi (fun i idx -> pools.(i).(idx)) plan_idx in
+    match Optimizer.best_allocation cluster ~assignment ~plans with
+    | Some ds ->
+        (* Queueing-unstable states stay comparable (the initial all-local
+           state can be unstable on very weak devices) but are penalized
+           out of any feasible region. *)
+        let penalty =
+          if Array.for_all (Latency.device_stable cluster) ds then 0.0 else 50.0
+        in
+        Some (Objective.of_decisions cluster ds +. penalty, ds)
+    | None -> None
+  in
+  let current = ref (match score () with Some s -> s | None -> assert false) in
+  let best = ref !current in
+  let temp = ref config.initial_temp in
+  for _ = 1 to config.iterations do
+    let device = Es_util.Prng.int rng nd in
+    let mutate_plan = ns <= 1 || Es_util.Prng.bool rng in
+    let saved_plan = plan_idx.(device) and saved_srv = assignment.(device) in
+    if mutate_plan then plan_idx.(device) <- Es_util.Prng.int rng (Array.length pools.(device))
+    else assignment.(device) <- Es_util.Prng.int rng ns;
+    (match score () with
+    | None ->
+        plan_idx.(device) <- saved_plan;
+        assignment.(device) <- saved_srv
+    | Some ((obj, _) as state) ->
+        let cur_obj = fst !current in
+        let accept =
+          obj <= cur_obj
+          || Es_util.Prng.float rng 1.0 < exp ((cur_obj -. obj) /. Float.max !temp 1e-9)
+        in
+        if accept then begin
+          incr accepted;
+          current := state;
+          if obj < fst !best then best := state
+        end
+        else begin
+          plan_idx.(device) <- saved_plan;
+          assignment.(device) <- saved_srv
+        end);
+    temp := !temp *. config.cooling
+  done;
+  let obj, ds = !best in
+  {
+    decisions = ds;
+    objective = obj;
+    evaluated = !evaluated;
+    accepted = !accepted;
+    solve_time_s = Sys.time () -. t0;
+  }

@@ -1,0 +1,33 @@
+(** Simulated-annealing joint solver — a metaheuristic comparator for the
+    block-coordinate JMSRA optimizer.
+
+    The state is (candidate-plan index, server) per device; neighbors
+    mutate one device's plan or placement; every state is scored by the
+    same {!Optimizer.best_allocation} inner step and {!Objective}, so the
+    comparison isolates the *search strategy*: structured coordinate
+    descent vs randomized global search.  Used by the optimizer-comparison
+    experiment (F12). *)
+
+type config = {
+  iterations : int;  (** proposal count (default 2000) *)
+  initial_temp : float;  (** in objective units (default 1.0) *)
+  cooling : float;  (** geometric factor per proposal (default 0.995) *)
+  seed : int;
+  widths : float list;
+  precisions : Es_surgery.Precision.t list;
+}
+
+val default_config : config
+
+type output = {
+  decisions : Es_edge.Decision.t array;
+  objective : float;
+  evaluated : int;  (** states actually scored *)
+  accepted : int;  (** proposals accepted *)
+  solve_time_s : float;
+}
+
+val solve : ?config:config -> Es_edge.Cluster.t -> output
+(** Starts from the all-device-only state (always stable).  Infeasible
+    proposals (no stable allocation) are rejected outright.  Returns the
+    best state visited.  @raise Invalid_argument on an empty cluster. *)

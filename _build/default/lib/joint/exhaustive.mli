@@ -1,0 +1,25 @@
+(** Exhaustive joint solver for optimality-gap measurements.
+
+    Enumerates every device→server assignment and every combination of
+    surgery candidates (capped per device to keep the search tractable),
+    solving the allocation inner step optimally for each — so the returned
+    objective is the true optimum over the searched plan grid.  Exponential:
+    use only on the small instances of experiment T2. *)
+
+type output = {
+  decisions : Es_edge.Decision.t array option;  (** [None] if nothing stable *)
+  objective : float;  (** {!Objective.infeasible} when [None] *)
+  combinations : int;  (** configurations evaluated *)
+  solve_time_s : float;
+}
+
+val solve :
+  ?widths:float list ->
+  ?max_candidates_per_device:int ->
+  Es_edge.Cluster.t ->
+  output
+(** [max_candidates_per_device] (default 6) subsamples each device's Pareto
+    frontier evenly (always keeping the device-only and full-offload
+    extremes).  @raise Invalid_argument when the instance exceeds 2 million
+    combinations — that is the exhaustive solver telling you to use
+    {!Optimizer}. *)

@@ -1,0 +1,57 @@
+open Es_edge
+
+type result = {
+  report : Es_sim.Metrics.report;
+  schedule : (float * Decision.t array) list;
+  resolve_count : int;
+}
+
+let scale_rates cluster m =
+  if m <= 0.0 then invalid_arg "Online.scale_rates: non-positive multiplier";
+  {
+    cluster with
+    Cluster.devices =
+      Array.map
+        (fun (d : Cluster.device) -> { d with Cluster.rate = d.Cluster.rate *. m })
+        cluster.Cluster.devices;
+  }
+
+let piecewise_arrivals ~seed ~duration_s ~rate_profile cluster =
+  Es_workload.Traces.piecewise ~seed ~duration_s ~rate_profile cluster
+
+let epochs_of ~epoch_s ~duration_s =
+  let rec go acc t = if t >= duration_s then List.rev acc else go (t :: acc) (t +. epoch_s) in
+  go [] 0.0
+
+let run ?(options = Es_sim.Runner.default_options) ?config ~epoch_s ~rate_profile cluster =
+  if epoch_s <= 0.0 then invalid_arg "Online.run: non-positive epoch";
+  let duration_s = options.Es_sim.Runner.duration_s in
+  let arrivals =
+    piecewise_arrivals ~seed:options.Es_sim.Runner.seed ~duration_s ~rate_profile cluster
+  in
+  let schedule =
+    List.map
+      (fun t ->
+        let load = Float.max 1e-9 (rate_profile t) in
+        let scaled = scale_rates cluster load in
+        let out = Optimizer.solve ?config scaled in
+        (t, out.Optimizer.decisions))
+      (epochs_of ~epoch_s ~duration_s)
+  in
+  match schedule with
+  | [] -> invalid_arg "Online.run: empty schedule"
+  | (_, initial) :: rest ->
+      let report =
+        Es_sim.Runner.run ~options ~arrivals ~reconfigure:rest cluster initial
+      in
+      { report; schedule; resolve_count = List.length schedule }
+
+let run_static ?(options = Es_sim.Runner.default_options) ?config ~rate_profile cluster =
+  let duration_s = options.Es_sim.Runner.duration_s in
+  let arrivals =
+    piecewise_arrivals ~seed:options.Es_sim.Runner.seed ~duration_s ~rate_profile cluster
+  in
+  let nominal = scale_rates cluster (Float.max 1e-9 (rate_profile 0.0)) in
+  let out = Optimizer.solve ?config nominal in
+  let report = Es_sim.Runner.run ~options ~arrivals cluster out.Optimizer.decisions in
+  { report; schedule = [ (0.0, out.Optimizer.decisions) ]; resolve_count = 1 }

@@ -1,0 +1,47 @@
+(** Online operation: periodic re-optimization under time-varying load.
+
+    Real edge load is non-stationary; EdgeSurgeon's online mode re-runs the
+    joint optimizer every epoch against the load level observed at the epoch
+    boundary and pushes the new decisions into the running system (new
+    requests use the new plans; grants change for subsequent transfers).
+    This is the mechanism behind the load-burst timeline experiment (F10). *)
+
+type result = {
+  report : Es_sim.Metrics.report;
+  schedule : (float * Es_edge.Decision.t array) list;
+      (** decisions applied at each epoch boundary (including t = 0) *)
+  resolve_count : int;
+}
+
+val scale_rates : Es_edge.Cluster.t -> float -> Es_edge.Cluster.t
+(** Cluster with every device's request rate multiplied. *)
+
+val piecewise_arrivals :
+  seed:int ->
+  duration_s:float ->
+  rate_profile:(float -> float) ->
+  Es_edge.Cluster.t ->
+  (float * int) array
+(** Sorted (time, device) trace: per-device Poisson whose instantaneous rate
+    is [device.rate × rate_profile t], with the profile sampled per inter-
+    arrival step (adequate for profiles that vary on epoch scale). *)
+
+val run :
+  ?options:Es_sim.Runner.options ->
+  ?config:Optimizer.config ->
+  epoch_s:float ->
+  rate_profile:(float -> float) ->
+  Es_edge.Cluster.t ->
+  result
+(** Simulate [options.duration_s] seconds, re-optimizing every [epoch_s]
+    against the profile value at the epoch start, over arrivals drawn from
+    the same profile.  @raise Invalid_argument on non-positive [epoch_s]. *)
+
+val run_static :
+  ?options:Es_sim.Runner.options ->
+  ?config:Optimizer.config ->
+  rate_profile:(float -> float) ->
+  Es_edge.Cluster.t ->
+  result
+(** Control arm: one optimization at the nominal (t = 0) load, never
+    revisited, over the identical arrival trace. *)

@@ -1,0 +1,334 @@
+open Es_edge
+open Es_surgery
+open Es_alloc
+
+type config = {
+  widths : float list;
+  precisions : Precision.t list;
+  max_iters : int;
+  allocator : Policy.allocator;
+  reassign : bool;
+  local_search_passes : int;
+  seed : int;
+  max_candidates : int option;
+}
+
+let default_config =
+  {
+    widths = Candidate.default_widths;
+    precisions = Candidate.default_precisions;
+    max_iters = 12;
+    allocator = Policy.Minmax_alloc;
+    reassign = true;
+    local_search_passes = 2;
+    seed = 1;
+    max_candidates = None;
+  }
+
+type trace_point = {
+  iteration : int;
+  objective : float;
+  misses : int;
+  mean_latency_s : float;
+}
+
+type output = {
+  decisions : Decision.t array;
+  objective : float;
+  iterations : int;
+  trace : trace_point list;
+  solve_time_s : float;
+}
+
+let stability_margin = 0.95
+
+let plan_latency cluster ~device ~server plan ~bandwidth_bps ~compute_share =
+  let d =
+    Decision.make ~device ~server ~plan
+      ~bandwidth_bps:(Float.max bandwidth_bps 1.0)
+      ~compute_share:(Float.max compute_share 1e-6) ()
+  in
+  Latency.of_decision cluster d
+
+let plan_stable cluster ~device ~server plan ~bandwidth_bps ~compute_share =
+  let dev = cluster.Cluster.devices.(device) in
+  let rate = dev.Cluster.rate in
+  let dev_time = Plan.device_time dev.Cluster.proc.Processor.perf plan in
+  Plan.device_mem_bytes plan <= dev.Cluster.proc.Processor.mem_bytes
+  && rate *. dev_time < stability_margin
+  && (Plan.is_device_only plan
+     ||
+     let bits = 8.0 *. (Plan.transfer_bytes plan +. Plan.result_bytes plan) in
+     let bw = Float.min bandwidth_bps dev.Cluster.link.Link.peak_bps in
+     let srv = cluster.Cluster.servers.(server) in
+     let work = Plan.server_time srv.Cluster.sproc.Processor.perf plan in
+     bw > 0.0
+     && rate *. bits /. bw < stability_margin
+     && (work = 0.0 || (compute_share > 0.0 && rate *. work /. compute_share < stability_margin)))
+
+let best_plan_for_grants ?exits ?max_candidates ?precisions ~widths cluster ~device ~server
+    ~bandwidth_bps ~compute_share =
+  let dev = cluster.Cluster.devices.(device) in
+  let candidates = Candidate.pareto_candidates ?exits ?precisions ~widths dev.Cluster.model in
+  let candidates =
+    match max_candidates with Some k -> Candidate.subsample k candidates | None -> candidates
+  in
+  let acc_ok (p : Plan.t) = p.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9 in
+  let latency p = plan_latency cluster ~device ~server p ~bandwidth_bps ~compute_share in
+  let eligible = List.filter acc_ok candidates in
+  let pool = if eligible = [] then candidates else eligible in
+  let stable =
+    List.filter (fun p -> plan_stable cluster ~device ~server p ~bandwidth_bps ~compute_share) pool
+  in
+  let pick pool = Es_util.Numeric.argmin_by latency pool in
+  match pick stable with
+  | Some p -> p
+  | None -> (
+      match pick pool with
+      | Some p -> p
+      | None -> (* candidate sets are never empty: full model always present *) assert false)
+
+let best_allocation ?(allocator = Policy.Minmax_alloc) cluster ~assignment ~plans =
+  (* The configured allocator is accepted as-is (the min-max solver is
+     stable by construction; ablation arms keep their naive rule, warts and
+     all).  When running the full joint configuration, the cheap share
+     rules are also evaluated — min-max optimizes the worst device, not the
+     mean — and the best objective wins; share-rule extras must pass the
+     queueing-stability check to be considered. *)
+  let all_stable ds = Array.for_all (Latency.device_stable cluster) ds in
+  let primary =
+    match Policy.decisions allocator cluster ~assignment ~plans with
+    | Some ds -> [ ds ]
+    | None -> []
+  in
+  let extras =
+    if allocator <> Policy.Minmax_alloc then []
+    else
+      List.filter_map
+        (fun alloc ->
+          match Policy.decisions alloc cluster ~assignment ~plans with
+          | Some ds when all_stable ds -> Some ds
+          | Some _ | None -> None)
+        [ Policy.Sum_sqrt; Policy.Equal ]
+  in
+  Es_util.Numeric.argmin_by (Objective.of_decisions cluster) (primary @ extras)
+
+(* Cheap per-assignment load proxy used by the local search: the worst
+   server's max of bandwidth and compute load. *)
+let load_proxy cluster ~plans assignment =
+  let ns = Cluster.n_servers cluster in
+  let bw = Array.make ns 0.0 and cpu = Array.make ns 0.0 in
+  Array.iteri
+    (fun dev_id s ->
+      let plan = plans.(dev_id) in
+      if not (Plan.is_device_only plan) then begin
+        let dev = cluster.Cluster.devices.(dev_id) in
+        let srv = cluster.Cluster.servers.(s) in
+        bw.(s) <-
+          bw.(s)
+          +. dev.Cluster.rate
+             *. 8.0
+             *. (Plan.transfer_bytes plan +. Plan.result_bytes plan)
+             /. srv.Cluster.ap_bandwidth_bps;
+        cpu.(s) <-
+          cpu.(s)
+          +. (dev.Cluster.rate *. Plan.server_time srv.Cluster.sproc.Processor.perf plan)
+      end)
+    assignment;
+  let worst = ref 0.0 in
+  for s = 0 to ns - 1 do
+    worst := Float.max !worst (Float.max bw.(s) cpu.(s))
+  done;
+  !worst
+
+(* Fair-share grant estimate for a device that currently holds none, so the
+   surgery step can evaluate (re-)entering the network. *)
+let fair_share_estimate cluster ~plans ~assignment ~device =
+  let s = assignment.(device) in
+  let srv = cluster.Cluster.servers.(s) in
+  let n_active =
+    Array.to_list assignment
+    |> List.mapi (fun i a -> (i, a))
+    |> List.filter (fun (i, a) -> a = s && not (Plan.is_device_only plans.(i)))
+    |> List.length
+  in
+  let k = float_of_int (n_active + 1) in
+  (srv.Cluster.ap_bandwidth_bps /. k, 1.0 /. k)
+
+let force_feasible config cluster plans assignment =
+  (* Last-resort degradation: flip the heaviest offloaders to device-only
+     until the allocator accepts (guaranteed once everyone is local). *)
+  let order =
+    Array.init (Array.length plans) (fun i -> i)
+    |> Array.to_list
+    |> List.sort (fun a b ->
+           compare
+             (cluster.Cluster.devices.(b).Cluster.rate *. Plan.srv_flops plans.(b))
+             (cluster.Cluster.devices.(a).Cluster.rate *. Plan.srv_flops plans.(a)))
+  in
+  let rec go = function
+    | [] -> Policy.decisions config.allocator cluster ~assignment ~plans
+    | i :: rest -> (
+        match Policy.decisions config.allocator cluster ~assignment ~plans with
+        | Some ds -> Some ds
+        | None ->
+            let dev = cluster.Cluster.devices.(i) in
+            let local =
+              let all =
+                Candidate.pareto_candidates ~widths:config.widths
+                  ~precisions:config.precisions dev.Cluster.model
+              in
+              (match config.max_candidates with
+              | Some k -> Candidate.subsample k all
+              | None -> all)
+              |> List.filter Plan.is_device_only
+              |> Es_util.Numeric.argmin_by (fun p ->
+                     Plan.device_time dev.Cluster.proc.Processor.perf p)
+            in
+            (match local with
+            | Some p -> plans.(i) <- p
+            | None -> plans.(i) <- Plan.device_only dev.Cluster.model);
+            go rest)
+  in
+  go order
+
+let solve_one ~config cluster =
+  let t0 = Sys.time () in
+  let nd = Cluster.n_devices cluster in
+  if nd = 0 then invalid_arg "Optimizer.solve: empty cluster";
+  let widths = config.widths in
+  (* Initial surgery: fair-share estimate against the fastest server. *)
+  let servers = cluster.Cluster.servers in
+  let fastest =
+    let best = ref 0 in
+    Array.iteri
+      (fun s (srv : Cluster.server) ->
+        if
+          srv.Cluster.sproc.Processor.perf.Es_dnn.Profile.flops_per_s
+          > servers.(!best).Cluster.sproc.Processor.perf.Es_dnn.Profile.flops_per_s
+        then best := s)
+      servers;
+    !best
+  in
+  let per_server = float_of_int (max 1 (nd / Array.length servers)) in
+  let plans =
+    Array.init nd (fun device ->
+        let bw = servers.(fastest).Cluster.ap_bandwidth_bps /. per_server in
+        best_plan_for_grants ?max_candidates:config.max_candidates ~precisions:config.precisions
+          ~widths cluster ~device ~server:fastest ~bandwidth_bps:bw
+          ~compute_share:(1.0 /. per_server))
+  in
+  let assignment = ref (Assign.balanced_greedy cluster ~plans) in
+  let best : (float * Decision.t array) option ref = ref None in
+  let trace = ref [] in
+  let iterations = ref 0 in
+  let no_improve = ref 0 in
+  (try
+     for iter = 1 to config.max_iters do
+       iterations := iter;
+       (* --- Allocation step --- *)
+       let working, feasible =
+         match best_allocation ~allocator:config.allocator cluster ~assignment:!assignment ~plans with
+         | Some ds -> (ds, true)
+         | None -> (
+             match Policy.decisions Policy.Proportional cluster ~assignment:!assignment ~plans with
+             | Some ds -> (ds, false)
+             | None -> assert false (* share rules always allocate *))
+       in
+       let obj =
+         Objective.of_decisions cluster working +. if feasible then 0.0 else 100.0
+       in
+       trace :=
+         {
+           iteration = iter;
+           objective = obj;
+           misses = Objective.misses cluster working;
+           mean_latency_s = Latency.mean_latency cluster working;
+         }
+         :: !trace;
+       let improved =
+         match !best with
+         | Some (b, _) -> obj < b -. 1e-9
+         | None -> feasible
+       in
+       if improved && feasible then begin
+         best := Some (obj, working);
+         no_improve := 0
+       end
+       else incr no_improve;
+       if !no_improve >= 3 then raise Exit;
+       (* --- Surgery step --- *)
+       Array.iteri
+         (fun device (d : Decision.t) ->
+           let server = !assignment.(device) in
+           let bandwidth_bps, compute_share =
+             if Decision.offloads d && d.Decision.bandwidth_bps > 0.0 then
+               (d.Decision.bandwidth_bps, d.Decision.compute_share)
+             else fair_share_estimate cluster ~plans ~assignment:!assignment ~device
+           in
+           plans.(device) <-
+             best_plan_for_grants ?max_candidates:config.max_candidates
+               ~precisions:config.precisions ~widths cluster ~device ~server ~bandwidth_bps
+               ~compute_share)
+         working;
+       (* --- Assignment step --- *)
+       if config.reassign && Array.length servers > 1 then begin
+         let greedy = Assign.balanced_greedy cluster ~plans in
+         assignment :=
+           Assign.local_search ~max_passes:config.local_search_passes
+             ~n_servers:(Array.length servers)
+             ~eval:(load_proxy cluster ~plans)
+             greedy
+       end
+     done
+   with Exit -> ());
+  let decisions =
+    match !best with
+    | Some (_, ds) -> ds
+    | None -> (
+        match force_feasible config cluster plans !assignment with
+        | Some ds -> ds
+        | None -> assert false)
+  in
+  {
+    decisions;
+    objective = Objective.of_decisions cluster decisions;
+    iterations = !iterations;
+    trace = List.rev !trace;
+    solve_time_s = Sys.time () -. t0;
+  }
+
+let solve ?(config = default_config) cluster =
+  let primary = solve_one ~config cluster in
+  if config.allocator <> Policy.Minmax_alloc then primary
+  else begin
+    (* Multi-start: coordinate descent is sensitive to the allocator driving
+       its surgery steps, so the full joint configuration also runs the
+       equal-share trajectory and keeps the better landing point (with its
+       allocation re-polished by the optimal inner step).  This makes the
+       joint result never worse than the surgery-only ablation by
+       construction. *)
+    let alt = solve_one ~config:{ config with allocator = Policy.Equal } cluster in
+    let alt_plans = Array.map (fun (d : Decision.t) -> d.Decision.plan) alt.decisions in
+    let alt_assignment = Array.map (fun (d : Decision.t) -> d.Decision.server) alt.decisions in
+    let candidates =
+      [ primary.decisions ]
+      @ (if Array.for_all (Latency.device_stable cluster) alt.decisions then [ alt.decisions ]
+         else [])
+      @
+      match best_allocation cluster ~assignment:alt_assignment ~plans:alt_plans with
+      | Some ds -> [ ds ]
+      | None -> []
+    in
+    let best =
+      match Es_util.Numeric.argmin_by (Objective.of_decisions cluster) candidates with
+      | Some ds -> ds
+      | None -> primary.decisions
+    in
+    {
+      primary with
+      decisions = best;
+      objective = Objective.of_decisions cluster best;
+      solve_time_s = primary.solve_time_s +. alt.solve_time_s;
+    }
+  end

@@ -1,0 +1,89 @@
+(** EdgeSurgeon's joint optimizer (JMSRA): block-coordinate descent over
+    model surgery and resource allocation.
+
+    Each outer iteration performs:
+
+    + {b Allocation step} — with surgery fixed, every server's bandwidth and
+      compute split is solved optimally by the convex min-max allocator
+      ({!Es_alloc.Minmax}); when a server's offered load admits no stable
+      allocation, a proportional split stands in for this iteration so the
+      surgery step can shed load.
+    + {b Surgery step} — with grants fixed, each device scans its Pareto
+      candidate set ({!Es_surgery.Candidate}) for the plan minimizing its
+      latency subject to its accuracy floor and the queueing-stability
+      conditions.  Devices without grants (device-only in the previous
+      round) evaluate offloading against a fair-share estimate so they can
+      re-enter.
+    + {b Assignment step} — devices are re-placed by load-balanced greedy
+      construction plus move/swap local search on a cheap load proxy.
+
+    The best feasible configuration seen is kept; the loop stops when the
+    objective stops improving or after [max_iters].  Complexity per
+    iteration is O(D·C + S·A) for D devices with C candidates each and A
+    the allocator's bisection cost — polynomial, matching the paper-style
+    claim, vs. the exponential exhaustive search ({!Exhaustive}). *)
+
+type config = {
+  widths : float list;  (** width-multiplier grid for surgery candidates *)
+  precisions : Es_surgery.Precision.t list;  (** quantization levels on offer *)
+  max_iters : int;  (** outer-loop bound (default 12) *)
+  allocator : Es_alloc.Policy.allocator;  (** inner step (default Minmax) *)
+  reassign : bool;  (** run the assignment step each iteration *)
+  local_search_passes : int;
+  seed : int;
+  max_candidates : int option;
+      (** cap each device's Pareto set (evenly subsampled); [None] = full.
+          Used to compare against {!Exhaustive} on an identical plan grid *)
+}
+
+val default_config : config
+
+type trace_point = {
+  iteration : int;
+  objective : float;
+  misses : int;
+  mean_latency_s : float;
+}
+
+type output = {
+  decisions : Es_edge.Decision.t array;
+  objective : float;
+  iterations : int;  (** outer iterations actually run *)
+  trace : trace_point list;  (** objective after each iteration, in order *)
+  solve_time_s : float;  (** wall-clock optimizer runtime *)
+}
+
+val solve : ?config:config -> Es_edge.Cluster.t -> output
+(** Always returns a decision set: if even full degradation cannot
+    stabilize a server, the offending devices fall back to device-only
+    execution (their requests never enter the network).  @raise
+    Invalid_argument on an empty cluster. *)
+
+val best_allocation :
+  ?allocator:Es_alloc.Policy.allocator ->
+  Es_edge.Cluster.t ->
+  assignment:int array ->
+  plans:Es_surgery.Plan.t array ->
+  Es_edge.Decision.t array option
+(** The allocation step in isolation: the primary allocator's grants, plus —
+    when the primary is the min-max solver — the queueing-stable share rules,
+    keeping whichever decision set scores best on {!Objective}.  [None] when
+    nothing stable exists.  {!Exhaustive} evaluates every configuration
+    through this same function so the heuristic and the optimal search rank
+    allocations identically. *)
+
+val best_plan_for_grants :
+  ?exits:int option list ->
+  ?max_candidates:int ->
+  ?precisions:Es_surgery.Precision.t list ->
+  widths:float list ->
+  Es_edge.Cluster.t ->
+  device:int ->
+  server:int ->
+  bandwidth_bps:float ->
+  compute_share:float ->
+  Es_surgery.Plan.t
+(** The surgery step for one device, exposed for tests and baselines: the
+    latency-minimizing stable candidate meeting the accuracy floor under the
+    given grants (falling back to the accuracy-best candidate when nothing
+    is stable). *)

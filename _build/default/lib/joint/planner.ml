@@ -1,0 +1,64 @@
+open Es_edge
+
+type verdict = { required : float; feasible : bool; solves : int }
+
+(* Queueing-aware zero-miss test: the analytic latency alone would declare
+   arbitrarily high loads feasible (it has no congestion term). *)
+let zero_miss ?config cluster =
+  let out = Optimizer.solve ?config cluster in
+  Objective.mm1_misses cluster out.Optimizer.decisions = 0
+
+(* Find the smallest x in [lo, hi] with ok x (monotone), to ~2% relative
+   tolerance; counts evaluations. *)
+let bisect_min ~lo ~hi ok =
+  let solves = ref 0 in
+  let eval x =
+    incr solves;
+    ok x
+  in
+  if eval lo then { required = lo; feasible = true; solves = !solves }
+  else if not (eval hi) then { required = hi; feasible = false; solves = !solves }
+  else begin
+    let lo = ref lo and hi = ref hi in
+    while !hi /. !lo > 1.02 do
+      let mid = sqrt (!lo *. !hi) in
+      if eval mid then hi := mid else lo := mid
+    done;
+    { required = !hi; feasible = true; solves = !solves }
+  end
+
+(* The dual direction: the largest x with ok x. *)
+let bisect_max ~lo ~hi ok =
+  let solves = ref 0 in
+  let eval x =
+    incr solves;
+    ok x
+  in
+  if not (eval lo) then { required = lo; feasible = false; solves = !solves }
+  else if eval hi then { required = hi; feasible = true; solves = !solves }
+  else begin
+    let lo = ref lo and hi = ref hi in
+    while !hi /. !lo > 1.02 do
+      let mid = sqrt (!lo *. !hi) in
+      if eval mid then lo := mid else hi := mid
+    done;
+    { required = !lo; feasible = true; solves = !solves }
+  end
+
+let required_bandwidth_mbps ?config ?(lo_mbps = 5.0) ?(hi_mbps = 2000.0) spec =
+  bisect_min ~lo:lo_mbps ~hi:hi_mbps (fun mbps ->
+      zero_miss ?config (Scenario.build (Scenario.with_ap_mbps mbps spec)))
+
+let scale_servers spec factor =
+  {
+    spec with
+    Scenario.servers =
+      List.map (fun (p, mbps) -> (Processor.scaled p factor, mbps)) spec.Scenario.servers;
+  }
+
+let required_server_scale ?config ?(lo = 0.05) ?(hi = 16.0) spec =
+  bisect_min ~lo ~hi (fun f -> zero_miss ?config (Scenario.build (scale_servers spec f)))
+
+let max_supported_load ?config ?(hi = 32.0) spec =
+  let base = Scenario.build spec in
+  bisect_max ~lo:0.05 ~hi (fun m -> zero_miss ?config (Online.scale_rates base m))

@@ -1,0 +1,44 @@
+(** Capacity planning: invert the optimizer.
+
+    Operators ask the dual question of scheduling: not "what is the best we
+    can do with this hardware" but "how much hardware does this workload
+    need".  Both planners bisect over a provisioning axis, solving the full
+    joint optimization at each trial point, and return the smallest
+    provisioning whose optimized deployment meets every deadline
+    analytically (objective < 1, i.e. zero misses). *)
+
+type verdict = {
+  required : float;  (** the provisioning level found *)
+  feasible : bool;  (** false if even the upper bound fails ([required] is
+                        then that bound) *)
+  solves : int;  (** optimizer invocations spent *)
+}
+
+val required_bandwidth_mbps :
+  ?config:Optimizer.config ->
+  ?lo_mbps:float ->
+  ?hi_mbps:float ->
+  Es_edge.Scenario.spec ->
+  verdict
+(** Minimum access-point capacity (applied to every AP via
+    {!Es_edge.Scenario.with_ap_mbps}) such that the joint optimizer finds a
+    zero-miss deployment.  Default search range 5–2000 Mbps, resolved to
+    ~2%. *)
+
+val required_server_scale :
+  ?config:Optimizer.config ->
+  ?lo:float ->
+  ?hi:float ->
+  Es_edge.Scenario.spec ->
+  verdict
+(** Minimum multiplier on every server's compute throughput achieving a
+    zero-miss deployment.  Default range 0.05–16. *)
+
+val max_supported_load :
+  ?config:Optimizer.config ->
+  ?hi:float ->
+  Es_edge.Scenario.spec ->
+  verdict
+(** Largest global rate multiplier the scenario sustains with zero misses
+    (the capacity region boundary along the load axis).  Default upper
+    probe 32×. *)

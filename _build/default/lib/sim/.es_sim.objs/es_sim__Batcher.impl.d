@@ -1,0 +1,1 @@
+lib/sim/batcher.ml: Array Engine Queue

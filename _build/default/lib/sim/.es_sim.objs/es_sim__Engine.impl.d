@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Es_util Float

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Array Es_util Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Batcher Cluster Decision Engine Es_edge Es_surgery Es_util Float Link List Metrics Plan Printf Processor Station

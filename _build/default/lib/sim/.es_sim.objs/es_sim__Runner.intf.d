@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Es_edge Es_util Metrics

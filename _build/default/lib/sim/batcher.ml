@@ -1,0 +1,73 @@
+type job = { work : float; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  max_batch : int;
+  window_s : float;
+  alpha : float;
+  speed : float;
+  waiting : job Queue.t;
+  mutable busy : bool;
+  mutable deadline_armed : bool;
+  mutable busy_total : float;
+  mutable n_completed : int;
+  mutable n_batches : int;
+}
+
+let create engine ?(max_batch = 8) ?(window_s = 5e-3) ?(alpha = 0.7) ~speed () =
+  if speed <= 0.0 then invalid_arg "Batcher.create: non-positive speed";
+  if max_batch <= 0 then invalid_arg "Batcher.create: non-positive max_batch";
+  if window_s <= 0.0 then invalid_arg "Batcher.create: non-positive window";
+  if alpha < 0.0 || alpha >= 1.0 then invalid_arg "Batcher.create: alpha outside [0,1)";
+  {
+    engine;
+    max_batch;
+    window_s;
+    alpha;
+    speed;
+    waiting = Queue.create ();
+    busy = false;
+    deadline_armed = false;
+    busy_total = 0.0;
+    n_completed = 0;
+    n_batches = 0;
+  }
+
+let rec launch t =
+  let k = min t.max_batch (Queue.length t.waiting) in
+  if k > 0 && not t.busy then begin
+    t.busy <- true;
+    t.n_batches <- t.n_batches + 1;
+    let jobs = Array.init k (fun _ -> Queue.take t.waiting) in
+    let total_work = Array.fold_left (fun acc j -> acc +. j.work) 0.0 jobs in
+    let efficiency = 1.0 -. t.alpha +. (t.alpha /. float_of_int k) in
+    let service = total_work *. efficiency /. t.speed in
+    t.busy_total <- t.busy_total +. service;
+    Engine.schedule t.engine service (fun () ->
+        t.n_completed <- t.n_completed + k;
+        Array.iter (fun j -> j.k ()) jobs;
+        t.busy <- false;
+        (* Back-to-back launch when a full batch is already waiting;
+           otherwise re-arm the collection window. *)
+        if Queue.length t.waiting >= t.max_batch then launch t
+        else if not (Queue.is_empty t.waiting) then arm_window t)
+  end
+
+and arm_window t =
+  if not t.deadline_armed then begin
+    t.deadline_armed <- true;
+    Engine.schedule t.engine t.window_s (fun () ->
+        t.deadline_armed <- false;
+        if not t.busy then launch t)
+  end
+
+let submit t ~work k =
+  if work < 0.0 then invalid_arg "Batcher.submit: negative work";
+  Queue.add { work; k } t.waiting;
+  if (not t.busy) && Queue.length t.waiting >= t.max_batch then launch t
+  else if not t.busy then arm_window t
+
+let queue_length t = Queue.length t.waiting
+let busy_time t = t.busy_total
+let completed t = t.n_completed
+let batches t = t.n_batches

@@ -1,0 +1,42 @@
+(** Batched service station — a GPU-style server queue.
+
+    Real inference servers batch requests: a batch of [k] items costs less
+    than [k] sequential executions because the kernel launches amortize and
+    the GPU fills.  The model: jobs accumulate until either [max_batch] are
+    waiting or [window_s] elapses after the first queued arrival; the batch
+    then executes for
+
+      (Σ work_i) · ((1 − α) + α / k) / speed
+
+    seconds — [α] is the parallelizable fraction (0 = no benefit, 0.7 ≈
+    3.3× per-item speedup at large batches).  One batch runs at a time;
+    jobs arriving mid-batch wait for the next one.
+
+    This replaces the per-device dedicated-share stations when the
+    simulator runs in batching mode ({!Runner.options}); compute shares are
+    ignored there because the whole accelerator serves one batch queue. *)
+
+type t
+
+val create :
+  Engine.t ->
+  ?max_batch:int ->
+  ?window_s:float ->
+  ?alpha:float ->
+  speed:float ->
+  unit ->
+  t
+(** Defaults: [max_batch = 8], [window_s = 5e-3], [alpha = 0.7].
+    @raise Invalid_argument on non-positive speed/batch/window or α outside
+    [0, 1). *)
+
+val submit : t -> work:float -> (unit -> unit) -> unit
+(** Enqueue a job of [work] units; the callback fires when its batch
+    completes. *)
+
+val queue_length : t -> int
+val busy_time : t -> float
+val completed : t -> int
+val batches : t -> int
+(** Number of batches launched — [completed / batches] is the realized mean
+    batch size. *)

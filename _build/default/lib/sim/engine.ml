@@ -1,0 +1,27 @@
+type t = { mutable clock : float; events : (unit -> unit) Es_util.Heap.t }
+
+let create () = { clock = 0.0; events = Es_util.Heap.create () }
+
+let now t = t.clock
+
+let schedule t delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Es_util.Heap.push t.events (t.clock +. delay) f
+
+let schedule_at t time f = Es_util.Heap.push t.events (Float.max time t.clock) f
+
+let run ?(until = infinity) t =
+  let continue = ref true in
+  while !continue do
+    match Es_util.Heap.peek t.events with
+    | None -> continue := false
+    | Some (time, _) when time > until ->
+        t.clock <- until;
+        continue := false
+    | Some _ ->
+        let time, f = Es_util.Heap.pop_exn t.events in
+        t.clock <- time;
+        f ()
+  done
+
+let pending t = Es_util.Heap.length t.events

@@ -1,0 +1,24 @@
+(** Discrete-event simulation core: a clock and a time-ordered event list.
+
+    Events scheduled for the same instant fire in scheduling order (the
+    underlying heap is stabilized), so runs are fully deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule t delay f] fires [f] at [now t +. delay].
+    @raise Invalid_argument on negative delay. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** Absolute-time variant; clamps to the current time if in the past. *)
+
+val run : ?until:float -> t -> unit
+(** Drain events until the list is empty or the clock passes [until]
+    (events scheduled beyond the horizon stay unexecuted but the clock stops
+    at [until]). *)
+
+val pending : t -> int

@@ -1,0 +1,135 @@
+type device_stats = {
+  generated : int;
+  completed : int;
+  dropped : int;
+  deadline_hits : int;
+  latency : Es_util.Stats.t;
+  samples : float array;
+}
+
+type report = {
+  per_device : device_stats array;
+  latencies : float array;
+  dsr : float;
+  mean_latency_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  total_generated : int;
+  total_completed : int;
+  total_dropped : int;
+  server_utilization : float array;
+  measured_duration_s : float;
+  events : (float * float) array;
+}
+
+type dev_acc = {
+  mutable generated : int;
+  mutable completed : int;
+  mutable dropped : int;
+  mutable hits : int;
+  stats : Es_util.Stats.t;
+  mutable rev_samples : float list;
+}
+
+type collector = {
+  devs : dev_acc array;
+  window_start : float;
+  window_end : float;
+  mutable rev_events : (float * float) list;
+}
+
+let create_collector ~n_devices ~window_start ~window_end =
+  {
+    devs =
+      Array.init n_devices (fun _ ->
+          {
+            generated = 0;
+            completed = 0;
+            dropped = 0;
+            hits = 0;
+            stats = Es_util.Stats.create ();
+            rev_samples = [];
+          });
+    window_start;
+    window_end;
+    rev_events = [];
+  }
+
+let in_window c t = t >= c.window_start && t <= c.window_end
+
+let on_arrival c ~device ~now =
+  if in_window c now then begin
+    let d = c.devs.(device) in
+    d.generated <- d.generated + 1
+  end
+
+let on_drop c ~device ~now =
+  if in_window c now then begin
+    let d = c.devs.(device) in
+    d.dropped <- d.dropped + 1
+  end
+
+let on_completion c ~device ~arrival ~now ~deadline =
+  (* Attribute the sample to the request's arrival, matching on_arrival. *)
+  if in_window c arrival then begin
+    let d = c.devs.(device) in
+    let latency = now -. arrival in
+    d.completed <- d.completed + 1;
+    if latency <= deadline +. 1e-12 then d.hits <- d.hits + 1;
+    Es_util.Stats.add d.stats latency;
+    d.rev_samples <- latency :: d.rev_samples;
+    c.rev_events <- (now, latency) :: c.rev_events
+  end
+
+let finalize c ~server_busy ~duration =
+  let per_device =
+    Array.map
+      (fun d ->
+        {
+          generated = d.generated;
+          completed = d.completed;
+          dropped = d.dropped;
+          deadline_hits = d.hits;
+          latency = d.stats;
+          samples = Array.of_list (List.rev d.rev_samples);
+        })
+      c.devs
+  in
+  let latencies =
+    Array.concat (Array.to_list (Array.map (fun d -> d.samples) per_device))
+  in
+  let total f = Array.fold_left (fun acc d -> acc + f d) 0 per_device in
+  let total_generated = total (fun d -> d.generated) in
+  let total_completed = total (fun d -> d.completed) in
+  let total_dropped = total (fun d -> d.dropped) in
+  let hits = total (fun d -> d.deadline_hits) in
+  let dsr =
+    if total_generated = 0 then 1.0 else float_of_int hits /. float_of_int total_generated
+  in
+  let pct p = if Array.length latencies = 0 then nan else Es_util.Stats.percentile latencies p in
+  let window = Float.max 1e-9 (Float.min c.window_end duration -. c.window_start) in
+  {
+    per_device;
+    latencies;
+    dsr;
+    mean_latency_s = Es_util.Stats.mean_of latencies;
+    p50_s = pct 50.0;
+    p95_s = pct 95.0;
+    p99_s = pct 99.0;
+    total_generated;
+    total_completed;
+    total_dropped;
+    server_utilization = Array.map (fun b -> b /. window) server_busy;
+    measured_duration_s = window;
+    events = Array.of_list (List.rev c.rev_events);
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "requests: %d generated, %d completed, %d dropped | DSR %.1f%% | latency mean %.1f ms p50 \
+     %.1f p95 %.1f p99 %.1f | util [%s]@."
+    r.total_generated r.total_completed r.total_dropped (100.0 *. r.dsr)
+    (1000.0 *. r.mean_latency_s) (1000.0 *. r.p50_s) (1000.0 *. r.p95_s) (1000.0 *. r.p99_s)
+    (String.concat "; "
+       (Array.to_list (Array.map (fun u -> Printf.sprintf "%.2f" u) r.server_utilization)))

@@ -1,0 +1,46 @@
+(** Measurement collection for simulation runs. *)
+
+type device_stats = {
+  generated : int;  (** requests arriving inside the measurement window *)
+  completed : int;
+  dropped : int;  (** rejected at a full queue *)
+  deadline_hits : int;
+  latency : Es_util.Stats.t;  (** end-to-end latency of completed requests *)
+  samples : float array;  (** raw latency samples, completion order *)
+}
+
+type report = {
+  per_device : device_stats array;
+  latencies : float array;  (** all completed-request latencies pooled *)
+  dsr : float;
+      (** deadline-satisfaction ratio: hits / generated — requests that
+          never completed (still queued at the horizon, or dropped) count
+          as misses *)
+  mean_latency_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  total_generated : int;
+  total_completed : int;
+  total_dropped : int;
+  server_utilization : float array;  (** busy fraction per server *)
+  measured_duration_s : float;
+  events : (float * float) array;
+      (** pooled (completion time, latency) pairs in completion order, for
+          timeline plots *)
+}
+
+type collector
+
+val create_collector : n_devices:int -> window_start:float -> window_end:float -> collector
+
+val on_arrival : collector -> device:int -> now:float -> unit
+val on_drop : collector -> device:int -> now:float -> unit
+val on_completion : collector -> device:int -> arrival:float -> now:float -> deadline:float -> unit
+
+val finalize :
+  collector -> server_busy:float array -> duration:float -> report
+(** [server_busy] is cumulative busy seconds per server over the whole run;
+    utilization is normalized by the measurement window. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,191 @@
+open Es_edge
+open Es_surgery
+
+type batching = { max_batch : int; window_s : float; alpha : float }
+
+type options = {
+  duration_s : float;
+  warmup_s : float;
+  seed : int;
+  fading : bool;
+  compute_jitter : float;
+  queue_capacity : int option;
+  batching : batching option;
+}
+
+let default_options =
+  {
+    duration_s = 60.0;
+    warmup_s = 5.0;
+    seed = 7;
+    fading = false;
+    compute_jitter = 0.0;
+    queue_capacity = None;
+    batching = None;
+  }
+
+type dev_stations = {
+  cpu : Station.t;
+  up : Station.t;
+  srv : Station.t;
+  down : Station.t;
+}
+
+let positive x = Float.max x 1e-3
+
+let run ?(options = default_options) ?arrivals ?reconfigure
+    ?(work_scale = fun ~device:_ _ -> 1.0) cluster decisions =
+  let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
+  if Array.length decisions <> nd then invalid_arg "Runner.run: decisions size mismatch";
+  let engine = Engine.create () in
+  let arrival_rng = Es_util.Prng.create options.seed in
+  let jitter_rng = Es_util.Prng.split arrival_rng in
+  let fade_rng = Es_util.Prng.split arrival_rng in
+  let scale_rng = Es_util.Prng.split arrival_rng in
+  let current = Array.copy decisions in
+  let capacity = options.queue_capacity in
+  let stations =
+    Array.init nd (fun i ->
+        let d = current.(i) in
+        let station name speed =
+          Station.create engine ?capacity ~name ~speed:(positive speed) ()
+        in
+        {
+          cpu = station (Printf.sprintf "cpu%d" i) 1.0;
+          up = station (Printf.sprintf "up%d" i) d.Decision.bandwidth_bps;
+          srv = station (Printf.sprintf "srv%d" i) d.Decision.compute_share;
+          down = station (Printf.sprintf "down%d" i) d.Decision.bandwidth_bps;
+        })
+  in
+  let server_busy = Array.make ns 0.0 in
+  let batchers =
+    match options.batching with
+    | None -> [||]
+    | Some cfg ->
+        Array.init ns (fun _ ->
+            Batcher.create engine ~max_batch:cfg.max_batch ~window_s:cfg.window_s
+              ~alpha:cfg.alpha ~speed:1.0 ())
+  in
+  let collector =
+    Metrics.create_collector ~n_devices:nd ~window_start:options.warmup_s
+      ~window_end:options.duration_s
+  in
+  let apply_decisions ds =
+    Array.iteri
+      (fun i (d : Decision.t) ->
+        current.(i) <- d;
+        let st = stations.(i) in
+        (* A zero grant means the new plan no longer uses the stage; keep
+           the old speed so in-flight jobs drain instead of stalling. *)
+        if d.Decision.bandwidth_bps > 0.0 then begin
+          Station.set_speed st.up d.Decision.bandwidth_bps;
+          Station.set_speed st.down d.Decision.bandwidth_bps
+        end;
+        if d.Decision.compute_share > 0.0 then Station.set_speed st.srv d.Decision.compute_share)
+      ds
+  in
+  (match reconfigure with
+  | None -> ()
+  | Some changes ->
+      List.iter
+        (fun (t, ds) ->
+          if Array.length ds <> nd then invalid_arg "Runner.run: reconfigure size mismatch";
+          Engine.schedule_at engine t (fun () -> apply_decisions ds))
+        changes);
+  let jitter () =
+    if options.compute_jitter <= 0.0 then 1.0
+    else begin
+      let sigma = options.compute_jitter in
+      Es_util.Prng.lognormal jitter_rng ~mu:(-.sigma *. sigma /. 2.0) ~sigma
+    end
+  in
+  let fade_factor link =
+    if not options.fading then 1.0
+    else begin
+      let nominal = 1.0 in
+      let eff = Link.effective_rate fade_rng link nominal in
+      if eff <= 0.0 then 10.0 else nominal /. eff
+    end
+  in
+  let process dev_id arrival =
+    let d = current.(dev_id) in
+    let dev = cluster.Cluster.devices.(dev_id) in
+    let st = stations.(dev_id) in
+    let plan = d.Decision.plan in
+    let scale = work_scale ~device:dev_id scale_rng *. jitter () in
+    let complete () =
+      Metrics.on_completion collector ~device:dev_id ~arrival ~now:(Engine.now engine)
+        ~deadline:dev.Cluster.deadline
+    in
+    let drop () = Metrics.on_drop collector ~device:dev_id ~now:(Engine.now engine) in
+    let submit station ~work k = if not (Station.submit station ~work k) then drop () in
+    Metrics.on_arrival collector ~device:dev_id ~now:arrival;
+    let dev_work = Plan.device_time dev.Cluster.proc.Processor.perf plan *. scale in
+    submit st.cpu ~work:dev_work (fun () ->
+        if not (Decision.offloads d) then complete ()
+        else begin
+          let link = dev.Cluster.link in
+          let half_rtt = link.Link.rtt_s /. 2.0 in
+          let up_bits = 8.0 *. Plan.transfer_bytes plan *. fade_factor link in
+          submit st.up ~work:up_bits (fun () ->
+              Engine.schedule engine half_rtt (fun () ->
+                  let srv = cluster.Cluster.servers.(d.Decision.server) in
+                  let work_s =
+                    Plan.server_time srv.Cluster.sproc.Processor.perf plan *. scale
+                  in
+                  let after_server () =
+                    let down_bits = 8.0 *. Plan.result_bytes plan *. fade_factor link in
+                    submit st.down ~work:down_bits (fun () ->
+                        Engine.schedule engine half_rtt complete)
+                  in
+                  match options.batching with
+                  | Some _ ->
+                      (* One batched accelerator per server; shares ignored. *)
+                      Batcher.submit batchers.(d.Decision.server) ~work:work_s after_server
+                  | None ->
+                      let record_busy =
+                        let share = Station.speed st.srv in
+                        fun () ->
+                          server_busy.(d.Decision.server) <-
+                            server_busy.(d.Decision.server) +. (work_s /. Float.max share 1e-9)
+                      in
+                      submit st.srv ~work:work_s (fun () ->
+                          record_busy ();
+                          after_server ())))
+        end)
+  in
+  (match arrivals with
+  | Some trace ->
+      Array.iter
+        (fun (t, dev_id) ->
+          if dev_id < 0 || dev_id >= nd then invalid_arg "Runner.run: bad device in trace";
+          if t <= options.duration_s then
+            Engine.schedule_at engine t (fun () -> process dev_id t))
+        trace
+  | None ->
+      (* Per-device Poisson processes, generated event-recursively. *)
+      let rngs = Array.init nd (fun _ -> Es_util.Prng.split arrival_rng) in
+      let rec arrive dev_id t =
+        if t <= options.duration_s then begin
+          Engine.schedule_at engine t (fun () ->
+              process dev_id t;
+              let gap =
+                Es_util.Prng.exponential rngs.(dev_id) cluster.Cluster.devices.(dev_id).Cluster.rate
+              in
+              arrive dev_id (t +. gap))
+        end
+      in
+      Array.iteri
+        (fun dev_id _ ->
+          let first = Es_util.Prng.exponential rngs.(dev_id) cluster.Cluster.devices.(dev_id).Cluster.rate in
+          arrive dev_id first)
+        cluster.Cluster.devices);
+  (* Arrivals stop at the horizon; the system then drains so every admitted
+     request completes and horizon-edge requests are not unfairly counted as
+     deadline misses. *)
+  Engine.run engine;
+  (match options.batching with
+  | None -> ()
+  | Some _ ->
+      Array.iteri (fun s b -> server_busy.(s) <- Batcher.busy_time b) batchers);
+  Metrics.finalize collector ~server_busy ~duration:options.duration_s

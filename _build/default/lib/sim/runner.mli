@@ -1,0 +1,54 @@
+(** End-to-end simulation of a cluster executing a decision set.
+
+    Each request walks: device CPU queue → (if offloading) uplink queue at
+    the granted rate → server queue at the granted compute share → downlink
+    of the result — all FIFO stations dedicated per device, which is exactly
+    the dedicated-share semantics the allocator assumes.  Propagation delay
+    (half the link RTT each way), optional per-transfer wireless fading, and
+    optional log-normal compute jitter complete the model.
+
+    With default options (no fading, no jitter) and a single in-flight
+    request, the measured latency equals {!Es_edge.Latency.of_decision} —
+    a property pinned by the test suite. *)
+
+type batching = {
+  max_batch : int;
+  window_s : float;
+  alpha : float;  (** parallelizable fraction; see {!Batcher} *)
+}
+
+type options = {
+  duration_s : float;  (** simulated horizon (default 60) *)
+  warmup_s : float;  (** samples before this are discarded (default 5) *)
+  seed : int;
+  fading : bool;  (** draw per-transfer link fading (default false) *)
+  compute_jitter : float;  (** log-normal sigma on compute times (default 0) *)
+  queue_capacity : int option;  (** per-station backlog bound; [None] = unbounded *)
+  batching : batching option;
+      (** [Some _] replaces the per-device dedicated-share server stations
+          with one {!Batcher} per server (GPU batching semantics; compute
+          shares are then ignored).  Default [None]. *)
+}
+
+val default_options : options
+
+val run :
+  ?options:options ->
+  ?arrivals:(float * int) array ->
+  ?reconfigure:(float * Es_edge.Decision.t array) list ->
+  ?work_scale:(device:int -> Es_util.Prng.t -> float) ->
+  Es_edge.Cluster.t ->
+  Es_edge.Decision.t array ->
+  Metrics.report
+(** [run cluster decisions] simulates the cluster under the decision set.
+
+    - [arrivals]: explicit (time, device) request trace, sorted by time;
+      defaults to per-device Poisson processes at each device's rate.
+    - [reconfigure]: piecewise decision changes [(t, decisions)] applied at
+      time [t] — new requests use the new plans, granted rates/shares change
+      for subsequently started transfers/executions (the online scheduler's
+      mechanism).
+    - [work_scale]: per-request work multiplier hook (e.g. multi-exit
+      early-exit draws); applied to device and server compute.
+
+    @raise Invalid_argument on malformed decision arrays. *)

@@ -1,0 +1,63 @@
+type job = { work : float; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  mutable rate : float;
+  capacity : int;
+  waiting : job Queue.t;
+  mutable in_service : bool;
+  mutable busy : float;
+  mutable n_completed : int;
+  mutable n_dropped : int;
+}
+
+let create engine ?(capacity = max_int) ?(name = "station") ~speed () =
+  if speed <= 0.0 then invalid_arg "Station.create: non-positive speed";
+  {
+    engine;
+    name;
+    rate = speed;
+    capacity;
+    waiting = Queue.create ();
+    in_service = false;
+    busy = 0.0;
+    n_completed = 0;
+    n_dropped = 0;
+  }
+
+let queue_length t = Queue.length t.waiting + if t.in_service then 1 else 0
+
+let rec start_next t =
+  match Queue.take_opt t.waiting with
+  | None -> t.in_service <- false
+  | Some job ->
+      t.in_service <- true;
+      let service = job.work /. t.rate in
+      t.busy <- t.busy +. service;
+      Engine.schedule t.engine service (fun () ->
+          t.n_completed <- t.n_completed + 1;
+          job.k ();
+          start_next t)
+
+let submit t ~work k =
+  if work < 0.0 then invalid_arg "Station.submit: negative work";
+  if queue_length t >= t.capacity then begin
+    t.n_dropped <- t.n_dropped + 1;
+    false
+  end
+  else begin
+    Queue.add { work; k } t.waiting;
+    if not t.in_service then start_next t;
+    true
+  end
+
+let set_speed t speed =
+  if speed <= 0.0 then invalid_arg "Station.set_speed: non-positive speed";
+  t.rate <- speed
+
+let speed t = t.rate
+let name t = t.name
+let busy_time t = t.busy
+let completed t = t.n_completed
+let dropped t = t.n_dropped

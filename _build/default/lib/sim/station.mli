@@ -1,0 +1,36 @@
+(** FIFO service station.
+
+    Models any sequential resource: a device CPU, a device's granted slice
+    of an access point, or its granted share of a server.  Work is expressed
+    in abstract units; the station's [speed] converts units to seconds
+    (service time = units / speed), so reconfiguring the speed (e.g. the
+    online scheduler changing a bandwidth grant) affects jobs that start
+    after the change.
+
+    An optional queue capacity drops arrivals when the backlog (including
+    the job in service) is full — overload experiments count these drops. *)
+
+type t
+
+val create : Engine.t -> ?capacity:int -> ?name:string -> speed:float -> unit -> t
+(** @raise Invalid_argument on non-positive speed. *)
+
+val submit : t -> work:float -> (unit -> unit) -> bool
+(** [submit st ~work k] enqueues a job needing [work] units and calls [k]
+    at its completion.  Returns [false] (and drops the job, never calling
+    [k]) when the station is at capacity.  Zero-work jobs complete
+    immediately but still pass through the queue discipline. *)
+
+val set_speed : t -> float -> unit
+(** Takes effect for subsequently started jobs. *)
+
+val speed : t -> float
+val name : t -> string
+val queue_length : t -> int
+(** Jobs waiting or in service. *)
+
+val busy_time : t -> float
+(** Cumulative seconds the station has been serving jobs. *)
+
+val completed : t -> int
+val dropped : t -> int

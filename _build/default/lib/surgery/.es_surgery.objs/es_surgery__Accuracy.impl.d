@@ -1,0 +1,1 @@
+lib/surgery/accuracy.ml: Array Es_util Float

@@ -1,0 +1,1 @@
+lib/surgery/accuracy.mli:

@@ -1,0 +1,1 @@
+lib/surgery/candidate.ml: Array Es_dnn Es_util Hashtbl List Plan Precision Printf String

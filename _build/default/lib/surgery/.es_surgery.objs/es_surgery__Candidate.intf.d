@@ -1,0 +1,1 @@
+lib/surgery/candidate.mli: Es_dnn Plan Precision

@@ -1,0 +1,1 @@
+lib/surgery/dag_cut.ml: Array Es_dnn Es_util Graph List Printf Profile Shape

@@ -1,0 +1,1 @@
+lib/surgery/dag_cut.mli: Es_dnn

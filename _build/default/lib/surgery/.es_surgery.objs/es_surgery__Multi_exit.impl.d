@@ -1,0 +1,1 @@
+lib/surgery/multi_exit.ml: Accuracy Array Es_dnn Es_util List Plan Printf

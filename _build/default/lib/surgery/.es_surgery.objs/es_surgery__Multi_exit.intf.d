@@ -1,0 +1,1 @@
+lib/surgery/multi_exit.mli: Es_dnn Es_util Plan

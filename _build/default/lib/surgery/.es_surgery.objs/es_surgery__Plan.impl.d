@@ -1,0 +1,1 @@
+lib/surgery/plan.ml: Accuracy Array Es_dnn Es_util Float Graph Layer List Precision Printf Profile Shape

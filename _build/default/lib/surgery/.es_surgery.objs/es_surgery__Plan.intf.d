@@ -1,0 +1,1 @@
+lib/surgery/plan.mli: Es_dnn Precision

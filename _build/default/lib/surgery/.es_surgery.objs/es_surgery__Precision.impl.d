@@ -1,0 +1,1 @@
+lib/surgery/precision.ml: Es_dnn

@@ -1,0 +1,1 @@
+lib/surgery/precision.mli: Es_dnn

@@ -1,0 +1,74 @@
+type profile = {
+  full_accuracy : float;
+  depth_drop : float;
+  depth_gamma : float;
+  width_penalty : float;
+  width_delta : float;
+}
+
+let generic =
+  {
+    full_accuracy = 0.70;
+    depth_drop = 0.30;
+    depth_gamma = 1.8;
+    width_penalty = 0.12;
+    width_delta = 1.2;
+  }
+
+(* full_accuracy: published top-1 on ImageNet (mAP-derived for yolo_tiny).
+   depth_drop/gamma loosely calibrated to BranchyNet/MSDNet exit curves:
+   deeper, more over-provisioned models tolerate early exits better. *)
+let profile_of_model = function
+  | "alexnet" -> { generic with full_accuracy = 0.565; depth_drop = 0.25; depth_gamma = 1.5 }
+  | "vgg16" -> { generic with full_accuracy = 0.715; depth_drop = 0.28; depth_gamma = 2.0 }
+  | "resnet18" -> { generic with full_accuracy = 0.698; depth_drop = 0.30 }
+  | "resnet34" -> { generic with full_accuracy = 0.733; depth_drop = 0.32; depth_gamma = 2.0 }
+  | "resnet50" -> { generic with full_accuracy = 0.761; depth_drop = 0.33; depth_gamma = 2.1 }
+  | "mobilenet_v1" ->
+      { generic with full_accuracy = 0.706; depth_drop = 0.30; width_penalty = 0.17 }
+  | "mobilenet_v2" ->
+      { generic with full_accuracy = 0.720; depth_drop = 0.31; width_penalty = 0.16 }
+  | "inception_lite" -> { generic with full_accuracy = 0.698; depth_drop = 0.29 }
+  | "yolo_tiny" -> { generic with full_accuracy = 0.571; depth_drop = 0.35; depth_gamma = 2.2 }
+  | "squeezenet" ->
+      { generic with full_accuracy = 0.575; depth_drop = 0.26; width_penalty = 0.18 }
+  | "densenet_lite" -> { generic with full_accuracy = 0.720; depth_drop = 0.30 }
+  | _ -> generic
+
+let predict p ~depth_frac ~width =
+  if depth_frac <= 0.0 || depth_frac > 1.0 then
+    invalid_arg "Accuracy.predict: depth_frac outside (0,1]";
+  if width <= 0.0 || width > 1.0 then invalid_arg "Accuracy.predict: width outside (0,1]";
+  let depth_factor = 1.0 -. (p.depth_drop *. ((1.0 -. depth_frac) ** p.depth_gamma)) in
+  let width_factor = 1.0 -. (p.width_penalty *. ((1.0 -. width) ** p.width_delta)) in
+  Es_util.Numeric.clamp ~lo:0.0 ~hi:1.0 (p.full_accuracy *. depth_factor *. width_factor)
+
+let exit_distribution ?(kappa = 2.0) accuracies =
+  let k = Array.length accuracies in
+  if k = 0 then invalid_arg "Accuracy.exit_distribution: no exits";
+  let final = accuracies.(k - 1) in
+  (* Coverage of exit i: fraction of inputs it classifies confidently.
+     Normalizing by the final accuracy makes the last exit cover ~all. *)
+  let coverage =
+    Array.map
+      (fun a ->
+        if final <= 0.0 then 1.0
+        else Es_util.Numeric.clamp ~lo:0.0 ~hi:1.0 ((a /. final) ** kappa))
+      accuracies
+  in
+  coverage.(k - 1) <- 1.0;
+  let probs = Array.make k 0.0 in
+  let prev = ref 0.0 in
+  for i = 0 to k - 1 do
+    let c = Float.max coverage.(i) !prev in
+    probs.(i) <- c -. !prev;
+    prev := c
+  done;
+  probs
+
+let expected_accuracy probs accuracies =
+  if Array.length probs <> Array.length accuracies then
+    invalid_arg "Accuracy.expected_accuracy: length mismatch";
+  let total = ref 0.0 in
+  Array.iteri (fun i p -> total := !total +. (p *. accuracies.(i))) probs;
+  !total

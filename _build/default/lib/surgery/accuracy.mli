@@ -1,0 +1,58 @@
+(** Accuracy model for surgically modified networks.
+
+    The optimizer needs, for every surgery plan, the expected accuracy it
+    delivers.  With no access to trained weights we use the well-documented
+    empirical shapes of the multi-exit / slimmable-network literature
+    (BranchyNet, MSDNet, SPINN, slimmable networks):
+
+    - accuracy grows with network depth with strongly diminishing returns:
+      an exit at 40–50% of the FLOPs already recovers most of the final
+      accuracy, the last layers contribute a few points;
+    - slimming the width costs little until roughly half width, then falls
+      off quickly.
+
+    Both effects are modeled multiplicatively around the model's published
+    full accuracy:
+
+      A(d, w) = A_full · (1 − drop·(1−d)^γ) · (1 − wpen·(1−w)^δ)
+
+    with per-model parameters.  Only the *shape* of this surface matters to
+    the joint optimizer (it induces the accuracy–latency Pareto frontier);
+    see DESIGN.md §2 for why this substitution is safe. *)
+
+type profile = {
+  full_accuracy : float;  (** published top-1 (or mAP for detectors) *)
+  depth_drop : float;  (** accuracy lost by an exit at depth 0 *)
+  depth_gamma : float;  (** curvature of the depth effect, > 1 *)
+  width_penalty : float;  (** accuracy lost at width → 0 *)
+  width_delta : float;  (** curvature of the width effect *)
+}
+
+val profile_of_model : string -> profile
+(** Profile for a zoo model name; falls back to a generic profile for
+    unknown names so user-supplied models work out of the box. *)
+
+val predict : profile -> depth_frac:float -> width:float -> float
+(** Expected accuracy of a plan truncated at a fraction [depth_frac] of the
+    full model's FLOPs and slimmed to [width].  Clamped to [0, 1].
+    @raise Invalid_argument if [depth_frac] or [width] is outside (0, 1]. *)
+
+(** {1 Input-dependent early exit}
+
+    A deployed multi-exit model lets easy inputs leave at the first exit
+    whose confidence clears a threshold.  We model input "difficulty" as the
+    fraction of inputs each exit can confidently classify, yielding the
+    probability that a request exits at each head — used by the online
+    simulator to draw per-request compute. *)
+
+val exit_distribution : ?kappa:float -> float array -> float array
+(** [exit_distribution accuracies] maps the (increasing) accuracies of the
+    exits of a multi-exit model to the probability that an input takes each
+    exit (first-exit-wins, the last exit takes all leftovers).  [kappa]
+    (default 2.0) controls how many inputs are easy: higher = more early
+    exits.  Probabilities are non-negative and sum to 1.
+    @raise Invalid_argument on an empty array. *)
+
+val expected_accuracy : float array -> float array -> float
+(** [expected_accuracy probs accuracies] — inner product, the deployment
+    accuracy of a thresholded multi-exit model. *)

@@ -1,0 +1,63 @@
+let default_widths = [ 1.0; 0.75; 0.5 ]
+
+let exit_nodes g =
+  List.map (fun id -> Some id) (Es_dnn.Graph.exit_candidate_ids g) @ [ None ]
+
+let default_precisions = [ Precision.Fp32; Precision.Int8 ]
+
+let generate ?(widths = default_widths) ?exits ?(precisions = default_precisions) g =
+  let exits = match exits with Some e -> e | None -> exit_nodes g in
+  List.concat_map
+    (fun exit_node ->
+      List.concat_map
+        (fun width ->
+          List.concat_map
+            (fun precision ->
+              let base_plan = Plan.make ~width ?exit_node ~precision g in
+              let n = Es_dnn.Graph.n_nodes base_plan.Plan.graph in
+              List.init (n + 1) (fun cut -> Plan.with_cut base_plan cut))
+            precisions)
+        widths)
+    exits
+
+let plan_key (p : Plan.t) =
+  (* Effective compute (FLOPs divided by the precision's throughput gain)
+     rather than raw FLOPs, so faster-precision plans are comparable. *)
+  let scale = Precision.compute_scale p.Plan.precision in
+  [| Plan.dev_flops p /. scale; Plan.transfer_bytes p; Plan.srv_flops p /. scale;
+     -.p.Plan.accuracy |]
+
+let pareto plans = Es_util.Pareto.frontier plan_key plans
+
+let cache : (string, Plan.t list) Hashtbl.t = Hashtbl.create 16
+
+(* Keyed by name *and* a structural fingerprint, so distinct user models
+   sharing a name don't collide, while fresh instances of the same zoo
+   architecture (one per Scenario.build) still share candidates. *)
+let cache_key g widths exits precisions =
+  Printf.sprintf "%s|%d|%.0f|%s|%s|%s" g.Es_dnn.Graph.name (Es_dnn.Graph.n_nodes g)
+    (Es_dnn.Graph.total_flops g)
+    (String.concat "," (List.map (Printf.sprintf "%.3f") widths))
+    (String.concat ","
+       (List.map (function None -> "full" | Some i -> string_of_int i) exits))
+    (String.concat "," (List.map Precision.name precisions))
+
+let pareto_candidates ?(widths = default_widths) ?exits ?(precisions = default_precisions) g =
+  let exits = match exits with Some e -> e | None -> exit_nodes g in
+  let key = cache_key g widths exits precisions in
+  match Hashtbl.find_opt cache key with
+  | Some plans -> plans
+  | None ->
+      let plans = pareto (generate ~widths ~exits ~precisions g) in
+      Hashtbl.add cache key plans;
+      plans
+
+let clear_cache () = Hashtbl.reset cache
+
+let subsample k plans =
+  if k <= 0 then invalid_arg "Candidate.subsample: k must be positive";
+  let arr = Array.of_list plans in
+  let n = Array.length arr in
+  if n <= k then plans
+  else if k = 1 then [ arr.(0) ]
+  else List.init k (fun i -> arr.(i * (n - 1) / (k - 1)))

@@ -1,0 +1,59 @@
+(** Optimal DAG partitioning by minimum cut.
+
+    {!Plan} restricts partitions to prefixes of the topological order —
+    optimal for chains, but branchy models (inception modules, dense
+    blocks) can admit cheaper splits that keep one branch on the device
+    while offloading another.  Following the DADS-style reduction, the
+    minimum-cost split is an s–t min-cut of a flow network:
+
+    - node [v] on the device costs [dev_cost v] (edge v→t),
+    - node [v] on the server costs [srv_cost v] (edge s→v),
+    - an activation produced on the device and consumed on the server is
+      uplinked once, costing [transfer_cost v] (auxiliary-node gadget),
+    - server→device data-flow is forbidden (∞ reverse edges), and the
+      input node is pinned to the device.
+
+    All costs must share a unit (seconds, or seconds-per-second at a given
+    request rate). *)
+
+type split = {
+  device_side : bool array;  (** per node id; [true] = runs on the device *)
+  total_cost : float;  (** device + server + transfer cost of the split *)
+  dev_cost : float;
+  srv_cost : float;
+  transfer_cost : float;
+}
+
+val optimal_split :
+  dev_cost:(int -> float) ->
+  srv_cost:(int -> float) ->
+  transfer_cost:(int -> float) ->
+  Es_dnn.Graph.t ->
+  split
+(** Exact minimum-cost device/server assignment.  [transfer_cost v] is the
+    cost of uplinking node [v]'s activation (charged at most once).
+    The returned assignment always keeps the input node on the device and
+    never requires server→device transfers mid-inference. *)
+
+val latency_costs :
+  device:Es_dnn.Profile.perf ->
+  server:Es_dnn.Profile.perf ->
+  bandwidth_bps:float ->
+  Es_dnn.Graph.t ->
+  (int -> float) * (int -> float) * (int -> float)
+(** Convenience cost triple in seconds: per-node device/server execution
+    time and activation transfer time at the given uplink rate. *)
+
+val best_prefix_cost :
+  dev_cost:(int -> float) ->
+  srv_cost:(int -> float) ->
+  transfer_cost:(int -> float) ->
+  Es_dnn.Graph.t ->
+  int * float
+(** The best prefix cut under the same cost model: (cut position, cost).
+    The min-cut split is never worse; the gap measures what prefix-only
+    partitioning leaves on the table for branchy DAGs. *)
+
+val validate : Es_dnn.Graph.t -> bool array -> (unit, string) result
+(** Check a split's physical validity: input on device and no edge from a
+    server node into a device node. *)

@@ -1,0 +1,32 @@
+(** Multi-exit model deployment.
+
+    A multi-exit model carries several exit heads simultaneously; at run
+    time each input leaves at the first exit that is confident about it
+    (BranchyNet semantics).  The online simulator uses this to draw
+    per-request compute: easy inputs cost the shallow prefix, hard inputs
+    run deep. *)
+
+type t = private {
+  base : Es_dnn.Graph.t;
+  exits : Plan.t array;  (** one plan per head, shallowest first, last = full *)
+  probs : float array;  (** probability an input takes each exit *)
+  deployment_accuracy : float;  (** expectation over the exit distribution *)
+}
+
+val build : ?kappa:float -> ?width:float -> ?exit_nodes:int list -> Es_dnn.Graph.t -> t
+(** [build g] attaches heads at every flagged exit candidate of [g] (or the
+    given subset) plus the full-depth exit.  [kappa] is the input-easiness
+    parameter of {!Accuracy.exit_distribution}. *)
+
+val n_exits : t -> int
+
+val sample_exit : Es_util.Prng.t -> t -> int
+(** Index into [exits], drawn from [probs]. *)
+
+val expected_flops : t -> float
+(** Mean FLOPs per inference under the exit distribution — the headline
+    saving of multi-exit inference. *)
+
+val overhead_flops : t -> float
+(** Extra FLOPs of evaluating the non-final exit heads themselves (paid on
+    the path actually executed, upper bound: all heads). *)

@@ -1,0 +1,24 @@
+type t = Fp32 | Fp16 | Int8
+
+let all = [ Fp32; Fp16; Int8 ]
+
+let name = function Fp32 -> "fp32" | Fp16 -> "fp16" | Int8 -> "int8"
+
+let bytes_per_elt = function Fp32 -> 4 | Fp16 -> 2 | Int8 -> 1
+
+let compute_scale = function Fp32 -> 1.0 | Fp16 -> 1.6 | Int8 -> 2.5
+
+let apply p (perf : Es_dnn.Profile.perf) =
+  let s = compute_scale p in
+  Es_dnn.Profile.perf
+    ~flops_per_s:(perf.Es_dnn.Profile.flops_per_s *. s)
+    ~mem_bytes_per_s:(perf.Es_dnn.Profile.mem_bytes_per_s *. s)
+    ~layer_overhead_s:perf.Es_dnn.Profile.layer_overhead_s
+
+let accuracy_factor = function Fp32 -> 1.0 | Fp16 -> 0.998 | Int8 -> 0.985
+
+let of_string = function
+  | "fp32" -> Some Fp32
+  | "fp16" -> Some Fp16
+  | "int8" -> Some Int8
+  | _ -> None

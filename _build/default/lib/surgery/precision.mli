@@ -1,0 +1,33 @@
+(** Numeric precision as a surgery dimension.
+
+    Post-training quantization is the third standard surgery knob next to
+    exits and width: it shrinks the shipped activations (fp16 halves, int8
+    quarters the bytes) and speeds up compute on modern accelerators, at a
+    small accuracy cost for int8.  The model here is deliberately coarse —
+    a uniform per-precision throughput multiplier and byte width — which is
+    exactly the granularity the joint optimizer consumes. *)
+
+type t = Fp32 | Fp16 | Int8
+
+val all : t list
+(** [Fp32; Fp16; Int8]. *)
+
+val name : t -> string
+
+val bytes_per_elt : t -> int
+(** 4 / 2 / 1. *)
+
+val compute_scale : t -> float
+(** Throughput multiplier over fp32 (1.0 / 1.6 / 2.5): applied to both the
+    FLOP and memory-bandwidth terms of a processor's roofline. *)
+
+val apply : t -> Es_dnn.Profile.perf -> Es_dnn.Profile.perf
+(** Processor as seen when executing at this precision: compute and memory
+    throughput scaled by {!compute_scale}, per-layer overhead unchanged. *)
+
+val accuracy_factor : t -> float
+(** Multiplicative accuracy retention: 1.0 for fp32, ~0.998 for fp16,
+    ~0.985 for int8 post-training quantization (literature range 0.5–2.5
+    points; we sit in the middle). *)
+
+val of_string : string -> t option

@@ -1,0 +1,24 @@
+(** Maximum flow / minimum cut on small directed graphs (Edmonds–Karp).
+
+    Used by the DAG partitioner: the optimal device/server split of a layer
+    graph reduces to a minimum s–t cut.  Graphs here are tiny (hundreds of
+    nodes), so the O(V·E²) bound is irrelevant. *)
+
+type t
+
+val create : n:int -> t
+(** A flow network on vertices [0, n). @raise Invalid_argument if n <= 0. *)
+
+val add_edge : t -> src:int -> dst:int -> capacity:float -> unit
+(** Add a directed edge.  Parallel edges accumulate.  [infinity] capacities
+    are supported (used to encode hard constraints).
+    @raise Invalid_argument on out-of-range vertices, self-loops, or
+    negative capacity. *)
+
+val max_flow : t -> source:int -> sink:int -> float
+(** Runs Edmonds–Karp and returns the max-flow value (= min-cut capacity).
+    Mutates the network's residuals; call once per network. *)
+
+val min_cut_side : t -> source:int -> bool array
+(** After {!max_flow}: vertices still reachable from the source in the
+    residual network — the source side of a minimum cut. *)

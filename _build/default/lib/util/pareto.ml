@@ -1,0 +1,26 @@
+let dominates a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Pareto.dominates: dimension mismatch";
+  let no_worse = ref true in
+  let strictly = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) > b.(i) then no_worse := false;
+    if a.(i) < b.(i) then strictly := true
+  done;
+  !no_worse && !strictly
+
+let frontier key items =
+  let keyed = List.map (fun x -> (key x, x)) items in
+  let non_dominated (k, _) =
+    not (List.exists (fun (k', _) -> dominates k' k) keyed)
+  in
+  (* Keep one representative among exact duplicates: the first occurrence. *)
+  let rec dedup seen = function
+    | [] -> []
+    | ((k, _) as item) :: rest ->
+        if List.exists (fun k' -> k' = k) seen then dedup seen rest
+        else item :: dedup (k :: seen) rest
+  in
+  dedup [] (List.filter non_dominated keyed) |> List.map snd
+
+let frontier_arr key items = Array.of_list (frontier key (Array.to_list items))

@@ -1,0 +1,123 @@
+type t = {
+  mutable n : int;
+  mutable mu : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable total : float;
+}
+
+let create () = { n = 0; mu = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let d = x -. t.mu in
+  t.mu <- t.mu +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mu));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.total <- t.total +. x
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mu
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.lo
+let max t = t.hi
+let sum t = t.total
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let d = b.mu -. a.mu in
+    let mu = a.mu +. (d *. float_of_int b.n /. float_of_int n) in
+    let m2 = a.m2 +. b.m2 +. (d *. d *. float_of_int a.n *. float_of_int b.n /. float_of_int n) in
+    {
+      n;
+      mu;
+      m2;
+      lo = Float.min a.lo b.lo;
+      hi = Float.max a.hi b.hi;
+      total = a.total +. b.total;
+    }
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let mean_of xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev_of xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let mu = mean_of xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let cdf_points xs n =
+  if Array.length xs = 0 || n <= 0 then []
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let last = Array.length sorted - 1 in
+    List.init (n + 1) (fun i ->
+        let p = float_of_int i /. float_of_int n in
+        let idx = int_of_float (Float.round (p *. float_of_int last)) in
+        (sorted.(idx), p))
+  end
+
+let confidence_interval_95 xs =
+  let n = Array.length xs in
+  if n = 0 then (nan, nan)
+  else begin
+    let mu = mean_of xs in
+    let half = 1.96 *. stddev_of xs /. sqrt (float_of_int n) in
+    (mu -. half, mu +. half)
+  end
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    Array.iter (fun x -> if x < 0.0 then invalid_arg "Stats.jain_index: negative entry") xs;
+    let s = Array.fold_left ( +. ) 0.0 xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if s2 = 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
+  end
+
+let histogram xs ~bins =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then [||]
+  else begin
+    let lo = Array.fold_left Float.min infinity xs in
+    let hi = Array.fold_left Float.max neg_infinity xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = Stdlib.min b (bins - 1) in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+  end

@@ -1,0 +1,40 @@
+type align = Left | Right
+
+let pad a width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match a with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?(align = []) ~header rows =
+  let ncols =
+    List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) (List.length header) rows
+  in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let col_align i = match List.nth_opt align i with Some a -> a | None -> Right in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left
+          (fun acc r -> Stdlib.max acc (String.length (cell r i)))
+          (String.length (cell header i))
+          rows)
+  in
+  let line row =
+    String.concat "  " (List.init ncols (fun i -> pad (col_align i) widths.(i) (cell row i)))
+  in
+  let rule =
+    String.concat "  " (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: rule :: body) @ [ "" ])
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let fmt_f ?(digits = 3) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" digits x
+
+let fmt_ms x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" (x *. 1000.0)
+
+let fmt_pct x = if Float.is_nan x then "-" else Printf.sprintf "%.1f" (x *. 100.0)

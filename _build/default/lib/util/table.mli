@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every reproduced table/figure is printed as an aligned text table (rows =
+    sweep points or CDF samples, columns = policies/metrics), matching the
+    "same rows/series the paper reports" requirement. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out the rows under the header with column
+    separators and a rule under the header.  Missing cells are blank; the
+    default alignment is [Right] for every column. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_f : ?digits:int -> float -> string
+(** Fixed-point float formatting, default 3 digits; renders [nan] as "-". *)
+
+val fmt_ms : float -> string
+(** Seconds rendered as milliseconds with 2 digits, e.g. ["12.34"]. *)
+
+val fmt_pct : float -> string
+(** Fraction rendered as a percentage with 1 digit, e.g. ["97.5"]. *)

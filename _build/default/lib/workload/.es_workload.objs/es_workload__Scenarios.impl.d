@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Es_edge Link Processor Scenario

@@ -1,0 +1,1 @@
+lib/workload/traces.ml: Array Cluster Es_edge Es_util Float Fun Printf Profiles String

@@ -1,0 +1,1 @@
+lib/workload/traces.mli: Es_edge Profiles

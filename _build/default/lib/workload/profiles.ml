@@ -1,0 +1,16 @@
+type t = float -> float
+
+let constant c _ = c
+
+let step_burst ~start_s ~stop_s ~factor t =
+  if t >= start_s && t < stop_s then factor else 1.0
+
+let diurnal ~period_s ~amplitude t =
+  Float.max 0.05 (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. t /. period_s)))
+
+let square_wave ~period_s ~high ~low t =
+  let phase = Float.rem t period_s /. period_s in
+  if phase < 0.5 then high else low
+
+let ramp ~until_s ~peak t =
+  if t >= until_s then peak else 1.0 +. ((peak -. 1.0) *. t /. until_s)

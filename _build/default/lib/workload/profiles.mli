@@ -1,0 +1,20 @@
+(** Time-varying load profiles: global multipliers applied to every
+    device's nominal request rate. *)
+
+type t = float -> float
+
+val constant : float -> t
+
+val step_burst : start_s:float -> stop_s:float -> factor:float -> t
+(** 1.0 outside the burst window, [factor] inside — the F10 flash-crowd
+    shape. *)
+
+val diurnal : period_s:float -> amplitude:float -> t
+(** 1 + amplitude·sin(2πt/period), floored at 0.05. *)
+
+val square_wave : period_s:float -> high:float -> low:float -> t
+(** Alternates [high] and [low] every half period (an MMPP-like two-state
+    modulated load). *)
+
+val ramp : until_s:float -> peak:float -> t
+(** Linear climb from 1.0 to [peak] over [0, until_s], flat after. *)

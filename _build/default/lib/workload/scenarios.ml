@@ -1,0 +1,57 @@
+open Es_edge
+
+let smart_city =
+  {
+    Scenario.seed = 101;
+    n_devices = 24;
+    servers = [ (Processor.edge_gpu, 400.0); (Processor.edge_cpu, 300.0) ];
+    device_mix =
+      [
+        (Processor.iot_board, Link.wifi, 0.6);
+        (Processor.raspberry_pi, Link.wifi, 0.3);
+        (Processor.jetson_nano, Link.ethernet, 0.1);
+      ];
+    model_names = [ "yolo_tiny"; "resnet18"; "mobilenet_v2" ];
+    rate_range = (0.5, 2.0);
+    deadline_range = (0.2, 0.5);
+    accuracy_slack = (0.88, 0.95);
+  }
+
+let ar_assistant =
+  {
+    Scenario.seed = 202;
+    n_devices = 8;
+    servers = [ (Processor.edge_gpu_small, 500.0) ];
+    device_mix =
+      [ (Processor.smartphone, Link.nr5g, 0.7); (Processor.smartphone, Link.wifi, 0.3) ];
+    model_names = [ "mobilenet_v1"; "mobilenet_v2"; "resnet18" ];
+    rate_range = (2.0, 8.0);
+    deadline_range = (0.05, 0.12);
+    accuracy_slack = (0.92, 0.97);
+  }
+
+let drone_swarm =
+  {
+    Scenario.seed = 303;
+    n_devices = 12;
+    servers = [ (Processor.edge_gpu, 200.0) ];
+    device_mix =
+      [
+        (Processor.raspberry_pi, Link.lte, 0.4);
+        (Processor.raspberry_pi, Link.nr5g, 0.3);
+        (Processor.jetson_nano, Link.nr5g, 0.3);
+      ];
+    model_names = [ "yolo_tiny"; "mobilenet_v2" ];
+    rate_range = (1.0, 3.0);
+    deadline_range = (0.1, 0.3);
+    accuracy_slack = (0.90, 0.96);
+  }
+
+let names = [ "default"; "smart_city"; "ar_assistant"; "drone_swarm" ]
+
+let by_name = function
+  | "default" -> Scenario.default
+  | "smart_city" -> smart_city
+  | "ar_assistant" -> ar_assistant
+  | "drone_swarm" -> drone_swarm
+  | _ -> raise Not_found

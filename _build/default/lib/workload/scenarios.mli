@@ -1,0 +1,21 @@
+(** Named application scenarios — the workloads the paper's introduction
+    motivates, expressed as {!Es_edge.Scenario.spec} presets. *)
+
+val smart_city : Es_edge.Scenario.spec
+(** Camera analytics: many cheap IoT camera nodes running detection
+    (yolo_tiny) and classification backbones over WiFi to a street-cabinet
+    GPU; moderate rates, 200–500 ms deadlines. *)
+
+val ar_assistant : Es_edge.Scenario.spec
+(** Augmented-reality wearables: few smartphone-class devices, tight
+    50–120 ms deadlines, 5G/WiFi links, lightweight models. *)
+
+val drone_swarm : Es_edge.Scenario.spec
+(** Drone fleet on LTE: Jetson-class onboard compute, detection models,
+    intermittent high rates, 150–400 ms deadlines, bandwidth-poor links. *)
+
+val by_name : string -> Es_edge.Scenario.spec
+(** ["smart_city" | "ar_assistant" | "drone_swarm" | "default"].
+    @raise Not_found otherwise. *)
+
+val names : string list

@@ -1,0 +1,76 @@
+open Es_edge
+
+let piecewise ~seed ~duration_s ~rate_profile cluster =
+  let rng = Es_util.Prng.create seed in
+  let events = ref [] in
+  Array.iter
+    (fun (dev : Cluster.device) ->
+      let dev_rng = Es_util.Prng.split rng in
+      let rec go t =
+        if t < duration_s then begin
+          let rate = dev.Cluster.rate *. Float.max 1e-9 (rate_profile t) in
+          let t' = t +. Es_util.Prng.exponential dev_rng rate in
+          if t' < duration_s then begin
+            events := (t', dev.Cluster.dev_id) :: !events;
+            go t'
+          end
+        end
+      in
+      go 0.0)
+    cluster.Cluster.devices;
+  let arr = Array.of_list !events in
+  Array.sort compare arr;
+  arr
+
+let poisson ~seed ~duration_s cluster =
+  piecewise ~seed ~duration_s ~rate_profile:(Profiles.constant 1.0) cluster
+
+let merge traces =
+  let arr = Array.concat traces in
+  Array.sort compare arr;
+  arr
+
+let save_csv trace ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "time_s,device\n";
+      Array.iter (fun (t, d) -> Printf.fprintf oc "%.9f,%d\n" t d) trace)
+
+let load_csv ~path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let result =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let events = ref [] in
+            let line_no = ref 0 in
+            let error = ref None in
+            (try
+               while !error = None do
+                 let line = input_line ic in
+                 incr line_no;
+                 let line = String.trim line in
+                 if line <> "" && line <> "time_s,device" then begin
+                   match String.split_on_char ',' line with
+                   | [ t; d ] -> (
+                       match (float_of_string_opt t, int_of_string_opt d) with
+                       | Some t, Some d when t >= 0.0 && d >= 0 ->
+                           events := (t, d) :: !events
+                       | _ ->
+                           error := Some (Printf.sprintf "line %d: bad event %S" !line_no line))
+                   | _ -> error := Some (Printf.sprintf "line %d: expected time,device" !line_no)
+                 end
+               done
+             with End_of_file -> ());
+            match !error with
+            | Some e -> Error e
+            | None ->
+                let arr = Array.of_list !events in
+                Array.sort compare arr;
+                Ok arr)
+      in
+      result

@@ -1,0 +1,29 @@
+(** Request arrival traces for the simulator. *)
+
+val poisson :
+  seed:int -> duration_s:float -> Es_edge.Cluster.t -> (float * int) array
+(** Stationary per-device Poisson at each device's nominal rate; sorted
+    (time, device id) pairs. *)
+
+val piecewise :
+  seed:int ->
+  duration_s:float ->
+  rate_profile:Profiles.t ->
+  Es_edge.Cluster.t ->
+  (float * int) array
+(** Non-stationary Poisson: the instantaneous rate of device [i] at time
+    [t] is [rate_i × rate_profile t], with the profile sampled at each
+    inter-arrival step (accurate for profiles varying slower than the
+    arrival process). *)
+
+val merge : (float * int) array list -> (float * int) array
+(** Merge several traces into one time-sorted trace. *)
+
+val save_csv : (float * int) array -> path:string -> unit
+(** Write a trace as ["time_s,device"] CSV lines (with header).
+    @raise Sys_error on I/O failure. *)
+
+val load_csv : path:string -> ((float * int) array, string) result
+(** Parse a trace CSV; re-sorts by time, reports the first malformed line.
+    Recorded production traces can be replayed through
+    {!Es_sim.Runner.run}'s [arrivals]. *)

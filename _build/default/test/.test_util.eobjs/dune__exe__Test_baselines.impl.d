@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Cluster Decision Es_baselines Es_edge Es_joint Es_surgery Es_workload Float Lazy List Printf Processor Scenario

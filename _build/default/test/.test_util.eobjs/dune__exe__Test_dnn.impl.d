@@ -1,0 +1,1 @@
+test/test_dnn.ml: Alcotest Array Es_dnn Es_util Filename Float Fun Graph Layer List Printf Profile QCheck QCheck_alcotest Serialize Shape Sys Zoo

@@ -1,0 +1,1 @@
+test/test_edge.ml: Accuracy Alcotest Array Cluster Decision Energy Es_dnn Es_edge Es_surgery Es_util Graph Latency Link List Plan Processor Profile QCheck QCheck_alcotest Scenario Zoo

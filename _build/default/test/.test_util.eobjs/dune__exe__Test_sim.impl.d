@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cluster Decision Es_baselines Es_dnn Es_edge Es_sim Es_surgery Float Gen Graph Latency Link List Plan Printf Processor QCheck QCheck_alcotest Scenario Zoo

@@ -1,0 +1,1 @@
+test/test_surgery.ml: Accuracy Alcotest Array Candidate Dag_cut Es_dnn Es_surgery Es_util Float Gen Graph Layer List Multi_exit Plan Precision Printf Profile QCheck QCheck_alcotest Shape Zoo

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Es_util Float Gen Hashtbl Heap List Maxflow Numeric Option Pareto Printf Prng QCheck QCheck_alcotest Stats String Table

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cluster Es_edge Es_workload Filename Float Fun Lazy List Printf Profiles Scenario Scenarios String Sys Traces

@@ -1,0 +1,135 @@
+open Es_edge
+open Es_baselines
+
+let cluster = lazy (Scenario.build Scenario.default)
+
+let test_all_produce_valid_sized_output () =
+  let c = Lazy.force cluster in
+  List.iter
+    (fun (b : Baselines.t) ->
+      let ds = b.Baselines.solve c in
+      Alcotest.(check int) (b.Baselines.name ^ " covers all devices") (Cluster.n_devices c)
+        (Array.length ds);
+      (* Baselines may overload (that is their flaw), but they must never
+         oversubscribe physical capacity. *)
+      match Decision.validate c ds with
+      | Ok () -> ()
+      | Error e ->
+          (* The accuracy floor can legitimately be violated by the plain
+             DeviceOnly/ServerOnly strawmen only if the floor exceeds the
+             full-model accuracy — which scenarios never generate. *)
+          Alcotest.fail (b.Baselines.name ^ ": " ^ e))
+    (Baselines.all ())
+
+let test_device_only_never_offloads () =
+  let c = Lazy.force cluster in
+  let ds = Baselines.device_only.Baselines.solve c in
+  Array.iter
+    (fun d -> Alcotest.(check bool) "local" false (Decision.offloads d))
+    ds
+
+let test_exit_local_meets_floor_locally () =
+  let c = Lazy.force cluster in
+  let ds = Baselines.exit_local.Baselines.solve c in
+  Array.iteri
+    (fun i (d : Decision.t) ->
+      Alcotest.(check bool) "local" false (Decision.offloads d);
+      Alcotest.(check bool) "floor met" true
+        (d.Decision.plan.Es_surgery.Plan.accuracy
+        >= c.Cluster.devices.(i).Cluster.accuracy_floor -. 1e-9);
+      (* ExitLocal must be no slower than DeviceOnly on every device. *)
+      let full = Es_surgery.Plan.device_only c.Cluster.devices.(i).Cluster.model in
+      let perf = c.Cluster.devices.(i).Cluster.proc.Processor.perf in
+      Alcotest.(check bool) "no slower than the full model" true
+        (Es_surgery.Plan.device_time perf d.Decision.plan
+        <= Es_surgery.Plan.device_time perf full +. 1e-9))
+    ds
+
+let test_server_only_ships_everything () =
+  let c = Lazy.force cluster in
+  let ds = Baselines.server_only.Baselines.solve c in
+  Array.iter
+    (fun (d : Decision.t) ->
+      Alcotest.(check bool) "full offload" true (Es_surgery.Plan.is_server_only d.Decision.plan);
+      Alcotest.(check bool) "offloads" true (Decision.offloads d))
+    ds
+
+let test_neurosurgeon_no_surgery () =
+  let c = Lazy.force cluster in
+  let ds = Baselines.neurosurgeon.Baselines.solve c in
+  Array.iter
+    (fun (d : Decision.t) ->
+      let p = d.Decision.plan in
+      Alcotest.(check (float 1e-9)) "full width" 1.0 p.Es_surgery.Plan.width;
+      Alcotest.(check bool) "full depth" true (p.Es_surgery.Plan.exit_node = None))
+    ds
+
+let test_neurosurgeon_beats_extremes () =
+  let c = Lazy.force cluster in
+  let obj ds = Es_joint.Objective.of_decisions c ds in
+  let ns = obj (Baselines.neurosurgeon.Baselines.solve c) in
+  let dev = obj (Baselines.device_only.Baselines.solve c) in
+  let srv = obj (Baselines.server_only.Baselines.solve c) in
+  (* Partial offload picks per-device the better of the two extremes (or
+     better): it can't lose to both. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "neurosurgeon %.3f <= max(device %.3f, server %.3f)" ns dev srv)
+    true
+    (ns <= Float.max dev srv +. 1e-6)
+
+let test_random_deterministic_per_seed () =
+  let c = Lazy.force cluster in
+  let a = (Baselines.random_policy 5).Baselines.solve c in
+  let b = (Baselines.random_policy 5).Baselines.solve c in
+  Array.iteri
+    (fun i (d : Decision.t) ->
+      Alcotest.(check int) "same server" d.Decision.server b.(i).Decision.server)
+    a;
+  let differs =
+    let other = (Baselines.random_policy 6).Baselines.solve c in
+    Array.exists2 (fun (x : Decision.t) (y : Decision.t) -> x.Decision.server <> y.Decision.server || x.Decision.plan != y.Decision.plan) a other
+  in
+  Alcotest.(check bool) "different seed differs" true differs
+
+let test_edgesurgeon_wins_or_ties_every_baseline () =
+  let c = Lazy.force cluster in
+  let obj ds = Es_joint.Objective.of_decisions c ds in
+  let joint = obj (Baselines.edgesurgeon.Baselines.solve c) in
+  List.iter
+    (fun (b : Baselines.t) ->
+      let v = obj (b.Baselines.solve c) in
+      Alcotest.(check bool)
+        (Printf.sprintf "EdgeSurgeon %.3f <= %s %.3f" joint b.Baselines.name v)
+        true (joint <= v +. 1e-6))
+    (Baselines.all ())
+
+let test_baselines_across_scenarios () =
+  List.iter
+    (fun name ->
+      let c = Scenario.build (Es_workload.Scenarios.by_name name) in
+      List.iter
+        (fun (b : Baselines.t) ->
+          let ds = b.Baselines.solve c in
+          match Decision.validate c ds with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (Printf.sprintf "%s on %s: %s" b.Baselines.name name e))
+        [ Baselines.neurosurgeon; Baselines.server_only; Baselines.edgesurgeon ])
+    Es_workload.Scenarios.names
+
+let () =
+  Alcotest.run "es_baselines"
+    [
+      ( "baselines",
+        [
+          Alcotest.test_case "all valid" `Quick test_all_produce_valid_sized_output;
+          Alcotest.test_case "device-only local" `Quick test_device_only_never_offloads;
+          Alcotest.test_case "exit-local floor" `Quick test_exit_local_meets_floor_locally;
+          Alcotest.test_case "server-only ships all" `Quick test_server_only_ships_everything;
+          Alcotest.test_case "neurosurgeon no surgery" `Quick test_neurosurgeon_no_surgery;
+          Alcotest.test_case "neurosurgeon vs extremes" `Quick test_neurosurgeon_beats_extremes;
+          Alcotest.test_case "random seeded" `Quick test_random_deterministic_per_seed;
+          Alcotest.test_case "edgesurgeon dominates" `Slow
+            test_edgesurgeon_wins_or_ties_every_baseline;
+          Alcotest.test_case "across scenarios" `Slow test_baselines_across_scenarios;
+        ] );
+    ]

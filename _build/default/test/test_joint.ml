@@ -1,0 +1,401 @@
+open Es_edge
+open Es_joint
+
+let default_cluster = lazy (Scenario.build Scenario.default)
+
+(* ---------- Objective ---------- *)
+
+let test_objective_zero_misses_below_one () =
+  let c = Lazy.force default_cluster in
+  let out = Optimizer.solve c in
+  let obj = Objective.of_decisions c out.Optimizer.decisions in
+  let misses = Objective.misses c out.Optimizer.decisions in
+  if misses = 0 then
+    Alcotest.(check bool) "all-hit objective below 1" true (obj < 1.0)
+  else Alcotest.(check bool) "objective counts misses" true (obj >= float_of_int misses)
+
+let test_objective_ordering () =
+  let c = Lazy.force default_cluster in
+  let good = (Optimizer.solve c).Optimizer.decisions in
+  let bad = Es_baselines.Baselines.device_only.Es_baselines.Baselines.solve c in
+  Alcotest.(check bool) "optimizer beats device-only on the objective" true
+    (Objective.of_decisions c good < Objective.of_decisions c bad)
+
+(* ---------- Optimizer ---------- *)
+
+let test_optimizer_output_valid () =
+  let c = Lazy.force default_cluster in
+  let out = Optimizer.solve c in
+  (match Decision.validate c out.Optimizer.decisions with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "one decision per device" (Cluster.n_devices c)
+    (Array.length out.Optimizer.decisions);
+  Alcotest.(check bool) "ran at least one iteration" true (out.Optimizer.iterations >= 1);
+  Alcotest.(check bool) "trace recorded" true (List.length out.Optimizer.trace >= 1)
+
+let test_optimizer_all_stable () =
+  let c = Lazy.force default_cluster in
+  let out = Optimizer.solve c in
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "every device queueing-stable" true (Latency.device_stable c d))
+    out.Optimizer.decisions
+
+let test_optimizer_accuracy_floors () =
+  let c = Lazy.force default_cluster in
+  let out = Optimizer.solve c in
+  Array.iteri
+    (fun i (d : Decision.t) ->
+      let dev = c.Cluster.devices.(i) in
+      Alcotest.(check bool) "accuracy floor met" true
+        (d.Decision.plan.Es_surgery.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9))
+    out.Optimizer.decisions
+
+let test_optimizer_beats_single_knob_ablations () =
+  let c = Lazy.force default_cluster in
+  let joint = Objective.of_decisions c (Optimizer.solve c).Optimizer.decisions in
+  let surgery_only =
+    Objective.of_decisions c
+      (Es_baselines.Baselines.surgery_only.Es_baselines.Baselines.solve c)
+  in
+  let alloc_only =
+    Objective.of_decisions c (Es_baselines.Baselines.alloc_only.Es_baselines.Baselines.solve c)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "joint %.3f <= surgery-only %.3f" joint surgery_only)
+    true (joint <= surgery_only +. 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "joint %.3f <= alloc-only %.3f" joint alloc_only)
+    true (joint <= alloc_only +. 1e-6)
+
+let test_optimizer_trace_converges () =
+  let c = Lazy.force default_cluster in
+  let out = Optimizer.solve c in
+  let objs =
+    List.map (fun (t : Optimizer.trace_point) -> t.Optimizer.objective) out.Optimizer.trace
+  in
+  let best_seen = List.fold_left Float.min infinity objs in
+  Alcotest.(check (float 1e-9)) "returned objective is the best feasible seen or better"
+    (Float.min best_seen out.Optimizer.objective)
+    out.Optimizer.objective
+
+let test_optimizer_deterministic () =
+  let c = Lazy.force default_cluster in
+  let a = Optimizer.solve c and b = Optimizer.solve c in
+  Alcotest.(check (float 1e-12)) "same objective" a.Optimizer.objective b.Optimizer.objective;
+  Array.iteri
+    (fun i (d : Decision.t) ->
+      let d' = b.Optimizer.decisions.(i) in
+      Alcotest.(check int) "same server" d.Decision.server d'.Decision.server;
+      Alcotest.(check (float 1e-9)) "same bandwidth" d.Decision.bandwidth_bps
+        d'.Decision.bandwidth_bps)
+    a.Optimizer.decisions
+
+let test_optimizer_single_server_no_reassign () =
+  let spec = { Scenario.default with Scenario.servers = [ (Processor.edge_gpu, 300.0) ] } in
+  let c = Scenario.build spec in
+  let out = Optimizer.solve c in
+  (match Decision.validate c out.Optimizer.decisions with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Array.iter
+    (fun (d : Decision.t) ->
+      if Decision.offloads d then Alcotest.(check int) "only server 0" 0 d.Decision.server)
+    out.Optimizer.decisions
+
+let test_optimizer_tiny_deadline_degrades () =
+  (* Impossible deadlines: the optimizer must still return stable decisions
+     (requests served, deadlines missed) rather than exploding. *)
+  let spec = { Scenario.default with Scenario.deadline_range = (0.001, 0.002) } in
+  let c = Scenario.build spec in
+  let out = Optimizer.solve c in
+  match Decision.validate c out.Optimizer.decisions with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_optimizer_overload_falls_back () =
+  (* Rates far beyond cluster capacity: force_feasible must yield a valid
+     (largely device-only) decision set. *)
+  let spec =
+    {
+      Scenario.default with
+      Scenario.rate_range = (200.0, 300.0);
+      servers = [ (Processor.edge_cpu, 20.0) ];
+    }
+  in
+  let c = Scenario.build spec in
+  let out = Optimizer.solve c in
+  match Decision.validate c out.Optimizer.decisions with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_optimizer_respects_device_memory () =
+  let c = Lazy.force default_cluster in
+  let out = Optimizer.solve c in
+  Array.iteri
+    (fun i (d : Decision.t) ->
+      let dev = c.Cluster.devices.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "device %d plan fits its RAM" i)
+        true
+        (Es_surgery.Plan.device_mem_bytes d.Decision.plan
+        <= dev.Cluster.proc.Processor.mem_bytes +. 1.0))
+    out.Optimizer.decisions
+
+(* ---------- best_plan_for_grants ---------- *)
+
+let test_best_plan_respects_floor () =
+  let c = Lazy.force default_cluster in
+  for device = 0 to Cluster.n_devices c - 1 do
+    let p =
+      Optimizer.best_plan_for_grants ~widths:[ 1.0; 0.5 ] c ~device ~server:0
+        ~bandwidth_bps:50e6 ~compute_share:0.3
+    in
+    let dev = c.Cluster.devices.(device) in
+    Alcotest.(check bool) "floor respected" true
+      (p.Es_surgery.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9)
+  done
+
+let test_best_plan_uses_bandwidth () =
+  (* With generous resources a weak device should offload at least some work. *)
+  let c = Lazy.force default_cluster in
+  let weak_device =
+    let best = ref 0 in
+    Array.iteri
+      (fun i (d : Cluster.device) ->
+        if
+          d.Cluster.proc.Processor.perf.Es_dnn.Profile.flops_per_s
+          < c.Cluster.devices.(!best).Cluster.proc.Processor.perf.Es_dnn.Profile.flops_per_s
+        then best := i)
+      c.Cluster.devices;
+    !best
+  in
+  let p =
+    Optimizer.best_plan_for_grants ~widths:[ 1.0 ] c ~device:weak_device ~server:0
+      ~bandwidth_bps:100e6 ~compute_share:0.9
+  in
+  Alcotest.(check bool) "weak device offloads" false (Es_surgery.Plan.is_device_only p)
+
+(* ---------- Exhaustive ---------- *)
+
+let tiny_cluster n =
+  let spec =
+    {
+      Scenario.default with
+      Scenario.n_devices = n;
+      seed = 9;
+      model_names = [ "alexnet"; "mobilenet_v2" ];
+    }
+  in
+  Scenario.build spec
+
+let test_exhaustive_feasible_and_bounds_heuristic () =
+  let c = tiny_cluster 3 in
+  let opt = Exhaustive.solve ~max_candidates_per_device:4 c in
+  (match opt.Exhaustive.decisions with
+  | None -> Alcotest.fail "tiny instance must be feasible"
+  | Some ds -> (
+      match Decision.validate c ds with Ok () -> () | Error e -> Alcotest.fail e));
+  (* Same plan grid for the heuristic so optimal <= heuristic holds. *)
+  let config = { Optimizer.default_config with max_candidates = Some 4 } in
+  let heuristic = Optimizer.solve ~config c in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimal %.4f <= heuristic %.4f" opt.Exhaustive.objective
+       heuristic.Optimizer.objective)
+    true
+    (opt.Exhaustive.objective <= heuristic.Optimizer.objective +. 1e-6);
+  Alcotest.(check bool) "searched some combinations" true (opt.Exhaustive.combinations > 10)
+
+let test_exhaustive_caps_instance_size () =
+  let c = Scenario.build Scenario.default in
+  Alcotest.(check bool) "refuses huge instances" true
+    (try
+       ignore (Exhaustive.solve c);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Planner ---------- *)
+
+let planner_config =
+  (* Cheap optimizer settings: the planner calls solve many times. *)
+  { Optimizer.default_config with max_iters = 4; local_search_passes = 1 }
+
+let test_planner_bandwidth () =
+  let spec = { Scenario.default with Scenario.n_devices = 8 } in
+  let v = Planner.required_bandwidth_mbps ~config:planner_config spec in
+  Alcotest.(check bool) "feasible within the probe range" true v.Planner.feasible;
+  Alcotest.(check bool) "sane magnitude" true (v.Planner.required >= 5.0 && v.Planner.required <= 2000.0);
+  (* The found capacity must indeed achieve zero misses... *)
+  let cluster = Scenario.build (Scenario.with_ap_mbps v.Planner.required spec) in
+  let out = Optimizer.solve ~config:planner_config cluster in
+  Alcotest.(check int) "zero queueing-aware misses at the required capacity" 0
+    (Objective.mm1_misses cluster out.Optimizer.decisions);
+  Alcotest.(check bool) "used a handful of solves" true
+    (v.Planner.solves >= 2 && v.Planner.solves <= 40)
+
+let test_planner_load_boundary () =
+  let spec = { Scenario.default with Scenario.n_devices = 8 } in
+  let v = Planner.max_supported_load ~config:planner_config spec in
+  Alcotest.(check bool) "supports at least nominal load" true (v.Planner.required >= 1.0);
+  let cluster =
+    Online.scale_rates (Scenario.build spec) v.Planner.required
+  in
+  let out = Optimizer.solve ~config:planner_config cluster in
+  Alcotest.(check int) "zero queueing-aware misses at the boundary" 0
+    (Objective.mm1_misses cluster out.Optimizer.decisions)
+
+let test_planner_server_scale_monotone () =
+  (* A weaker server fleet needs a larger scale factor. *)
+  let spec = { Scenario.default with Scenario.n_devices = 8 } in
+  let weak =
+    { spec with Scenario.servers = [ (Processor.edge_cpu, 300.0) ] }
+  in
+  let strong =
+    { spec with Scenario.servers = [ (Processor.edge_gpu, 300.0) ] }
+  in
+  let vw = Planner.required_server_scale ~config:planner_config weak in
+  let vs = Planner.required_server_scale ~config:planner_config strong in
+  Alcotest.(check bool)
+    (Printf.sprintf "weak fleet needs >= scale (%.3f vs %.3f)" vw.Planner.required
+       vs.Planner.required)
+    true
+    (vw.Planner.required >= vs.Planner.required -. 1e-6)
+
+(* ---------- Annealing ---------- *)
+
+let test_annealing_valid_output () =
+  let c = Lazy.force default_cluster in
+  let out = Annealing.solve ~config:{ Annealing.default_config with iterations = 300 } c in
+  (match Decision.validate c out.Annealing.decisions with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "covers devices" (Cluster.n_devices c)
+    (Array.length out.Annealing.decisions);
+  Alcotest.(check bool) "evaluated some states" true (out.Annealing.evaluated > 100);
+  Array.iter
+    (fun d -> Alcotest.(check bool) "stable" true (Latency.device_stable c d))
+    out.Annealing.decisions
+
+let test_annealing_deterministic_per_seed () =
+  let c = Lazy.force default_cluster in
+  let config = { Annealing.default_config with iterations = 200 } in
+  let a = Annealing.solve ~config c and b = Annealing.solve ~config c in
+  Alcotest.(check (float 1e-12)) "same objective" a.Annealing.objective b.Annealing.objective
+
+let test_annealing_improves_with_budget () =
+  let c = Lazy.force default_cluster in
+  let short =
+    Annealing.solve ~config:{ Annealing.default_config with iterations = 50 } c
+  in
+  let long =
+    Annealing.solve ~config:{ Annealing.default_config with iterations = 3000 } c
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "3000 iters (%.4f) <= 50 iters (%.4f)" long.Annealing.objective
+       short.Annealing.objective)
+    true
+    (long.Annealing.objective <= short.Annealing.objective +. 1e-9)
+
+let test_jmsra_competitive_with_annealing () =
+  let c = Lazy.force default_cluster in
+  let jm = Optimizer.solve c in
+  let sa = Annealing.solve c in
+  (* The structured search must at least match the generic metaheuristic at
+     its default budget — the F12 claim. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "JMSRA %.4f <= SA %.4f + slack" jm.Optimizer.objective
+       sa.Annealing.objective)
+    true
+    (jm.Optimizer.objective <= sa.Annealing.objective +. 0.05)
+
+(* ---------- Online ---------- *)
+
+let test_online_scale_rates () =
+  let c = Lazy.force default_cluster in
+  let c2 = Online.scale_rates c 2.0 in
+  Array.iteri
+    (fun i (d : Cluster.device) ->
+      Alcotest.(check (float 1e-9)) "doubled"
+        (2.0 *. c.Cluster.devices.(i).Cluster.rate)
+        d.Cluster.rate)
+    c2.Cluster.devices
+
+let test_online_piecewise_arrivals_sorted () =
+  let c = Lazy.force default_cluster in
+  let arr =
+    Online.piecewise_arrivals ~seed:3 ~duration_s:20.0
+      ~rate_profile:(Es_workload.Profiles.constant 1.0) c
+  in
+  Alcotest.(check bool) "non-empty" true (Array.length arr > 0);
+  Array.iteri
+    (fun i (t, dev) ->
+      if i > 0 then Alcotest.(check bool) "sorted" true (fst arr.(i - 1) <= t);
+      Alcotest.(check bool) "device in range" true (dev >= 0 && dev < Cluster.n_devices c);
+      Alcotest.(check bool) "time in range" true (t >= 0.0 && t < 20.0))
+    arr
+
+let test_online_burst_beats_static () =
+  (* Under a 3x burst the re-optimizing scheduler should satisfy at least as
+     many deadlines as the static one. *)
+  let c = Lazy.force default_cluster in
+  let profile = Es_workload.Profiles.step_burst ~start_s:20.0 ~stop_s:40.0 ~factor:3.0 in
+  let options = { Es_sim.Runner.default_options with duration_s = 60.0; warmup_s = 5.0 } in
+  let adaptive = Online.run ~options ~epoch_s:10.0 ~rate_profile:profile c in
+  let static = Online.run_static ~options ~rate_profile:profile c in
+  Alcotest.(check bool) "re-optimized at every epoch" true (adaptive.Online.resolve_count = 6);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive DSR %.3f >= static %.3f - slack"
+       adaptive.Online.report.Es_sim.Metrics.dsr static.Online.report.Es_sim.Metrics.dsr)
+    true
+    (adaptive.Online.report.Es_sim.Metrics.dsr
+     >= static.Online.report.Es_sim.Metrics.dsr -. 0.02)
+
+let () =
+  Alcotest.run "es_joint"
+    [
+      ( "objective",
+        [
+          Alcotest.test_case "scale" `Quick test_objective_zero_misses_below_one;
+          Alcotest.test_case "ordering" `Quick test_objective_ordering;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "valid output" `Quick test_optimizer_output_valid;
+          Alcotest.test_case "all stable" `Quick test_optimizer_all_stable;
+          Alcotest.test_case "accuracy floors" `Quick test_optimizer_accuracy_floors;
+          Alcotest.test_case "beats ablations" `Quick test_optimizer_beats_single_knob_ablations;
+          Alcotest.test_case "trace converges" `Quick test_optimizer_trace_converges;
+          Alcotest.test_case "deterministic" `Quick test_optimizer_deterministic;
+          Alcotest.test_case "single server" `Quick test_optimizer_single_server_no_reassign;
+          Alcotest.test_case "tiny deadlines" `Quick test_optimizer_tiny_deadline_degrades;
+          Alcotest.test_case "overload fallback" `Quick test_optimizer_overload_falls_back;
+          Alcotest.test_case "memory respected" `Quick test_optimizer_respects_device_memory;
+          Alcotest.test_case "best plan floor" `Quick test_best_plan_respects_floor;
+          Alcotest.test_case "best plan offloads" `Quick test_best_plan_uses_bandwidth;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "bounds heuristic" `Slow test_exhaustive_feasible_and_bounds_heuristic;
+          Alcotest.test_case "instance cap" `Quick test_exhaustive_caps_instance_size;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "required bandwidth" `Slow test_planner_bandwidth;
+          Alcotest.test_case "load boundary" `Slow test_planner_load_boundary;
+          Alcotest.test_case "server scale monotone" `Slow test_planner_server_scale_monotone;
+        ] );
+      ( "annealing",
+        [
+          Alcotest.test_case "valid output" `Quick test_annealing_valid_output;
+          Alcotest.test_case "deterministic" `Quick test_annealing_deterministic_per_seed;
+          Alcotest.test_case "budget monotone" `Slow test_annealing_improves_with_budget;
+          Alcotest.test_case "jmsra competitive" `Slow test_jmsra_competitive_with_annealing;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "scale rates" `Quick test_online_scale_rates;
+          Alcotest.test_case "arrivals sorted" `Quick test_online_piecewise_arrivals_sorted;
+          Alcotest.test_case "burst adaptivity" `Slow test_online_burst_beats_static;
+        ] );
+    ]

@@ -1,0 +1,402 @@
+open Es_dnn
+open Es_surgery
+open Es_edge
+
+let resnet18 = Zoo.resnet18 ()
+
+(* ---------- Engine ---------- *)
+
+let test_engine_ordering () =
+  let e = Es_sim.Engine.create () in
+  let log = ref [] in
+  Es_sim.Engine.schedule e 3.0 (fun () -> log := "c" :: !log);
+  Es_sim.Engine.schedule e 1.0 (fun () -> log := "a" :: !log);
+  Es_sim.Engine.schedule e 2.0 (fun () -> log := "b" :: !log);
+  Es_sim.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock at last event" 3.0 (Es_sim.Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Es_sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Es_sim.Engine.schedule e 1.0 (fun () -> log := i :: !log)
+  done;
+  Es_sim.Engine.run e;
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_until () =
+  let e = Es_sim.Engine.create () in
+  let fired = ref 0 in
+  Es_sim.Engine.schedule e 1.0 (fun () -> incr fired);
+  Es_sim.Engine.schedule e 10.0 (fun () -> incr fired);
+  Es_sim.Engine.run ~until:5.0 e;
+  Alcotest.(check int) "only events before the horizon" 1 !fired;
+  Alcotest.(check (float 0.0)) "clock stops at the horizon" 5.0 (Es_sim.Engine.now e);
+  Alcotest.(check int) "late event still pending" 1 (Es_sim.Engine.pending e)
+
+let test_engine_nested_scheduling () =
+  let e = Es_sim.Engine.create () in
+  let times = ref [] in
+  Es_sim.Engine.schedule e 1.0 (fun () ->
+      times := Es_sim.Engine.now e :: !times;
+      Es_sim.Engine.schedule e 0.5 (fun () -> times := Es_sim.Engine.now e :: !times));
+  Es_sim.Engine.run e;
+  Alcotest.(check (list (float 1e-12))) "nested event at 1.5" [ 1.0; 1.5 ] (List.rev !times);
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Es_sim.Engine.schedule e (-1.0) (fun () -> ()))
+
+(* ---------- Station ---------- *)
+
+let test_station_fifo_service () =
+  let e = Es_sim.Engine.create () in
+  let st = Es_sim.Station.create e ~speed:2.0 () in
+  let finish = ref [] in
+  (* Two jobs of 4 units at speed 2: first done at t=2, second at t=4. *)
+  ignore (Es_sim.Station.submit st ~work:4.0 (fun () -> finish := Es_sim.Engine.now e :: !finish));
+  ignore (Es_sim.Station.submit st ~work:4.0 (fun () -> finish := Es_sim.Engine.now e :: !finish));
+  Es_sim.Engine.run e;
+  Alcotest.(check (list (float 1e-12))) "sequential service" [ 2.0; 4.0 ] (List.rev !finish);
+  Alcotest.(check (float 1e-12)) "busy time" 4.0 (Es_sim.Station.busy_time st);
+  Alcotest.(check int) "completed" 2 (Es_sim.Station.completed st)
+
+let test_station_capacity_drops () =
+  let e = Es_sim.Engine.create () in
+  let st = Es_sim.Station.create e ~capacity:2 ~speed:1.0 () in
+  let accepted = ref 0 in
+  for _ = 1 to 5 do
+    if Es_sim.Station.submit st ~work:1.0 (fun () -> ()) then incr accepted
+  done;
+  Alcotest.(check int) "capacity bounds admission" 2 !accepted;
+  Alcotest.(check int) "drops counted" 3 (Es_sim.Station.dropped st);
+  Es_sim.Engine.run e
+
+let test_station_speed_change () =
+  let e = Es_sim.Engine.create () in
+  let st = Es_sim.Station.create e ~speed:1.0 () in
+  let finish = ref 0.0 in
+  ignore (Es_sim.Station.submit st ~work:1.0 (fun () -> ()));
+  (* Queued job starts after the first completes; speed doubles meanwhile. *)
+  ignore (Es_sim.Station.submit st ~work:1.0 (fun () -> finish := Es_sim.Engine.now e));
+  Es_sim.Engine.schedule e 0.5 (fun () -> Es_sim.Station.set_speed st 2.0);
+  Es_sim.Engine.run e;
+  Alcotest.(check (float 1e-12)) "second job served at the new speed" 1.5 !finish
+
+let test_station_zero_work () =
+  let e = Es_sim.Engine.create () in
+  let st = Es_sim.Station.create e ~speed:1.0 () in
+  let done_ = ref false in
+  ignore (Es_sim.Station.submit st ~work:0.0 (fun () -> done_ := true));
+  Es_sim.Engine.run e;
+  Alcotest.(check bool) "zero work completes" true !done_
+
+let qtest ?(count = 60) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let prop_engine_time_monotone =
+  qtest "events fire in nondecreasing time order"
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0.0 100.0))
+    (fun delays ->
+      let e = Es_sim.Engine.create () in
+      let last = ref neg_infinity in
+      let ok = ref true in
+      List.iter
+        (fun d ->
+          Es_sim.Engine.schedule e d (fun () ->
+              if Es_sim.Engine.now e < !last then ok := false;
+              last := Es_sim.Engine.now e))
+        delays;
+      Es_sim.Engine.run e;
+      !ok)
+
+let prop_station_busy_conserved =
+  qtest "station busy time equals the sum of service times"
+    QCheck.(list_of_size (Gen.int_range 1 30) (float_range 0.01 5.0))
+    (fun works ->
+      let e = Es_sim.Engine.create () in
+      let st = Es_sim.Station.create e ~speed:2.0 () in
+      List.iter (fun w -> ignore (Es_sim.Station.submit st ~work:w (fun () -> ()))) works;
+      Es_sim.Engine.run e;
+      let expected = List.fold_left (fun acc w -> acc +. (w /. 2.0)) 0.0 works in
+      Float.abs (Es_sim.Station.busy_time st -. expected) < 1e-9
+      && Es_sim.Station.completed st = List.length works)
+
+(* ---------- Batcher ---------- *)
+
+let test_batcher_window_launch () =
+  let e = Es_sim.Engine.create () in
+  let b = Es_sim.Batcher.create e ~max_batch:8 ~window_s:0.01 ~alpha:0.5 ~speed:1.0 () in
+  let finish = ref 0.0 in
+  Es_sim.Batcher.submit b ~work:0.1 (fun () -> finish := Es_sim.Engine.now e);
+  Es_sim.Engine.run e;
+  (* Lone job: waits out the window, then runs at eff(1) = 1. *)
+  Alcotest.(check (float 1e-9)) "window + work" 0.11 !finish;
+  Alcotest.(check int) "one batch" 1 (Es_sim.Batcher.batches b)
+
+let test_batcher_full_batch_immediate () =
+  let e = Es_sim.Engine.create () in
+  let b = Es_sim.Batcher.create e ~max_batch:4 ~window_s:10.0 ~alpha:0.5 ~speed:1.0 () in
+  let finish = ref [] in
+  for _ = 1 to 4 do
+    Es_sim.Batcher.submit b ~work:0.1 (fun () -> finish := Es_sim.Engine.now e :: !finish)
+  done;
+  Es_sim.Engine.run e;
+  (* Full batch: no window wait; 4 x 0.1 work at eff(4) = 0.5 + 0.5/4. *)
+  let expected = 0.4 *. (0.5 +. (0.5 /. 4.0)) in
+  List.iter (fun t -> Alcotest.(check (float 1e-9)) "batch completion" expected t) !finish;
+  Alcotest.(check int) "all completed" 4 (Es_sim.Batcher.completed b);
+  Alcotest.(check int) "single batch" 1 (Es_sim.Batcher.batches b)
+
+let test_batcher_beats_sequential_under_load () =
+  (* 16 equal jobs: batched total busy time must be well below sequential. *)
+  let e = Es_sim.Engine.create () in
+  let b = Es_sim.Batcher.create e ~max_batch:8 ~window_s:0.001 ~alpha:0.7 ~speed:1.0 () in
+  let last = ref 0.0 in
+  for _ = 1 to 16 do
+    Es_sim.Batcher.submit b ~work:0.05 (fun () -> last := Es_sim.Engine.now e)
+  done;
+  Es_sim.Engine.run e;
+  let sequential = 16.0 *. 0.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan %.3f < sequential %.3f" !last sequential)
+    true (!last < sequential);
+  Alcotest.(check int) "two batches of 8" 2 (Es_sim.Batcher.batches b)
+
+let test_batcher_mid_batch_arrivals_wait () =
+  let e = Es_sim.Engine.create () in
+  let b = Es_sim.Batcher.create e ~max_batch:2 ~window_s:0.001 ~alpha:0.0 ~speed:1.0 () in
+  let times = ref [] in
+  Es_sim.Batcher.submit b ~work:1.0 (fun () -> times := Es_sim.Engine.now e :: !times);
+  Es_sim.Batcher.submit b ~work:1.0 (fun () -> times := Es_sim.Engine.now e :: !times);
+  (* Arrives while the first batch is running. *)
+  Es_sim.Engine.schedule e 0.5 (fun () ->
+      Es_sim.Batcher.submit b ~work:1.0 (fun () -> times := Es_sim.Engine.now e :: !times));
+  Es_sim.Engine.run e;
+  match List.rev !times with
+  | [ t1; t2; t3 ] ->
+      Alcotest.(check (float 1e-9)) "first batch (alpha=0: no speedup)" 2.0 t1;
+      Alcotest.(check (float 1e-9)) "first batch peer" 2.0 t2;
+      Alcotest.(check bool) "straggler served after" true (t3 > 2.0);
+      Alcotest.(check int) "two batches" 2 (Es_sim.Batcher.batches b)
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 completions, got %d" (List.length l))
+
+let test_runner_batching_mode () =
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.server_only.Es_baselines.Baselines.solve c in
+  let batching = { Es_sim.Runner.max_batch = 8; window_s = 0.002; alpha = 0.7 } in
+  let r =
+    Es_sim.Runner.run
+      ~options:{ Es_sim.Runner.default_options with batching = Some batching }
+      c ds
+  in
+  Alcotest.(check int) "conservation holds under batching" r.Es_sim.Metrics.total_generated
+    (r.Es_sim.Metrics.total_completed + r.Es_sim.Metrics.total_dropped);
+  Alcotest.(check bool) "requests completed" true (r.Es_sim.Metrics.total_completed > 0)
+
+(* ---------- Runner ---------- *)
+
+let one_device_cluster () =
+  Cluster.make
+    ~devices:
+      [
+        Cluster.device ~id:0 ~proc:Processor.raspberry_pi ~link:Link.wifi ~model:resnet18
+          ~rate:0.2 ~deadline:0.5 ();
+      ]
+    ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_gpu ~ap_bandwidth_mbps:200.0 () ]
+
+let spaced_arrivals = [| (6.0, 0); (20.0, 0); (34.0, 0); (48.0, 0) |]
+
+let test_runner_matches_analytic_when_uncontended () =
+  (* Arrivals spaced far beyond the service time never overlap: simulated
+     latency must equal the analytic model exactly (no fading, no jitter). *)
+  let c = one_device_cluster () in
+  let plan = Plan.make ~cut:(Graph.n_nodes resnet18 / 2) resnet18 in
+  let d = Decision.make ~device:0 ~server:0 ~plan ~bandwidth_bps:50e6 ~compute_share:0.8 () in
+  let analytic = Latency.of_decision c [| d |].(0) in
+  let report = Es_sim.Runner.run ~arrivals:spaced_arrivals c [| d |] in
+  Alcotest.(check int) "collected samples" 4 (Array.length report.Es_sim.Metrics.latencies);
+  Array.iter
+    (fun l -> Alcotest.(check (float 1e-6)) "sim = analytic" analytic l)
+    report.Es_sim.Metrics.latencies
+
+let test_runner_device_only_matches_analytic () =
+  let c = one_device_cluster () in
+  let d = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  let analytic = Latency.of_decision c d in
+  let report = Es_sim.Runner.run ~arrivals:spaced_arrivals c [| d |] in
+  Array.iter
+    (fun l -> Alcotest.(check (float 1e-6)) "sim = analytic" analytic l)
+    report.Es_sim.Metrics.latencies
+
+let test_runner_deterministic () =
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve c in
+  let r1 = Es_sim.Runner.run c ds and r2 = Es_sim.Runner.run c ds in
+  Alcotest.(check int) "same generated" r1.Es_sim.Metrics.total_generated
+    r2.Es_sim.Metrics.total_generated;
+  Alcotest.(check (float 1e-12)) "same mean" r1.Es_sim.Metrics.mean_latency_s
+    r2.Es_sim.Metrics.mean_latency_s
+
+let test_runner_conservation () =
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.server_only.Es_baselines.Baselines.solve c in
+  let r = Es_sim.Runner.run c ds in
+  Alcotest.(check int) "every generated request completes or drops"
+    r.Es_sim.Metrics.total_generated
+    (r.Es_sim.Metrics.total_completed + r.Es_sim.Metrics.total_dropped);
+  Alcotest.(check bool) "dsr within [0,1]" true
+    (r.Es_sim.Metrics.dsr >= 0.0 && r.Es_sim.Metrics.dsr <= 1.0);
+  Array.iter
+    (fun u -> Alcotest.(check bool) "utilization sane" true (u >= 0.0 && u <= 1.05))
+    r.Es_sim.Metrics.server_utilization
+
+let test_runner_queueing_appears_under_load () =
+  (* One busy device: at 80% load the queueing delay must push the mean
+     above the uncontended service time. *)
+  let c =
+    Cluster.make
+      ~devices:
+        [
+          Cluster.device ~id:0 ~proc:Processor.raspberry_pi ~link:Link.wifi ~model:resnet18
+            ~rate:4.0 ~deadline:1.0 ();
+        ]
+      ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_gpu ~ap_bandwidth_mbps:200.0 () ]
+  in
+  let plan = Plan.server_only resnet18 in
+  let d = Decision.make ~device:0 ~server:0 ~plan ~bandwidth_bps:30e6 ~compute_share:1.0 () in
+  let service = Latency.of_decision c d in
+  let r =
+    Es_sim.Runner.run ~options:{ Es_sim.Runner.default_options with duration_s = 200.0 } c [| d |]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1fms > service %.1fms" (1000. *. r.Es_sim.Metrics.mean_latency_s)
+       (1000. *. service))
+    true
+    (r.Es_sim.Metrics.mean_latency_s > service *. 1.05)
+
+let test_runner_queue_capacity_drops () =
+  let c =
+    Cluster.make
+      ~devices:
+        [
+          Cluster.device ~id:0 ~proc:Processor.iot_board ~link:Link.wifi ~model:resnet18
+            ~rate:20.0 ~deadline:0.2 ();
+        ]
+      ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_cpu ~ap_bandwidth_mbps:50.0 () ]
+  in
+  (* Device-only full resnet18 on an IoT board at 20 req/s: hopeless. *)
+  let d = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  let r =
+    Es_sim.Runner.run
+      ~options:
+        { Es_sim.Runner.default_options with duration_s = 20.0; queue_capacity = Some 5 }
+      c [| d |]
+  in
+  Alcotest.(check bool) "overload drops requests" true (r.Es_sim.Metrics.total_dropped > 0)
+
+let test_runner_fading_slows_transfers () =
+  let c = one_device_cluster () in
+  let plan = Plan.server_only resnet18 in
+  let d = Decision.make ~device:0 ~server:0 ~plan ~bandwidth_bps:50e6 ~compute_share:0.9 () in
+  let base = Es_sim.Runner.run c [| d |] in
+  let faded =
+    Es_sim.Runner.run ~options:{ Es_sim.Runner.default_options with fading = true } c [| d |]
+  in
+  Alcotest.(check bool) "fading increases mean latency" true
+    (faded.Es_sim.Metrics.mean_latency_s > base.Es_sim.Metrics.mean_latency_s)
+
+let test_runner_explicit_arrivals () =
+  let c = one_device_cluster () in
+  let d = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  let arrivals = [| (6.0, 0); (7.0, 0); (8.0, 0) |] in
+  let r = Es_sim.Runner.run ~arrivals c [| d |] in
+  Alcotest.(check int) "exactly the trace" 3 r.Es_sim.Metrics.total_generated
+
+let test_runner_reconfigure_changes_plan () =
+  (* Device-only until t=30, then full offload: post-switch requests must be
+     faster on this weak device. *)
+  let c = one_device_cluster () in
+  let local = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  let remote =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18) ~bandwidth_bps:80e6
+      ~compute_share:0.9 ()
+  in
+  let arrivals = [| (10.0, 0); (40.0, 0) |] in
+  let r =
+    Es_sim.Runner.run ~arrivals ~reconfigure:[ (30.0, [| remote |]) ]
+      ~options:{ Es_sim.Runner.default_options with duration_s = 60.0; warmup_s = 0.0 }
+      c [| local |]
+  in
+  let samples = r.Es_sim.Metrics.per_device.(0).Es_sim.Metrics.samples in
+  Alcotest.(check int) "two requests" 2 (Array.length samples);
+  Alcotest.(check bool)
+    (Printf.sprintf "offloaded %.0fms < local %.0fms" (1000. *. samples.(1)) (1000. *. samples.(0)))
+    true
+    (samples.(1) < samples.(0))
+
+let test_runner_work_scale () =
+  let c = one_device_cluster () in
+  let d = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  let base = Es_sim.Runner.run ~arrivals:spaced_arrivals c [| d |] in
+  let doubled =
+    Es_sim.Runner.run ~arrivals:spaced_arrivals ~work_scale:(fun ~device:_ _ -> 2.0) c [| d |]
+  in
+  Alcotest.(check (float 1e-6)) "work scale doubles compute latency"
+    (2.0 *. base.Es_sim.Metrics.mean_latency_s)
+    doubled.Es_sim.Metrics.mean_latency_s
+
+let test_runner_warmup_discards () =
+  let c = one_device_cluster () in
+  let d = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  let arrivals = [| (1.0, 0); (10.0, 0) |] in
+  let r =
+    Es_sim.Runner.run ~arrivals
+      ~options:{ Es_sim.Runner.default_options with warmup_s = 5.0; duration_s = 20.0 }
+      c [| d |]
+  in
+  Alcotest.(check int) "warmup arrival excluded" 1 r.Es_sim.Metrics.total_generated
+
+let () =
+  Alcotest.run "es_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "tie FIFO" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "nested + errors" `Quick test_engine_nested_scheduling;
+          prop_engine_time_monotone;
+        ] );
+      ( "station",
+        [
+          Alcotest.test_case "fifo service" `Quick test_station_fifo_service;
+          Alcotest.test_case "capacity drops" `Quick test_station_capacity_drops;
+          Alcotest.test_case "speed change" `Quick test_station_speed_change;
+          Alcotest.test_case "zero work" `Quick test_station_zero_work;
+          prop_station_busy_conserved;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "window launch" `Quick test_batcher_window_launch;
+          Alcotest.test_case "full batch immediate" `Quick test_batcher_full_batch_immediate;
+          Alcotest.test_case "beats sequential" `Quick test_batcher_beats_sequential_under_load;
+          Alcotest.test_case "mid-batch waits" `Quick test_batcher_mid_batch_arrivals_wait;
+          Alcotest.test_case "runner batching mode" `Quick test_runner_batching_mode;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "matches analytic (offload)" `Quick
+            test_runner_matches_analytic_when_uncontended;
+          Alcotest.test_case "matches analytic (local)" `Quick
+            test_runner_device_only_matches_analytic;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "conservation" `Quick test_runner_conservation;
+          Alcotest.test_case "queueing under load" `Quick test_runner_queueing_appears_under_load;
+          Alcotest.test_case "queue capacity" `Quick test_runner_queue_capacity_drops;
+          Alcotest.test_case "fading" `Quick test_runner_fading_slows_transfers;
+          Alcotest.test_case "explicit arrivals" `Quick test_runner_explicit_arrivals;
+          Alcotest.test_case "reconfigure" `Quick test_runner_reconfigure_changes_plan;
+          Alcotest.test_case "work scale" `Quick test_runner_work_scale;
+          Alcotest.test_case "warmup" `Quick test_runner_warmup_discards;
+        ] );
+    ]

@@ -1,0 +1,467 @@
+open Es_util
+
+let qtest ?(count = 200) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* ---------- Prng ---------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b);
+  let _ = Prng.bits64 a in
+  ()
+
+let test_prng_split_differs () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  let xa = Prng.bits64 a and xb = Prng.bits64 b in
+  Alcotest.(check bool) "split stream differs" true (xa <> xb)
+
+let test_prng_int_bounds () =
+  let r = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_rejects_bad_bound () =
+  let r = Prng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int r 0))
+
+let test_prng_float_bounds () =
+  let r = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_int_in () =
+  let r = Prng.create 9 in
+  for _ = 1 to 500 do
+    let v = Prng.int_in r (-3) 3 in
+    Alcotest.(check bool) "in [-3,3]" true (v >= -3 && v <= 3)
+  done
+
+let test_prng_exponential_mean () =
+  let r = Prng.create 11 in
+  let n = 20000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Prng.exponential r 4.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f within 5%% of 0.25" mean)
+    true
+    (Float.abs (mean -. 0.25) < 0.0125)
+
+let test_prng_normal_moments () =
+  let r = Prng.create 13 in
+  let n = 20000 in
+  let s = Stats.create () in
+  for _ = 1 to n do
+    Stats.add s (Prng.normal r ~mu:5.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean close" true (Float.abs (Stats.mean s -. 5.0) < 0.1);
+  Alcotest.(check bool) "stddev close" true (Float.abs (Stats.stddev s -. 2.0) < 0.1)
+
+let test_prng_weighted_choice () =
+  let r = Prng.create 17 in
+  let counts = Hashtbl.create 3 in
+  let items = [| ("a", 1.0); ("b", 3.0); ("c", 0.0) |] in
+  for _ = 1 to 10000 do
+    let k = Prng.weighted_choice r items in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check int) "zero-weight item never drawn" 0 (get "c");
+  Alcotest.(check bool) "b ~3x a" true (float_of_int (get "b") /. float_of_int (get "a") > 2.5)
+
+let test_prng_shuffle_permutation () =
+  let r = Prng.create 23 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_sample_without_replacement () =
+  let r = Prng.create 29 in
+  let s = Prng.sample_without_replacement r 10 30 in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let seen = Hashtbl.create 10 in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "in range" true (x >= 0 && x < 30);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen x);
+      Hashtbl.add seen x ())
+    s
+
+let prng_nonnegative_int =
+  qtest "Prng.int is within bounds for arbitrary seeds/bounds"
+    QCheck.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Prng.create seed in
+      let v = Prng.int r bound in
+      v >= 0 && v < bound)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.(check bool) "mean is nan" true (Float.is_nan (Stats.mean s))
+
+let test_stats_known_values () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s);
+  Alcotest.(check (float 1e-9)) "sum" 40.0 (Stats.sum s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.0; 2.0; 3.0 ] and ys = [ 10.0; 20.0; 30.0; 40.0 ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let m = Stats.merge a b in
+  Alcotest.(check (float 1e-9)) "merged mean" (Stats.mean whole) (Stats.mean m);
+  Alcotest.(check (float 1e-9)) "merged variance" (Stats.variance whole) (Stats.variance m);
+  Alcotest.(check int) "merged count" (Stats.count whole) (Stats.count m)
+
+let test_percentiles () =
+  let xs = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 15.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 50.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "median" 35.0 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p25 lands on an order statistic" 20.0 (Stats.percentile xs 25.0);
+  Alcotest.(check (float 1e-9)) "p37.5 interpolated" 27.5 (Stats.percentile xs 37.5)
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "bad p" (Invalid_argument "Stats.percentile: p outside [0,100]")
+    (fun () -> ignore (Stats.percentile [| 1.0 |] 101.0))
+
+let test_histogram () =
+  let xs = [| 0.0; 0.1; 0.9; 1.0; 2.0 |] in
+  let h = Stats.histogram xs ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples binned" 5 total
+
+let test_cdf_points () =
+  let pts = Stats.cdf_points [| 3.0; 1.0; 2.0 |] 2 in
+  Alcotest.(check int) "n+1 points" 3 (List.length pts);
+  let vs = List.map fst pts in
+  Alcotest.(check (list (float 1e-9))) "sorted values" [ 1.0; 2.0; 3.0 ] vs
+
+let test_jain_index () =
+  Alcotest.(check (float 1e-9)) "equal allocation" 1.0 (Stats.jain_index [| 2.0; 2.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "maximal skew -> 1/n" (1.0 /. 3.0)
+    (Stats.jain_index [| 6.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.jain_index [||]));
+  Alcotest.(check (float 1e-9)) "all zeros treated as fair" 1.0 (Stats.jain_index [| 0.0; 0.0 |]);
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Stats.jain_index: negative entry")
+    (fun () -> ignore (Stats.jain_index [| 1.0; -1.0 |]))
+
+let stats_percentile_monotone =
+  qtest "percentiles are monotone in p"
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let xs = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let stats_merge_matches_sequential =
+  qtest "merge equals a single pass"
+    QCheck.(pair (list (float_range (-50.) 50.)) (list (float_range (-50.) 50.)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+      List.iter (Stats.add a) xs;
+      List.iter (Stats.add b) ys;
+      List.iter (Stats.add whole) (xs @ ys);
+      let m = Stats.merge a b in
+      Stats.count m = Stats.count whole
+      && (Stats.count m = 0
+         || Numeric.float_equal ~eps:1e-9 (Stats.mean m) (Stats.mean whole)
+            && Numeric.float_equal ~eps:1e-6 (Stats.variance m) (Stats.variance whole)))
+
+(* ---------- Heap ---------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p p) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list (float 1e-9))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] order;
+  Alcotest.(check int) "non-destructive" 5 (Heap.length h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "first";
+  Heap.push h 1.0 "second";
+  Heap.push h 1.0 "third";
+  Alcotest.(check string) "tie order 1" "first" (snd (Heap.pop_exn h));
+  Alcotest.(check string) "tie order 2" "second" (snd (Heap.pop_exn h));
+  Alcotest.(check string) "tie order 3" "third" (snd (Heap.pop_exn h))
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop None" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 ();
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h)
+
+let heap_pops_sorted =
+  qtest "pops come out sorted for arbitrary pushes"
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun ps ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p ()) ps;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (p, ()) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+let heap_interleaved =
+  qtest "interleaved push/pop maintains the invariant"
+    QCheck.(list (pair bool (float_range 0. 100.)))
+    (fun ops ->
+      let h = Heap.create () in
+      let ok = ref true in
+      let last_popped = ref neg_infinity in
+      List.iter
+        (fun (is_pop, p) ->
+          if is_pop then begin
+            match Heap.pop h with
+            | None -> last_popped := neg_infinity
+            | Some (v, ()) ->
+                (* Within a monotone drain the values must not decrease. *)
+                if v < !last_popped then ok := false;
+                last_popped := v
+          end
+          else begin
+            Heap.push h p ();
+            last_popped := neg_infinity
+          end)
+        ops;
+      !ok)
+
+(* ---------- Maxflow ---------- *)
+
+let test_maxflow_diamond () =
+  (* s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (10). *)
+  let net = Maxflow.create ~n:4 in
+  let s = 0 and a = 1 and b = 2 and t = 3 in
+  Maxflow.add_edge net ~src:s ~dst:a ~capacity:3.0;
+  Maxflow.add_edge net ~src:s ~dst:b ~capacity:2.0;
+  Maxflow.add_edge net ~src:a ~dst:t ~capacity:2.0;
+  Maxflow.add_edge net ~src:b ~dst:t ~capacity:3.0;
+  Maxflow.add_edge net ~src:a ~dst:b ~capacity:10.0;
+  Alcotest.(check (float 1e-9)) "flow value" 5.0 (Maxflow.max_flow net ~source:s ~sink:t);
+  let side = Maxflow.min_cut_side net ~source:s in
+  Alcotest.(check bool) "source on source side" true side.(s);
+  Alcotest.(check bool) "sink on sink side" false side.(t)
+
+let test_maxflow_classic () =
+  (* CLRS figure: max flow 23. *)
+  let net = Maxflow.create ~n:6 in
+  let edges =
+    [ (0, 1, 16.); (0, 2, 13.); (1, 2, 10.); (2, 1, 4.); (1, 3, 12.); (3, 2, 9.);
+      (2, 4, 14.); (4, 3, 7.); (3, 5, 20.); (4, 5, 4.) ]
+  in
+  List.iter (fun (src, dst, capacity) -> Maxflow.add_edge net ~src ~dst ~capacity) edges;
+  Alcotest.(check (float 1e-9)) "CLRS max flow" 23.0 (Maxflow.max_flow net ~source:0 ~sink:5)
+
+let test_maxflow_disconnected () =
+  let net = Maxflow.create ~n:3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~capacity:5.0;
+  Alcotest.(check (float 0.0)) "no path, no flow" 0.0 (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_maxflow_infinite_edge () =
+  let net = Maxflow.create ~n:3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~capacity:infinity;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~capacity:7.0;
+  Alcotest.(check (float 1e-9)) "bounded by the finite edge" 7.0
+    (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_maxflow_validation () =
+  let net = Maxflow.create ~n:2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Maxflow.add_edge: self-loop") (fun () ->
+      Maxflow.add_edge net ~src:0 ~dst:0 ~capacity:1.0);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Maxflow.add_edge: negative capacity") (fun () ->
+      Maxflow.add_edge net ~src:0 ~dst:1 ~capacity:(-1.0))
+
+(* ---------- Pareto ---------- *)
+
+let test_dominates () =
+  Alcotest.(check bool) "strict" true (Pareto.dominates [| 1.0; 1.0 |] [| 2.0; 2.0 |]);
+  Alcotest.(check bool) "partial" true (Pareto.dominates [| 1.0; 2.0 |] [| 2.0; 2.0 |]);
+  Alcotest.(check bool) "equal does not dominate" false
+    (Pareto.dominates [| 1.0; 1.0 |] [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "incomparable" false (Pareto.dominates [| 1.0; 3.0 |] [| 2.0; 2.0 |])
+
+let test_frontier_basic () =
+  let pts = [ (1.0, 5.0); (2.0, 4.0); (3.0, 3.0); (2.5, 4.5); (1.0, 5.0) ] in
+  let f = Pareto.frontier (fun (a, b) -> [| a; b |]) pts in
+  Alcotest.(check int) "dominated and duplicate removed" 3 (List.length f);
+  Alcotest.(check bool) "keeps the diagonal" true
+    (List.mem (1.0, 5.0) f && List.mem (2.0, 4.0) f && List.mem (3.0, 3.0) f)
+
+let pareto_frontier_sound =
+  qtest ~count:100 "frontier members are mutually non-dominated and cover the input"
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair (float_range 0. 10.) (float_range 0. 10.)))
+    (fun pts ->
+      let key (a, b) = [| a; b |] in
+      let f = Pareto.frontier key pts in
+      let non_dominated_inside =
+        List.for_all
+          (fun x -> not (List.exists (fun y -> Pareto.dominates (key y) (key x)) f))
+          f
+      in
+      let covers =
+        List.for_all
+          (fun x ->
+            List.exists (fun y -> key y = key x || Pareto.dominates (key y) (key x)) f)
+          pts
+      in
+      non_dominated_inside && covers)
+
+(* ---------- Numeric ---------- *)
+
+let test_clamp () =
+  Alcotest.(check (float 0.0)) "below" 1.0 (Numeric.clamp ~lo:1.0 ~hi:2.0 0.0);
+  Alcotest.(check (float 0.0)) "above" 2.0 (Numeric.clamp ~lo:1.0 ~hi:2.0 3.0);
+  Alcotest.(check (float 0.0)) "inside" 1.5 (Numeric.clamp ~lo:1.0 ~hi:2.0 1.5)
+
+let test_interp1 () =
+  let knots = [| (0.0, 0.0); (1.0, 10.0); (2.0, 20.0) |] in
+  Alcotest.(check (float 1e-9)) "midpoint" 5.0 (Numeric.interp1 knots 0.5);
+  Alcotest.(check (float 1e-9)) "clamp left" 0.0 (Numeric.interp1 knots (-1.0));
+  Alcotest.(check (float 1e-9)) "clamp right" 20.0 (Numeric.interp1 knots 5.0);
+  Alcotest.(check (float 1e-9)) "knot exact" 10.0 (Numeric.interp1 knots 1.0)
+
+let test_bisect () =
+  let x = Numeric.bisect ~lo:0.0 ~hi:10.0 (fun v -> v >= Float.pi) in
+  Alcotest.(check (float 1e-6)) "finds pi" Float.pi x;
+  let all_false = Numeric.bisect ~lo:0.0 ~hi:1.0 (fun _ -> false) in
+  Alcotest.(check (float 0.0)) "returns hi when never true" 1.0 all_false;
+  let all_true = Numeric.bisect ~lo:2.0 ~hi:3.0 (fun _ -> true) in
+  Alcotest.(check (float 0.0)) "returns lo when already true" 2.0 all_true
+
+let test_argmin_argmax () =
+  Alcotest.(check (option int)) "argmin" (Some 3) (Numeric.argmin_by float_of_int [ 5; 3; 4 ]);
+  Alcotest.(check (option int)) "argmax" (Some 5) (Numeric.argmax_by float_of_int [ 5; 3; 4 ]);
+  Alcotest.(check (option int)) "empty" None (Numeric.argmin_by float_of_int [])
+
+let test_units () =
+  Alcotest.(check (float 1e-9)) "mbps" 125000.0 (Numeric.mbps 1.0);
+  Alcotest.(check (float 1e-9)) "gflops" 2e9 (Numeric.gflops 2.0);
+  Alcotest.(check (float 1e-9)) "ms" 0.25 (Numeric.ms 250.0)
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let out = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + rule + 2 rows + trailing" 5 (List.length lines);
+  (* All rows align to the same width. *)
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths
+
+let test_table_formats () =
+  Alcotest.(check string) "fmt_f" "1.500" (Table.fmt_f 1.5);
+  Alcotest.(check string) "fmt_f nan" "-" (Table.fmt_f nan);
+  Alcotest.(check string) "fmt_ms" "12.30" (Table.fmt_ms 0.0123);
+  Alcotest.(check string) "fmt_pct" "97.5" (Table.fmt_pct 0.975)
+
+let () =
+  Alcotest.run "es_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split" `Quick test_prng_split_differs;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_prng_int_rejects_bad_bound;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "int_in" `Quick test_prng_int_in;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_prng_normal_moments;
+          Alcotest.test_case "weighted choice" `Quick test_prng_weighted_choice;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick test_prng_sample_without_replacement;
+          prng_nonnegative_int;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "cdf points" `Quick test_cdf_points;
+          Alcotest.test_case "jain index" `Quick test_jain_index;
+          stats_percentile_monotone;
+          stats_merge_matches_sequential;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          heap_pops_sorted;
+          heap_interleaved;
+        ] );
+      ( "maxflow",
+        [
+          Alcotest.test_case "diamond" `Quick test_maxflow_diamond;
+          Alcotest.test_case "classic 23" `Quick test_maxflow_classic;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+          Alcotest.test_case "infinite edge" `Quick test_maxflow_infinite_edge;
+          Alcotest.test_case "validation" `Quick test_maxflow_validation;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "frontier basic" `Quick test_frontier_basic;
+          pareto_frontier_sound;
+        ] );
+      ( "numeric",
+        [
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "interp1" `Quick test_interp1;
+          Alcotest.test_case "bisect" `Quick test_bisect;
+          Alcotest.test_case "argmin/argmax" `Quick test_argmin_argmax;
+          Alcotest.test_case "units" `Quick test_units;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+    ]
