@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc
+.PHONY: all build test check bench examples clean doc
 
 all: build
 
@@ -9,6 +9,15 @@ build:
 
 test:
 	dune runtest
+
+# The one-shot gate CI runs: full build (including examples and bench
+# executables) plus the whole test suite.
+check:
+	dune build @all && dune runtest
+
+# Requires odoc (opam install odoc); not part of `check`.
+doc:
+	dune build @doc
 
 test-force:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt

@@ -7,7 +7,28 @@ let fmt_ms = Es_util.Table.fmt_ms
 let fmt_pct = Es_util.Table.fmt_pct
 let fmt_f = Es_util.Table.fmt_f
 
+(* Machine-readable result stream: when main.ml routes --jsonl here, every
+   policy run is also logged as one JSONL line through the es_obs exporters
+   (same format the CLI's --metrics-out uses), replacing ad-hoc scraping of
+   the printed tables. *)
+let jsonl_out : out_channel option ref = ref None
+let current_experiment = ref ""
+
+let log_report ~policy (report : Es_sim.Metrics.report) =
+  match !jsonl_out with
+  | None -> ()
+  | Some oc ->
+      Es_obs.Export.write_jsonl_line oc
+        (Es_obs.Json.Obj
+           [
+             ("kind", Es_obs.Json.String "bench_run");
+             ("experiment", Es_obs.Json.String !current_experiment);
+             ("policy", Es_obs.Json.String policy);
+             ("report", Es_sim.Metrics.report_to_json report);
+           ])
+
 let heading id title =
+  current_experiment := id;
   Printf.printf "\n================================================================\n";
   Printf.printf "%s  %s\n" id title;
   Printf.printf "================================================================\n"
@@ -33,7 +54,9 @@ let simulate ?duration ?seed cluster decisions =
 (* Run one policy end to end on a cluster: solve, then simulate. *)
 let run_policy ?duration ?seed cluster (p : Es_baselines.Baselines.t) =
   let decisions = p.Es_baselines.Baselines.solve cluster in
-  (decisions, simulate ?duration ?seed cluster decisions)
+  let report = simulate ?duration ?seed cluster decisions in
+  log_report ~policy:p.Es_baselines.Baselines.name report;
+  (decisions, report)
 
 let mean_accuracy (decisions : Decision.t array) =
   if Array.length decisions = 0 then nan

@@ -1,12 +1,27 @@
 (* EdgeSurgeon benchmark harness.
 
    Usage:
-     dune exec bench/main.exe              # run every experiment
-     dune exec bench/main.exe -- F1 T2     # run a subset
-     dune exec bench/main.exe -- --list    # list experiment ids *)
+     dune exec bench/main.exe                      # run every experiment
+     dune exec bench/main.exe -- F1 T2             # run a subset
+     dune exec bench/main.exe -- --list            # list experiment ids
+     dune exec bench/main.exe -- --jsonl out.jsonl # also log every policy
+                                                   # run as JSONL records *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* Peel off --jsonl PATH; the remaining args are experiment ids. *)
+  let rec extract_jsonl acc = function
+    | "--jsonl" :: path :: rest ->
+        Common.jsonl_out := Some (open_out path);
+        List.rev_append acc rest
+    | "--jsonl" :: [] ->
+        prerr_endline "--jsonl expects a file path";
+        exit 2
+    | a :: rest -> extract_jsonl (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_jsonl [] args in
+  at_exit (fun () -> Option.iter close_out !Common.jsonl_out);
   let ids = List.map (fun (id, _, _) -> id) Experiments.all in
   match args with
   | [ "--list" ] ->

@@ -35,6 +35,63 @@ let duration_arg =
   let doc = "Simulated seconds." in
   Arg.(value & opt float 40.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
 
+(* ---------- observability arguments ---------- *)
+
+let metrics_out_arg =
+  let doc = "Write a metric snapshot (counters, gauges, latency histograms) as JSONL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Stream per-request trace spans (root request span + per-stage child segments) as JSONL to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let no_obs_arg =
+  let doc =
+    "Disable all observability (overrides $(b,--metrics-out)/$(b,--trace-out)): the simulator \
+     runs on its uninstrumented noop path, for overhead measurements."
+  in
+  Arg.(value & flag & info [ "no-obs" ] ~doc)
+
+(* Run [body ~metrics ~spans], honouring the three obs flags: the span sink
+   streams to --trace-out while [body] runs; the metric registry is dumped
+   to --metrics-out afterwards. *)
+let with_obs ~metrics_out ~trace_out ~no_obs body =
+  let metrics_out = if no_obs then None else metrics_out in
+  let trace_out = if no_obs then None else trace_out in
+  (* Open both files before the (possibly long) run so a bad path fails
+     fast — and cleanly — instead of after the simulation has finished. *)
+  let open_out_or_die path =
+    try open_out path
+    with Sys_error e ->
+      Printf.eprintf "edgesim: cannot open %s: %s\n" path e;
+      exit 1
+  in
+  let metrics_oc = Option.map (fun path -> (path, open_out_or_die path)) metrics_out in
+  let trace_oc = Option.map (fun path -> (path, open_out_or_die path)) trace_out in
+  let metrics = Option.map (fun _ -> Es_obs.Metric.create ()) metrics_out in
+  let finally () =
+    Option.iter (fun (_, oc) -> close_out oc) metrics_oc;
+    Option.iter (fun (_, oc) -> close_out oc) trace_oc
+  in
+  Fun.protect ~finally (fun () ->
+      let result =
+        match trace_oc with
+        | None -> body ~metrics ~spans:None
+        | Some (path, oc) ->
+            let r = body ~metrics ~spans:(Some (Es_obs.Export.jsonl_span_sink oc)) in
+            Printf.printf "wrote trace spans to %s\n" path;
+            r
+      in
+      (match (metrics, metrics_oc) with
+      | Some reg, Some (path, oc) ->
+          Es_obs.Export.metrics_to_jsonl oc reg;
+          Printf.printf "wrote metrics to %s\n" path
+      | _ -> ());
+      result)
+
 let build_cluster scenario devices seed ap_mbps =
   match Es_workload.Scenarios.by_name scenario with
   | exception Not_found ->
@@ -151,14 +208,21 @@ let plan_cmd =
 (* ---------- run ---------- *)
 
 let print_report name (r : Es_sim.Metrics.report) =
+  (* Mirrors Metrics.pp_report's coverage: totals incl. drops, pooled
+     quantiles, and per-server utilization — the same fields the JSONL
+     export carries. *)
   Printf.printf
-    "%-14s DSR %5.1f%%  mean %7.1fms  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  (%d reqs, %d dropped)\n"
+    "%-14s DSR %5.1f%%  mean %7.1fms  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  (%d reqs, %d \
+     dropped, util [%s])\n"
     name (100.0 *. r.Es_sim.Metrics.dsr)
     (1000.0 *. r.Es_sim.Metrics.mean_latency_s)
     (1000.0 *. r.Es_sim.Metrics.p50_s)
     (1000.0 *. r.Es_sim.Metrics.p95_s)
     (1000.0 *. r.Es_sim.Metrics.p99_s)
     r.Es_sim.Metrics.total_generated r.Es_sim.Metrics.total_dropped
+    (String.concat "; "
+       (Array.to_list
+          (Array.map (fun u -> Printf.sprintf "%.2f" u) r.Es_sim.Metrics.server_utilization)))
 
 let run_cmd =
   let policy =
@@ -167,7 +231,7 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every per-device decision.")
   in
-  let run scenario devices seed ap_mbps duration policy verbose =
+  let run scenario devices seed ap_mbps duration policy verbose metrics_out trace_out no_obs =
     match build_cluster scenario devices seed ap_mbps with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -187,14 +251,17 @@ let run_cmd =
             if verbose then
               Array.iter (fun d -> Format.printf "  %a@." Decision.pp d) decisions;
             let options = { Es_sim.Runner.default_options with duration_s = duration } in
-            let report = Es_sim.Runner.run ~options cluster decisions in
+            let report =
+              with_obs ~metrics_out ~trace_out ~no_obs (fun ~metrics ~spans ->
+                  Es_sim.Runner.run ~options ?metrics ?spans cluster decisions)
+            in
             print_report p.Es_baselines.Baselines.name report;
             0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Solve and simulate one policy on a scenario")
     Term.(
       const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ duration_arg $ policy
-      $ verbose)
+      $ verbose $ metrics_out_arg $ trace_out_arg $ no_obs_arg)
 
 (* ---------- compare ---------- *)
 
@@ -369,7 +436,7 @@ let trace_cmd =
       & info [ "burst" ] ~docv:"FACTOR"
           ~doc:"Generate with a step burst of this factor in the middle third.")
   in
-  let run scenario devices seed duration out replay burst =
+  let run scenario devices seed duration out replay burst metrics_out trace_out no_obs =
     match build_cluster scenario devices seed None with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -404,19 +471,28 @@ let trace_cmd =
                 Printf.printf "saved to %s\n" path;
                 0
             | None ->
-                let decisions =
-                  (Es_joint.Optimizer.solve cluster).Es_joint.Optimizer.decisions
+                (* The optimizer and the simulator report into the same
+                   registry/sink: solver iterations in wall-clock spans,
+                   requests in simulated-time spans. *)
+                let report =
+                  with_obs ~metrics_out ~trace_out ~no_obs (fun ~metrics ~spans ->
+                      let decisions =
+                        (Es_joint.Optimizer.solve ?metrics ?spans cluster)
+                          .Es_joint.Optimizer.decisions
+                      in
+                      let options =
+                        { Es_sim.Runner.default_options with duration_s = duration }
+                      in
+                      Es_sim.Runner.run ~options ?metrics ?spans ~arrivals cluster decisions)
                 in
-                let options =
-                  { Es_sim.Runner.default_options with duration_s = duration }
-                in
-                let report = Es_sim.Runner.run ~options ~arrivals cluster decisions in
                 print_report "EdgeSurgeon" report;
                 0))
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Generate, save, or replay arrival traces")
-    Term.(const run $ scenario_arg $ devices_arg $ seed_arg $ duration_arg $ out $ replay $ burst)
+    Term.(
+      const run $ scenario_arg $ devices_arg $ seed_arg $ duration_arg $ out $ replay $ burst
+      $ metrics_out_arg $ trace_out_arg $ no_obs_arg)
 
 let () =
   let info =

@@ -28,10 +28,19 @@ type output = {
   solve_time_s : float;
 }
 
-let solve ?(config = default_config) cluster =
+let solve ?(config = default_config) ?metrics ?spans cluster =
   let t0 = Sys.time () in
   let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
   if nd = 0 then invalid_arg "Annealing.solve: empty cluster";
+  let tracer =
+    match spans with
+    | None -> Es_obs.Span.null
+    | Some sink -> Es_obs.Span.tracer ~sink ~clock:Es_obs.Obs.wall_clock ()
+  in
+  let root = Es_obs.Span.start tracer "annealing/solve" in
+  let obj_histo =
+    Option.map (fun reg -> Es_obs.Metric.histogram reg "annealing/accepted_objective") metrics
+  in
   let rng = Es_util.Prng.create config.seed in
   (* Per-device candidate pools, accuracy-filtered like the main optimizer. *)
   let pools =
@@ -80,6 +89,7 @@ let solve ?(config = default_config) cluster =
   let current = ref (match score () with Some s -> s | None -> assert false) in
   let best = ref !current in
   let temp = ref config.initial_temp in
+  let checkpoint_every = Stdlib.max 1 (config.iterations / 64) in
   for _ = 1 to config.iterations do
     let device = Es_util.Prng.int rng nd in
     let mutate_plan = ns <= 1 || Es_util.Prng.bool rng in
@@ -98,6 +108,7 @@ let solve ?(config = default_config) cluster =
         in
         if accept then begin
           incr accepted;
+          (match obj_histo with Some h -> Es_obs.Histogram.observe h obj | None -> ());
           current := state;
           if obj < fst !best then best := state
         end
@@ -105,9 +116,42 @@ let solve ?(config = default_config) cluster =
           plan_idx.(device) <- saved_plan;
           assignment.(device) <- saved_srv
         end);
-    temp := !temp *. config.cooling
+    temp := !temp *. config.cooling;
+    (* Checkpoint spans sample the cooling schedule: temperature, current
+       and best objective, and the running acceptance rate. *)
+    if Es_obs.Span.enabled tracer && !evaluated mod checkpoint_every = 0 then begin
+      let sp = Es_obs.Span.start tracer ~parent:root "annealing/checkpoint" in
+      Es_obs.Span.finish tracer
+        ~attrs:
+          [
+            ("evaluated", Es_obs.Json.Int !evaluated);
+            ("accepted", Es_obs.Json.Int !accepted);
+            ("temperature", Es_obs.Json.Float !temp);
+            ("objective", Es_obs.Json.Float (fst !current));
+            ("best_objective", Es_obs.Json.Float (fst !best));
+          ]
+        sp
+    end
   done;
   let obj, ds = !best in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      Es_obs.Metric.inc ~by:!evaluated (Es_obs.Metric.counter reg "annealing/evaluated");
+      Es_obs.Metric.inc ~by:!accepted (Es_obs.Metric.counter reg "annealing/accepted");
+      Es_obs.Metric.inc
+        ~by:(!evaluated - !accepted)
+        (Es_obs.Metric.counter reg "annealing/rejected");
+      Es_obs.Metric.set (Es_obs.Metric.gauge reg "annealing/objective") obj;
+      Es_obs.Metric.set (Es_obs.Metric.gauge reg "annealing/final_temperature") !temp);
+  Es_obs.Span.finish tracer
+    ~attrs:
+      [
+        ("objective", Es_obs.Json.Float obj);
+        ("evaluated", Es_obs.Json.Int !evaluated);
+        ("accepted", Es_obs.Json.Int !accepted);
+      ]
+    root;
   {
     decisions = ds;
     objective = obj;

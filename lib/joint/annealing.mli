@@ -27,7 +27,22 @@ type output = {
   solve_time_s : float;
 }
 
-val solve : ?config:config -> Es_edge.Cluster.t -> output
+val solve :
+  ?config:config ->
+  ?metrics:Es_obs.Metric.registry ->
+  ?spans:Es_obs.Span.sink ->
+  Es_edge.Cluster.t ->
+  output
 (** Starts from the all-device-only state (always stable).  Infeasible
     proposals (no stable allocation) are rejected outright.  Returns the
-    best state visited.  @raise Invalid_argument on an empty cluster. *)
+    best state visited.
+
+    Telemetry (both optional, off by default): [metrics] accrues
+    [annealing/evaluated] / [annealing/accepted] / [annealing/rejected]
+    counters, the [annealing/accepted_objective] histogram and final
+    [annealing/objective] / [annealing/final_temperature] gauges; [spans]
+    receives an [annealing/solve] root span (wall-clock) with
+    [annealing/checkpoint] children (~64 per run) sampling temperature,
+    objective and acceptance along the cooling schedule.
+
+    @raise Invalid_argument on an empty cluster. *)

@@ -192,10 +192,26 @@ let force_feasible config cluster plans assignment =
   in
   go order
 
-let solve_one ~config cluster =
+let solve_one ~config ?metrics ?spans cluster =
   let t0 = Sys.time () in
   let nd = Cluster.n_devices cluster in
   if nd = 0 then invalid_arg "Optimizer.solve: empty cluster";
+  let tracer =
+    match spans with
+    | None -> Es_obs.Span.null
+    | Some sink -> Es_obs.Span.tracer ~sink ~clock:Es_obs.Obs.wall_clock ()
+  in
+  let root = Es_obs.Span.start tracer "optimizer/solve" in
+  let note_iteration =
+    match metrics with
+    | None -> fun _ -> ()
+    | Some reg ->
+        let iters = Es_obs.Metric.counter reg "optimizer/iterations" in
+        let obj_h = Es_obs.Metric.histogram reg "optimizer/iteration_objective" in
+        fun obj ->
+          Es_obs.Metric.inc iters;
+          Es_obs.Histogram.observe obj_h obj
+  in
   let widths = config.widths in
   (* Initial surgery: fair-share estimate against the fastest server. *)
   let servers = cluster.Cluster.servers in
@@ -226,60 +242,71 @@ let solve_one ~config cluster =
   (try
      for iter = 1 to config.max_iters do
        iterations := iter;
-       (* --- Allocation step --- *)
-       let working, feasible =
-         match best_allocation ~allocator:config.allocator cluster ~assignment:!assignment ~plans with
-         | Some ds -> (ds, true)
-         | None -> (
-             match Policy.decisions Policy.Proportional cluster ~assignment:!assignment ~plans with
-             | Some ds -> (ds, false)
-             | None -> assert false (* share rules always allocate *))
-       in
-       let obj =
-         Objective.of_decisions cluster working +. if feasible then 0.0 else 100.0
-       in
-       trace :=
-         {
-           iteration = iter;
-           objective = obj;
-           misses = Objective.misses cluster working;
-           mean_latency_s = Latency.mean_latency cluster working;
-         }
-         :: !trace;
-       let improved =
-         match !best with
-         | Some (b, _) -> obj < b -. 1e-9
-         | None -> feasible
-       in
-       if improved && feasible then begin
-         best := Some (obj, working);
-         no_improve := 0
-       end
-       else incr no_improve;
-       if !no_improve >= 3 then raise Exit;
-       (* --- Surgery step --- *)
-       Array.iteri
-         (fun device (d : Decision.t) ->
-           let server = !assignment.(device) in
-           let bandwidth_bps, compute_share =
-             if Decision.offloads d && d.Decision.bandwidth_bps > 0.0 then
-               (d.Decision.bandwidth_bps, d.Decision.compute_share)
-             else fair_share_estimate cluster ~plans ~assignment:!assignment ~device
+       let iter_span = Es_obs.Span.start tracer ~parent:root "optimizer/iteration" in
+       (* The finally-finish keeps the iteration span well-formed on the
+          early-exit path too (Exit propagates through Fun.protect). *)
+       Fun.protect
+         ~finally:(fun () -> Es_obs.Span.finish tracer iter_span)
+         (fun () ->
+           (* --- Allocation step --- *)
+           let working, feasible =
+             match
+               best_allocation ~allocator:config.allocator cluster ~assignment:!assignment ~plans
+             with
+             | Some ds -> (ds, true)
+             | None -> (
+                 match
+                   Policy.decisions Policy.Proportional cluster ~assignment:!assignment ~plans
+                 with
+                 | Some ds -> (ds, false)
+                 | None -> assert false (* share rules always allocate *))
            in
-           plans.(device) <-
-             best_plan_for_grants ?max_candidates:config.max_candidates
-               ~precisions:config.precisions ~widths cluster ~device ~server ~bandwidth_bps
-               ~compute_share)
-         working;
-       (* --- Assignment step --- *)
-       if config.reassign && Array.length servers > 1 then begin
-         let greedy = Assign.balanced_greedy cluster ~plans in
-         assignment :=
-           Assign.local_search ~max_passes:config.local_search_passes
-             ~n_servers:(Array.length servers)
-             ~eval:(load_proxy cluster ~plans)
-             greedy
-       end
+           let obj =
+             Objective.of_decisions cluster working +. if feasible then 0.0 else 100.0
+           in
+           let misses = Objective.misses cluster working in
+           let mean_latency_s = Latency.mean_latency cluster working in
+           trace := { iteration = iter; objective = obj; misses; mean_latency_s } :: !trace;
+           note_iteration obj;
+           Es_obs.Span.set_attr iter_span "iteration" (Es_obs.Json.Int iter);
+           Es_obs.Span.set_attr iter_span "objective" (Es_obs.Json.Float obj);
+           Es_obs.Span.set_attr iter_span "misses" (Es_obs.Json.Int misses);
+           Es_obs.Span.set_attr iter_span "mean_latency_s" (Es_obs.Json.Float mean_latency_s);
+           Es_obs.Span.set_attr iter_span "feasible" (Es_obs.Json.Bool feasible);
+           let improved =
+             match !best with
+             | Some (b, _) -> obj < b -. 1e-9
+             | None -> feasible
+           in
+           if improved && feasible then begin
+             best := Some (obj, working);
+             no_improve := 0
+           end
+           else incr no_improve;
+           if !no_improve >= 3 then raise Exit;
+           (* --- Surgery step --- *)
+           Array.iteri
+             (fun device (d : Decision.t) ->
+               let server = !assignment.(device) in
+               let bandwidth_bps, compute_share =
+                 if Decision.offloads d && d.Decision.bandwidth_bps > 0.0 then
+                   (d.Decision.bandwidth_bps, d.Decision.compute_share)
+                 else fair_share_estimate cluster ~plans ~assignment:!assignment ~device
+               in
+               plans.(device) <-
+                 best_plan_for_grants ?max_candidates:config.max_candidates
+                   ~precisions:config.precisions ~widths cluster ~device ~server ~bandwidth_bps
+                   ~compute_share)
+             working;
+           (* --- Assignment step --- *)
+           if config.reassign && Array.length servers > 1 then begin
+             let greedy = Assign.balanced_greedy cluster ~plans in
+             assignment :=
+               Assign.local_search ~max_passes:config.local_search_passes
+                 ~n_servers:(Array.length servers)
+                 ~eval:(load_proxy cluster ~plans)
+                 greedy
+           end)
      done
    with Exit -> ());
   let decisions =
@@ -290,16 +317,29 @@ let solve_one ~config cluster =
         | Some ds -> ds
         | None -> assert false)
   in
+  let objective = Objective.of_decisions cluster decisions in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      Es_obs.Metric.set (Es_obs.Metric.gauge reg "optimizer/objective") objective;
+      Es_obs.Metric.set (Es_obs.Metric.gauge reg "optimizer/solve_time_s") (Sys.time () -. t0));
+  Es_obs.Span.finish tracer
+    ~attrs:
+      [
+        ("objective", Es_obs.Json.Float objective);
+        ("iterations", Es_obs.Json.Int !iterations);
+      ]
+    root;
   {
     decisions;
-    objective = Objective.of_decisions cluster decisions;
+    objective;
     iterations = !iterations;
     trace = List.rev !trace;
     solve_time_s = Sys.time () -. t0;
   }
 
-let solve ?(config = default_config) cluster =
-  let primary = solve_one ~config cluster in
+let solve ?(config = default_config) ?metrics ?spans cluster =
+  let primary = solve_one ~config ?metrics ?spans cluster in
   if config.allocator <> Policy.Minmax_alloc then primary
   else begin
     (* Multi-start: coordinate descent is sensitive to the allocator driving
@@ -308,7 +348,7 @@ let solve ?(config = default_config) cluster =
        allocation re-polished by the optimal inner step).  This makes the
        joint result never worse than the surgery-only ablation by
        construction. *)
-    let alt = solve_one ~config:{ config with allocator = Policy.Equal } cluster in
+    let alt = solve_one ~config:{ config with allocator = Policy.Equal } ?metrics ?spans cluster in
     let alt_plans = Array.map (fun (d : Decision.t) -> d.Decision.plan) alt.decisions in
     let alt_assignment = Array.map (fun (d : Decision.t) -> d.Decision.server) alt.decisions in
     let candidates =

@@ -53,11 +53,25 @@ type output = {
   solve_time_s : float;  (** wall-clock optimizer runtime *)
 }
 
-val solve : ?config:config -> Es_edge.Cluster.t -> output
+val solve :
+  ?config:config ->
+  ?metrics:Es_obs.Metric.registry ->
+  ?spans:Es_obs.Span.sink ->
+  Es_edge.Cluster.t ->
+  output
 (** Always returns a decision set: if even full degradation cannot
     stabilize a server, the offending devices fall back to device-only
-    execution (their requests never enter the network).  @raise
-    Invalid_argument on an empty cluster. *)
+    execution (their requests never enter the network).
+
+    Telemetry (both optional, off by default): [metrics] accrues
+    [optimizer/iterations], the [optimizer/iteration_objective] histogram
+    and final [optimizer/objective] / [optimizer/solve_time_s] gauges;
+    [spans] receives one [optimizer/solve] root span per solver run
+    (wall-clock) with an [optimizer/iteration] child per outer iteration
+    carrying objective / misses / mean-latency / feasibility attributes.
+    The multi-start second trajectory reports into the same registry/sink.
+
+    @raise Invalid_argument on an empty cluster. *)
 
 val best_allocation :
   ?allocator:Es_alloc.Policy.allocator ->

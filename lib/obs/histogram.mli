@@ -1,0 +1,63 @@
+(** Constant-memory log-bucketed histogram.
+
+    Bucket [i] covers the geometric interval
+    [[min_value·growth^i, min_value·growth^(i+1))], so relative resolution
+    is uniform across the whole dynamic range: with the default growth
+    factor [2^(1/8) ≈ 1.09] any quantile is recovered to within ~9% of its
+    true value, from microseconds to hours, in a fixed 512-slot array.
+
+    Histograms with identical parameters merge exactly (bucket-wise sum),
+    which is what lets per-device or per-shard telemetry be combined into a
+    cluster-wide view without keeping raw samples.  Quantile queries follow
+    the same rank convention as {!Es_util.Stats.percentile} ([p] in
+    [0,100]), so simulator reports and exported telemetry agree to within
+    one bucket width — a property the test suite pins. *)
+
+type t
+
+val create : ?growth:float -> ?min_value:float -> ?buckets:int -> unit -> t
+(** [create ()] uses growth [2^(1/8)], [min_value 1e-9] and [512] buckets
+    (spanning > 2^63 of dynamic range).  Values below [min_value]
+    (including zero and negatives) land in a dedicated underflow bucket;
+    values beyond the last bucket in an overflow bucket.
+    @raise Invalid_argument if [growth <= 1], [min_value <= 0] or
+    [buckets < 1]. *)
+
+val observe : t -> float -> unit
+(** NaN observations are ignored. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val min_observed : t -> float
+(** Exact smallest observation; [infinity] when empty. *)
+
+val max_observed : t -> float
+(** Exact largest observation; [neg_infinity] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h p] with [p] in [0,100]: the geometric midpoint of the
+    bucket holding the rank-[p] observation, clamped to the exact observed
+    min/max.  Monotone non-decreasing in [p].  [nan] when empty.
+    @raise Invalid_argument when [p] is outside [0,100]. *)
+
+val bucket_width_at : t -> float -> float
+(** Width of the bucket that would hold value [v] — the resolution of any
+    quantile answer near [v].  Used by tests to assert "within one bucket". *)
+
+val merge : t -> t -> t
+(** Fresh histogram equivalent to having observed both streams.
+    @raise Invalid_argument when the two histograms' parameters differ. *)
+
+val nonempty_buckets : t -> (float * float * int) list
+(** [(lower, upper, count)] per populated bucket in increasing value order,
+    for exporters.  The underflow bucket reports [(0., min_value, n)], the
+    overflow bucket [(upper_bound, infinity, n)]. *)
+
+val params : t -> float * float * int
+(** [(growth, min_value, buckets)] — exported so telemetry consumers can
+    reconstruct bucket boundaries. *)

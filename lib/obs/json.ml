@@ -1,0 +1,242 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr x =
+  (* Shortest representation that round-trips; %.17g always round-trips but
+     is noisy, so try increasing precision. *)
+  let s = Printf.sprintf "%.12g" x in
+  let s = if float_of_string s = x then s else Printf.sprintf "%.17g" x in
+  (* "1." or "1" are valid JSON numbers only with a fraction or as integers;
+     %g can emit "1" for 1.0 which is fine, but never emits a bare trailing
+     dot. "inf"/"nan" are handled by the caller. *)
+  s
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x ->
+      if Float.is_finite x then Buffer.add_string buf (float_repr x)
+      else Buffer.add_string buf "null"
+  | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+let eof st = st.pos >= String.length st.src
+let peek st = st.src.[st.pos]
+
+let skip_ws st =
+  while (not (eof st)) && (match peek st with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  if eof st || peek st <> c then error st (Printf.sprintf "expected %c" c);
+  st.pos <- st.pos + 1
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then error st "unterminated string";
+    match peek st with
+    | '"' -> st.pos <- st.pos + 1
+    | '\\' ->
+        st.pos <- st.pos + 1;
+        if eof st then error st "unterminated escape";
+        let c = peek st in
+        st.pos <- st.pos + 1;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            if st.pos + 4 > String.length st.src then error st "truncated \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            st.pos <- st.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> error st "bad \\u escape"
+            in
+            (* Telemetry strings are ASCII; encode the code point as UTF-8. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> error st "unknown escape");
+        go ()
+    | c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while (not (eof st)) && is_num_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error st (Printf.sprintf "bad number %S" s))
+
+let rec parse_value st =
+  skip_ws st;
+  if eof st then error st "unexpected end of input";
+  match peek st with
+  | 'n' -> literal st "null" Null
+  | 't' -> literal st "true" (Bool true)
+  | 'f' -> literal st "false" (Bool false)
+  | '"' -> String (parse_string st)
+  | '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if (not (eof st)) && peek st = ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          if eof st then error st "unterminated array";
+          match peek st with
+          | ',' ->
+              st.pos <- st.pos + 1;
+              items (v :: acc)
+          | ']' ->
+              st.pos <- st.pos + 1;
+              List.rev (v :: acc)
+          | _ -> error st "expected , or ]"
+        in
+        List (items [])
+      end
+  | '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if (not (eof st)) && peek st = '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          if eof st then error st "unterminated object";
+          match peek st with
+          | ',' ->
+              st.pos <- st.pos + 1;
+              members ((k, v) :: acc)
+          | '}' ->
+              st.pos <- st.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> error st "expected , or }"
+        in
+        Obj (members [])
+      end
+  | _ -> parse_number st
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if eof st then Ok v else Error (Printf.sprintf "trailing input at offset %d" st.pos)
+  | exception Parse_error msg -> Error msg
+
+(* ---------- accessors ---------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_float_opt = function
+  | Float x -> Some x
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None

@@ -1,0 +1,36 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability exporters need machine-readable output without pulling
+    an external JSON dependency into the build; this module implements the
+    small subset the telemetry formats use.  Numbers are kept as OCaml
+    [Int]/[Float] so counters round-trip exactly; non-finite floats print as
+    [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline), suitable for JSONL. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the output of {!to_string} (and ordinary JSON: any
+    whitespace between tokens, escape sequences, exponent notation).
+    Trailing garbage after the top-level value is an error. *)
+
+(** {1 Accessors} — convenience for tests and ingest code. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both coerce. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

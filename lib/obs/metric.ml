@@ -1,0 +1,65 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+type value = Counter of int | Gauge of float | Histo of Histogram.t
+
+type instrument = I_counter of counter | I_gauge of gauge | I_histo of Histogram.t
+
+type key = string * (string * string) list
+
+type registry = (key, instrument) Hashtbl.t
+
+let create () : registry = Hashtbl.create 64
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let get_or_create (reg : registry) name labels make =
+  let key = (name, normalize_labels labels) in
+  match Hashtbl.find_opt reg key with
+  | Some i -> i
+  | None ->
+      let i = make () in
+      Hashtbl.add reg key i;
+      i
+
+let counter reg ?(labels = []) name =
+  match get_or_create reg name labels (fun () -> I_counter { c = 0 }) with
+  | I_counter c -> c
+  | _ -> invalid_arg (Printf.sprintf "Metric.counter: %s is registered as another kind" name)
+
+let gauge reg ?(labels = []) name =
+  match get_or_create reg name labels (fun () -> I_gauge { g = 0.0 }) with
+  | I_gauge g -> g
+  | _ -> invalid_arg (Printf.sprintf "Metric.gauge: %s is registered as another kind" name)
+
+let histogram reg ?(labels = []) ?growth ?min_value ?buckets name =
+  match
+    get_or_create reg name labels (fun () ->
+        I_histo (Histogram.create ?growth ?min_value ?buckets ()))
+  with
+  | I_histo h -> h
+  | _ -> invalid_arg (Printf.sprintf "Metric.histogram: %s is registered as another kind" name)
+
+let inc ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let set g v = g.g <- v
+let add g v = g.g <- g.g +. v
+let gauge_value g = g.g
+
+type sample = { name : string; labels : (string * string) list; value : value }
+
+let value_of_instrument = function
+  | I_counter c -> Counter c.c
+  | I_gauge g -> Gauge g.g
+  | I_histo h -> Histo h
+
+let snapshot reg =
+  Hashtbl.fold
+    (fun (name, labels) i acc -> { name; labels; value = value_of_instrument i } :: acc)
+    reg []
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+
+let find reg ?(labels = []) name =
+  Option.map value_of_instrument
+    (Hashtbl.find_opt reg (name, normalize_labels labels))

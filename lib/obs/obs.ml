@@ -1,0 +1,12 @@
+let noop = Span.noop_sink
+
+let wall_clock () = Sys.time ()
+
+type scope = {
+  metrics : Metric.registry option;
+  spans : Span.sink option;
+}
+
+let disabled = { metrics = None; spans = None }
+
+let scoped ?metrics ?spans () = { metrics; spans }

@@ -1,0 +1,24 @@
+(** Facade: the handles instrumented code passes around.
+
+    Instrumentation sites across the simulator, optimizer and allocator take
+    an optional {!Metric.registry} and {!Span.sink}; this module supplies
+    the disabled defaults and a convenience bundle for enabling everything
+    at once from the CLI. *)
+
+val noop : Span.sink
+(** The global no-op sink: spans are dropped.  Combined with {!Span.null}
+    this is the disabled path instrumented code compiles down to. *)
+
+val wall_clock : unit -> float
+(** Process CPU clock ({!Sys.time}) — the clock solvers use for spans, as
+    distinct from the simulator's virtual clock. *)
+
+type scope = {
+  metrics : Metric.registry option;
+  spans : Span.sink option;
+}
+(** What a caller wants recorded.  [disabled] is all-[None]. *)
+
+val disabled : scope
+
+val scoped : ?metrics:Metric.registry -> ?spans:Span.sink -> unit -> scope

@@ -1,0 +1,73 @@
+type t = {
+  id : int;
+  parent : int option;
+  trace : int;
+  name : string;
+  start_s : float;
+  mutable end_s : float;
+  mutable attrs : (string * Json.t) list;
+  recording : bool;
+}
+
+type sink = t -> unit
+
+type tracer = {
+  clock : unit -> float;
+  sink : sink;
+  mutable next_id : int;
+  live : bool;
+}
+
+let noop_sink : sink = ignore
+
+let tracer ?(sink = noop_sink) ~clock () = { clock; sink; next_id = 1; live = true }
+
+let dummy =
+  {
+    id = 0;
+    parent = None;
+    trace = 0;
+    name = "";
+    start_s = 0.0;
+    end_s = 0.0;
+    attrs = [];
+    recording = false;
+  }
+
+let null = { clock = (fun () -> 0.0); sink = noop_sink; next_id = 0; live = false }
+
+let enabled tr = tr.live
+
+let start tr ?parent ?(attrs = []) name =
+  if not tr.live then dummy
+  else begin
+    let id = tr.next_id in
+    tr.next_id <- id + 1;
+    {
+      id;
+      parent = Option.map (fun p -> p.id) parent;
+      trace = (match parent with Some p -> p.trace | None -> id);
+      name;
+      start_s = tr.clock ();
+      end_s = nan;
+      attrs;
+      recording = true;
+    }
+  end
+
+let set_attr s k v = if s.recording then s.attrs <- s.attrs @ [ (k, v) ]
+
+let finish tr ?(attrs = []) s =
+  if s.recording then begin
+    if attrs <> [] then s.attrs <- s.attrs @ attrs;
+    s.end_s <- tr.clock ();
+    tr.sink s
+  end
+
+let attr s k = List.assoc_opt k s.attrs
+
+let duration_s s = s.end_s -. s.start_s
+
+let memory_sink () =
+  let acc = ref [] in
+  ((fun s -> acc := s :: !acc), fun () -> List.rev !acc)

@@ -126,10 +126,65 @@ let finalize c ~server_busy ~duration =
   }
 
 let pp_report fmt r =
+  (* Every summary path goes through here so the human-readable report and
+     the JSONL export never disagree on what they cover: totals (including
+     drops), pooled quantiles, and per-server utilization. *)
   Format.fprintf fmt
     "requests: %d generated, %d completed, %d dropped | DSR %.1f%% | latency mean %.1f ms p50 \
-     %.1f p95 %.1f p99 %.1f | util [%s]@."
+     %.1f p95 %.1f p99 %.1f@."
     r.total_generated r.total_completed r.total_dropped (100.0 *. r.dsr)
-    (1000.0 *. r.mean_latency_s) (1000.0 *. r.p50_s) (1000.0 *. r.p95_s) (1000.0 *. r.p99_s)
-    (String.concat "; "
-       (Array.to_list (Array.map (fun u -> Printf.sprintf "%.2f" u) r.server_utilization)))
+    (1000.0 *. r.mean_latency_s) (1000.0 *. r.p50_s) (1000.0 *. r.p95_s) (1000.0 *. r.p99_s);
+  Array.iteri
+    (fun s u -> Format.fprintf fmt "  server %d: utilization %.2f@." s u)
+    r.server_utilization
+
+let report_to_json (r : report) =
+  let open Es_obs.Json in
+  Obj
+    [
+      ("kind", String "report");
+      ("generated", Int r.total_generated);
+      ("completed", Int r.total_completed);
+      ("dropped", Int r.total_dropped);
+      ("dsr", Float r.dsr);
+      ("mean_latency_s", Float r.mean_latency_s);
+      ("p50_s", Float r.p50_s);
+      ("p95_s", Float r.p95_s);
+      ("p99_s", Float r.p99_s);
+      ("measured_duration_s", Float r.measured_duration_s);
+      ( "server_utilization",
+        List (Array.to_list (Array.map (fun u -> Float u) r.server_utilization)) );
+      ( "per_device",
+        List
+          (Array.to_list
+             (Array.mapi
+                (fun i (d : device_stats) ->
+                  Obj
+                    [
+                      ("device", Int i);
+                      ("generated", Int d.generated);
+                      ("completed", Int d.completed);
+                      ("dropped", Int d.dropped);
+                      ("deadline_hits", Int d.deadline_hits);
+                      ("mean_latency_s", Float (Es_util.Stats.mean d.latency));
+                    ])
+                r.per_device)) );
+    ]
+
+let record_to reg (r : report) =
+  let set name v = Es_obs.Metric.set (Es_obs.Metric.gauge reg name) v in
+  set "report/dsr" r.dsr;
+  set "report/mean_latency_s" r.mean_latency_s;
+  set "report/p50_s" r.p50_s;
+  set "report/p95_s" r.p95_s;
+  set "report/p99_s" r.p99_s;
+  set "report/generated" (float_of_int r.total_generated);
+  set "report/completed" (float_of_int r.total_completed);
+  set "report/dropped" (float_of_int r.total_dropped);
+  set "report/measured_duration_s" r.measured_duration_s;
+  Array.iteri
+    (fun s u ->
+      Es_obs.Metric.set
+        (Es_obs.Metric.gauge reg ~labels:[ ("server", string_of_int s) ] "report/server_utilization")
+        u)
+    r.server_utilization

@@ -44,3 +44,16 @@ val finalize :
     utilization is normalized by the measurement window. *)
 
 val pp_report : Format.formatter -> report -> unit
+(** Totals (generated/completed/dropped), DSR, pooled latency quantiles,
+    then one line of utilization per server — the same fields, same
+    grouping, as the JSONL export. *)
+
+val report_to_json : report -> Es_obs.Json.t
+(** One [kind="report"] JSON object: totals, quantiles, per-server
+    utilization and a per-device summary array.  Exactly the fields
+    {!pp_report} prints (plus per-device detail), for machine consumers. *)
+
+val record_to : Es_obs.Metric.registry -> report -> unit
+(** Mirror the report's summary into gauges ([report/dsr],
+    [report/p99_s], [report/server_utilization{server=…}], …) so a metrics
+    snapshot contains the end-of-run view alongside live counters. *)

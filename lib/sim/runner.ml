@@ -33,11 +33,18 @@ type dev_stations = {
 
 let positive x = Float.max x 1e-3
 
-let run ?(options = default_options) ?arrivals ?reconfigure
+let stages = [ "device"; "uplink"; "uplink_prop"; "server"; "downlink"; "downlink_prop" ]
+
+let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
     ?(work_scale = fun ~device:_ _ -> 1.0) cluster decisions =
   let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
   if Array.length decisions <> nd then invalid_arg "Runner.run: decisions size mismatch";
   let engine = Engine.create () in
+  let tracer =
+    match spans with
+    | None -> Es_obs.Span.null
+    | Some sink -> Es_obs.Span.tracer ~sink ~clock:(fun () -> Engine.now engine) ()
+  in
   let arrival_rng = Es_util.Prng.create options.seed in
   let jitter_rng = Es_util.Prng.split arrival_rng in
   let fade_rng = Es_util.Prng.split arrival_rng in
@@ -69,6 +76,55 @@ let run ?(options = default_options) ?arrivals ?reconfigure
   let collector =
     Metrics.create_collector ~n_devices:nd ~window_start:options.warmup_s
       ~window_end:options.duration_s
+  in
+  (* Metric handles are resolved once up front; with [metrics = None] every
+     note_* is a constant no-op closure, so the uninstrumented hot path pays
+     only the call.  Counting windows mirror the collector's, so live
+     counters, the end-of-run report and the JSONL export all agree. *)
+  let in_window t = t >= options.warmup_s && t <= options.duration_s in
+  let note_arrival, note_completion, note_drop, note_segment =
+    match metrics with
+    | None -> ((fun _ -> ()), (fun ~arrival:_ _ -> ()), (fun _ _ -> ()), fun _ _ -> ())
+    | Some reg ->
+        let generated = Es_obs.Metric.counter reg "requests_generated" in
+        let completed = Es_obs.Metric.counter reg "requests_completed" in
+        let latency = Es_obs.Metric.histogram reg "request_latency_s" in
+        let seg_h =
+          List.map
+            (fun s -> (s, Es_obs.Metric.histogram reg ~labels:[ ("stage", s) ] "segment_s"))
+            stages
+        in
+        let drop_c =
+          List.map
+            (fun s -> (s, Es_obs.Metric.counter reg ~labels:[ ("stage", s) ] "requests_dropped"))
+            stages
+        in
+        ( (fun now -> if in_window now then Es_obs.Metric.inc generated),
+          (fun ~arrival l ->
+            if in_window arrival then begin
+              Es_obs.Metric.inc completed;
+              Es_obs.Histogram.observe latency l
+            end),
+          (fun stage now -> if in_window now then Es_obs.Metric.inc (List.assoc stage drop_c)),
+          fun stage dt -> Es_obs.Histogram.observe (List.assoc stage seg_h) dt )
+  in
+  let note_queue =
+    match metrics with
+    | None -> fun _ -> ()
+    | Some reg ->
+        let tbl = Hashtbl.create (4 * nd) in
+        Array.iter
+          (fun s ->
+            List.iter
+              (fun st ->
+                Hashtbl.replace tbl (Station.name st)
+                  (Es_obs.Metric.gauge reg ~labels:[ ("station", Station.name st) ] "queue_depth"))
+              [ s.cpu; s.up; s.srv; s.down ])
+          stations;
+        fun st ->
+          match Hashtbl.find_opt tbl (Station.name st) with
+          | Some g -> Es_obs.Metric.set g (float_of_int (Station.queue_length st))
+          | None -> ()
   in
   let apply_decisions ds =
     Array.iteri
@@ -107,41 +163,115 @@ let run ?(options = default_options) ?arrivals ?reconfigure
       if eff <= 0.0 then 10.0 else nominal /. eff
     end
   in
+  let tracing = Es_obs.Span.enabled tracer in
   let process dev_id arrival =
     let d = current.(dev_id) in
     let dev = cluster.Cluster.devices.(dev_id) in
     let st = stations.(dev_id) in
     let plan = d.Decision.plan in
     let scale = work_scale ~device:dev_id scale_rng *. jitter () in
+    (* One trace per request: a root "request" span whose child segments
+       tile [arrival, completion] exactly — the chain below submits each
+       stage synchronously at the previous stage's completion, so segment
+       durations sum to the end-to-end latency. *)
+    let root =
+      Es_obs.Span.start tracer
+        ~attrs:
+          [
+            ("device", Es_obs.Json.Int dev_id); ("server", Es_obs.Json.Int d.Decision.server);
+          ]
+        "request"
+    in
     let complete () =
-      Metrics.on_completion collector ~device:dev_id ~arrival ~now:(Engine.now engine)
+      let now = Engine.now engine in
+      note_completion ~arrival (now -. arrival);
+      Es_obs.Span.finish tracer
+        ~attrs:
+          [
+            ("outcome", Es_obs.Json.String "completed");
+            ("latency_s", Es_obs.Json.Float (now -. arrival));
+          ]
+        root;
+      Metrics.on_completion collector ~device:dev_id ~arrival ~now
         ~deadline:dev.Cluster.deadline
     in
-    let drop () = Metrics.on_drop collector ~device:dev_id ~now:(Engine.now engine) in
-    let submit station ~work k = if not (Station.submit station ~work k) then drop () in
+    let drop stage =
+      let now = Engine.now engine in
+      note_drop stage now;
+      Es_obs.Span.finish tracer
+        ~attrs:
+          [ ("outcome", Es_obs.Json.String "dropped"); ("stage", Es_obs.Json.String stage) ]
+        root;
+      Metrics.on_drop collector ~device:dev_id ~now
+    in
+    (* A traced station hop: the segment span opens at submission; queueing
+       time (submission → service start) is recorded as an attribute so the
+       span decomposes further without breaking the tiling. *)
+    let submit stage station ~work k =
+      let sp = Es_obs.Span.start tracer ~parent:root stage in
+      let submitted = Engine.now engine in
+      let on_start =
+        if tracing then
+          Some
+            (fun () ->
+              Es_obs.Span.set_attr sp "queue_s"
+                (Es_obs.Json.Float (Engine.now engine -. submitted)))
+        else None
+      in
+      let ok =
+        Station.submit station ?on_start ~work (fun () ->
+            note_segment stage (Engine.now engine -. submitted);
+            Es_obs.Span.finish tracer sp;
+            k ())
+      in
+      note_queue station;
+      if not ok then begin
+        Es_obs.Span.finish tracer
+          ~attrs:[ ("outcome", Es_obs.Json.String "dropped") ]
+          sp;
+        drop stage
+      end
+    in
+    (* Propagation legs get their own child spans so the segments still tile
+       the request's full lifetime. *)
+    let propagate stage delay k =
+      let sp = Es_obs.Span.start tracer ~parent:root stage in
+      Engine.schedule engine delay (fun () ->
+          note_segment stage delay;
+          Es_obs.Span.finish tracer sp;
+          k ())
+    in
+    note_arrival arrival;
     Metrics.on_arrival collector ~device:dev_id ~now:arrival;
     let dev_work = Plan.device_time dev.Cluster.proc.Processor.perf plan *. scale in
-    submit st.cpu ~work:dev_work (fun () ->
+    submit "device" st.cpu ~work:dev_work (fun () ->
         if not (Decision.offloads d) then complete ()
         else begin
           let link = dev.Cluster.link in
           let half_rtt = link.Link.rtt_s /. 2.0 in
           let up_bits = 8.0 *. Plan.transfer_bytes plan *. fade_factor link in
-          submit st.up ~work:up_bits (fun () ->
-              Engine.schedule engine half_rtt (fun () ->
+          submit "uplink" st.up ~work:up_bits (fun () ->
+              propagate "uplink_prop" half_rtt (fun () ->
                   let srv = cluster.Cluster.servers.(d.Decision.server) in
                   let work_s =
                     Plan.server_time srv.Cluster.sproc.Processor.perf plan *. scale
                   in
                   let after_server () =
                     let down_bits = 8.0 *. Plan.result_bytes plan *. fade_factor link in
-                    submit st.down ~work:down_bits (fun () ->
-                        Engine.schedule engine half_rtt complete)
+                    submit "downlink" st.down ~work:down_bits (fun () ->
+                        propagate "downlink_prop" half_rtt complete)
                   in
                   match options.batching with
                   | Some _ ->
-                      (* One batched accelerator per server; shares ignored. *)
-                      Batcher.submit batchers.(d.Decision.server) ~work:work_s after_server
+                      (* One batched accelerator per server; shares ignored.
+                         The "server" segment span covers queue + batch wait +
+                         service, measured around the batcher. *)
+                      let sp = Es_obs.Span.start tracer ~parent:root "server" in
+                      let submitted = Engine.now engine in
+                      Batcher.submit batchers.(d.Decision.server) ~work:work_s (fun () ->
+                          note_segment "server" (Engine.now engine -. submitted);
+                          Es_obs.Span.finish tracer sp;
+                          after_server ())
                   | None ->
                       let record_busy =
                         let share = Station.speed st.srv in
@@ -149,7 +279,7 @@ let run ?(options = default_options) ?arrivals ?reconfigure
                           server_busy.(d.Decision.server) <-
                             server_busy.(d.Decision.server) +. (work_s /. Float.max share 1e-9)
                       in
-                      submit st.srv ~work:work_s (fun () ->
+                      submit "server" st.srv ~work:work_s (fun () ->
                           record_busy ();
                           after_server ())))
         end)
@@ -188,4 +318,6 @@ let run ?(options = default_options) ?arrivals ?reconfigure
   | None -> ()
   | Some _ ->
       Array.iteri (fun s b -> server_busy.(s) <- Batcher.busy_time b) batchers);
-  Metrics.finalize collector ~server_busy ~duration:options.duration_s
+  let report = Metrics.finalize collector ~server_busy ~duration:options.duration_s in
+  Option.iter (fun reg -> Metrics.record_to reg report) metrics;
+  report

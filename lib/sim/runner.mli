@@ -32,8 +32,16 @@ type options = {
 
 val default_options : options
 
+val stages : string list
+(** The segment names a request can traverse, in path order:
+    ["device"; "uplink"; "uplink_prop"; "server"; "downlink";
+    "downlink_prop"].  Span names and the [stage] label on [segment_s] /
+    [requests_dropped] metrics draw from this list. *)
+
 val run :
   ?options:options ->
+  ?metrics:Es_obs.Metric.registry ->
+  ?spans:Es_obs.Span.sink ->
   ?arrivals:(float * int) array ->
   ?reconfigure:(float * Es_edge.Decision.t array) list ->
   ?work_scale:(device:int -> Es_util.Prng.t -> float) ->
@@ -50,5 +58,16 @@ val run :
       mechanism).
     - [work_scale]: per-request work multiplier hook (e.g. multi-exit
       early-exit draws); applied to device and server compute.
+    - [metrics]: live telemetry — counters [requests_generated] /
+      [requests_completed] / [requests_dropped{stage}] and histograms
+      [request_latency_s] / [segment_s{stage}] restricted to the
+      measurement window (matching the report), [queue_depth{station}]
+      gauges, plus the end-of-run [report/…] gauges via
+      {!Metrics.record_to}.
+    - [spans]: per-request traces in *simulated* time — a ["request"] root
+      span per request whose child segments ({!stages}) tile
+      [arrival, completion] exactly, each with a [queue_s] attribute
+      splitting waiting from service.  Omitting both [metrics] and [spans]
+      leaves the simulator on its uninstrumented (near-zero-cost) path.
 
     @raise Invalid_argument on malformed decision arrays. *)

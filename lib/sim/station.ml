@@ -1,4 +1,4 @@
-type job = { work : float; k : unit -> unit }
+type job = { work : float; on_start : (unit -> unit) option; k : unit -> unit }
 
 type t = {
   engine : Engine.t;
@@ -33,6 +33,7 @@ let rec start_next t =
   | None -> t.in_service <- false
   | Some job ->
       t.in_service <- true;
+      (match job.on_start with Some f -> f () | None -> ());
       let service = job.work /. t.rate in
       t.busy <- t.busy +. service;
       Engine.schedule t.engine service (fun () ->
@@ -40,14 +41,14 @@ let rec start_next t =
           job.k ();
           start_next t)
 
-let submit t ~work k =
+let submit t ?on_start ~work k =
   if work < 0.0 then invalid_arg "Station.submit: negative work";
   if queue_length t >= t.capacity then begin
     t.n_dropped <- t.n_dropped + 1;
     false
   end
   else begin
-    Queue.add { work; k } t.waiting;
+    Queue.add { work; on_start; k } t.waiting;
     if not t.in_service then start_next t;
     true
   end

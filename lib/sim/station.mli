@@ -15,11 +15,14 @@ type t
 val create : Engine.t -> ?capacity:int -> ?name:string -> speed:float -> unit -> t
 (** @raise Invalid_argument on non-positive speed. *)
 
-val submit : t -> work:float -> (unit -> unit) -> bool
+val submit : t -> ?on_start:(unit -> unit) -> work:float -> (unit -> unit) -> bool
 (** [submit st ~work k] enqueues a job needing [work] units and calls [k]
     at its completion.  Returns [false] (and drops the job, never calling
     [k]) when the station is at capacity.  Zero-work jobs complete
-    immediately but still pass through the queue discipline. *)
+    immediately but still pass through the queue discipline.
+    [on_start] fires when the job leaves the queue and begins service
+    (telemetry uses it to split waiting from service time); for a job
+    submitted to an idle station it fires within [submit] itself. *)
 
 val set_speed : t -> float -> unit
 (** Takes effect for subsequently started jobs. *)
