@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench examples clean doc
+.PHONY: all build test check bench bench-timing examples clean doc
 
 all: build
 
@@ -24,6 +24,12 @@ test-force:
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Solver-scaling + hot-path timing microbench.  Emits one JSONL record per
+# measurement to BENCH_solver.json (committed once as the perf baseline);
+# includes the end-to-end sweep-suite comparison at jobs=1 vs jobs=N.
+bench-timing:
+	dune exec bench/timing.exe -- --sizes 10,25,50,100 --jobs 4 --repeats 3 --suite --out BENCH_solver.json
 
 examples:
 	dune exec examples/quickstart.exe

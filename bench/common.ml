@@ -14,18 +14,34 @@ let fmt_f = Es_util.Table.fmt_f
 let jsonl_out : out_channel option ref = ref None
 let current_experiment = ref ""
 
-let log_report ~policy (report : Es_sim.Metrics.report) =
+(* Harness-level parallelism (bench/main.exe --jobs N): sweep experiments fan
+   their independent (sweep-point × policy) cells out over this many domains.
+   1 = sequential (the default). *)
+let jobs = ref 1
+
+(* JSONL writes are serialized: under --jobs concurrent policy runs would
+   otherwise interleave partial lines.  Each record carries the sweep-point
+   id ([point], "" for single-point experiments) so rows are self-describing
+   regardless of completion order. *)
+let log_lock = Mutex.create ()
+
+let log_report ?(point = "") ~policy (report : Es_sim.Metrics.report) =
   match !jsonl_out with
   | None -> ()
   | Some oc ->
-      Es_obs.Export.write_jsonl_line oc
-        (Es_obs.Json.Obj
-           [
-             ("kind", Es_obs.Json.String "bench_run");
-             ("experiment", Es_obs.Json.String !current_experiment);
-             ("policy", Es_obs.Json.String policy);
-             ("report", Es_sim.Metrics.report_to_json report);
-           ])
+      let record =
+        Es_obs.Json.Obj
+          [
+            ("kind", Es_obs.Json.String "bench_run");
+            ("experiment", Es_obs.Json.String !current_experiment);
+            ("point", Es_obs.Json.String point);
+            ("policy", Es_obs.Json.String policy);
+            ("report", Es_sim.Metrics.report_to_json report);
+          ]
+      in
+      Mutex.lock log_lock;
+      Es_obs.Export.write_jsonl_line oc record;
+      Mutex.unlock log_lock
 
 let heading id title =
   current_experiment := id;
@@ -52,11 +68,16 @@ let simulate ?duration ?seed cluster decisions =
   Es_sim.Runner.run ~options:(sim_options ?duration ?seed ()) cluster decisions
 
 (* Run one policy end to end on a cluster: solve, then simulate. *)
-let run_policy ?duration ?seed cluster (p : Es_baselines.Baselines.t) =
+let run_policy ?duration ?seed ?point cluster (p : Es_baselines.Baselines.t) =
   let decisions = p.Es_baselines.Baselines.solve cluster in
   let report = simulate ?duration ?seed cluster decisions in
-  log_report ~policy:p.Es_baselines.Baselines.name report;
+  log_report ?point ~policy:p.Es_baselines.Baselines.name report;
   (decisions, report)
+
+(* Fan a sweep's independent cells out over [!jobs] domains.  Each cell is a
+   closure that prints nothing (tables are rendered after collection), so
+   stdout stays ordered; results come back in input order. *)
+let parallel_cells cells = Es_util.Par.parallel_map ~jobs:!jobs (fun f -> f ()) cells
 
 let mean_accuracy (decisions : Decision.t array) =
   if Array.length decisions = 0 then nan

@@ -130,16 +130,26 @@ let f2 () =
   heading "F2" "Scalability: latency and DSR vs number of devices";
   let sizes = [ 5; 10; 20; 40; 80 ] in
   let pols = core_policies () in
+  (* Clusters are built up front (cheap, deterministic); the independent
+     (size × policy) cells then fan out across domains under --jobs. *)
+  let clusters =
+    List.map (fun n -> (n, Scenario.build (Scenario.with_n_devices n Scenario.default))) sizes
+  in
+  let cells =
+    List.concat_map
+      (fun (n, cluster) ->
+        List.map
+          (fun p () ->
+            let _, r = run_policy ~point:(Printf.sprintf "devices=%d" n) cluster p in
+            r)
+          pols)
+      clusters
+  in
+  let reports = parallel_cells cells in
+  let npols = List.length pols in
   let results =
-    List.map
-      (fun n ->
-        let cluster = Scenario.build (Scenario.with_n_devices n Scenario.default) in
-        ( n,
-          List.map
-            (fun p ->
-              let _, r = run_policy cluster p in
-              r)
-            pols ))
+    List.mapi
+      (fun i n -> (n, List.filteri (fun j _ -> j / npols = i) reports))
       sizes
   in
   let header = "devices" :: List.map (fun (p : Es_baselines.Baselines.t) -> p.Es_baselines.Baselines.name) pols in
@@ -164,16 +174,22 @@ let f3 () =
   let base = Scenario.build Scenario.default in
   let pols = core_policies () in
   let header = "rate-x" :: List.map (fun (p : Es_baselines.Baselines.t) -> p.Es_baselines.Baselines.name) pols in
-  let rows =
-    List.map
+  let cells =
+    List.concat_map
       (fun m ->
         let cluster = Es_joint.Online.scale_rates base m in
-        fmt_f ~digits:1 m
-        :: List.map
-             (fun p ->
-               let _, r = run_policy cluster p in
-               fmt_pct r.Es_sim.Metrics.dsr)
-             pols)
+        List.map
+          (fun p () ->
+            let _, r = run_policy ~point:(Printf.sprintf "rate=%.1f" m) cluster p in
+            fmt_pct r.Es_sim.Metrics.dsr)
+          pols)
+      multipliers
+  in
+  let dsrs = parallel_cells cells in
+  let npols = List.length pols in
+  let rows =
+    List.mapi
+      (fun i m -> fmt_f ~digits:1 m :: List.filteri (fun j _ -> j / npols = i) dsrs)
       multipliers
   in
   print_table ~header rows
@@ -187,24 +203,38 @@ let f4 () =
   let mbps = [ 10.0; 25.0; 50.0; 100.0; 200.0; 400.0 ] in
   let pols = core_policies () in
   let header = "AP(Mbps)" :: List.map (fun (p : Es_baselines.Baselines.t) -> p.Es_baselines.Baselines.name) pols in
-  let mean_rows = ref [] and dsr_rows = ref [] in
-  List.iter
-    (fun b ->
-      let cluster = Scenario.build (Scenario.with_ap_mbps b Scenario.default) in
-      let reports = List.map (fun p -> snd (run_policy cluster p)) pols in
-      mean_rows :=
-        (fmt_f ~digits:0 b
-        :: List.map (fun (r : Es_sim.Metrics.report) -> fmt_ms r.Es_sim.Metrics.mean_latency_s) reports)
-        :: !mean_rows;
-      dsr_rows :=
-        (fmt_f ~digits:0 b
-        :: List.map (fun (r : Es_sim.Metrics.report) -> fmt_pct r.Es_sim.Metrics.dsr) reports)
-        :: !dsr_rows)
-    mbps;
+  let cells =
+    List.concat_map
+      (fun b ->
+        let cluster = Scenario.build (Scenario.with_ap_mbps b Scenario.default) in
+        List.map
+          (fun p () -> snd (run_policy ~point:(Printf.sprintf "ap_mbps=%.0f" b) cluster p))
+          pols)
+      mbps
+  in
+  let reports = parallel_cells cells in
+  let npols = List.length pols in
+  let per_point i = List.filteri (fun j _ -> j / npols = i) reports in
+  let mean_rows =
+    List.mapi
+      (fun i b ->
+        fmt_f ~digits:0 b
+        :: List.map
+             (fun (r : Es_sim.Metrics.report) -> fmt_ms r.Es_sim.Metrics.mean_latency_s)
+             (per_point i))
+      mbps
+  in
+  let dsr_rows =
+    List.mapi
+      (fun i b ->
+        fmt_f ~digits:0 b
+        :: List.map (fun (r : Es_sim.Metrics.report) -> fmt_pct r.Es_sim.Metrics.dsr) (per_point i))
+      mbps
+  in
   note "mean latency (ms):";
-  print_table ~header (List.rev !mean_rows);
+  print_table ~header mean_rows;
   note "deadline satisfaction (%%):";
-  print_table ~header (List.rev !dsr_rows)
+  print_table ~header dsr_rows
 
 (* ------------------------------------------------------------------ *)
 (* F5 — accuracy/latency trade-off                                     *)
@@ -728,18 +758,19 @@ let f15 () =
 let t3 () =
   heading "T3" "Optimizer runtime vs cluster size";
   let rows =
-    List.map
-      (fun n ->
-        let cluster = Scenario.build (Scenario.with_n_devices n Scenario.default) in
-        let out = Es_joint.Optimizer.solve cluster in
-        [
-          string_of_int n;
-          fmt_f ~digits:3 out.Es_joint.Optimizer.solve_time_s;
-          string_of_int out.Es_joint.Optimizer.iterations;
-          fmt_f ~digits:4 out.Es_joint.Optimizer.objective;
-          string_of_int (Es_joint.Objective.misses cluster out.Es_joint.Optimizer.decisions);
-        ])
-      [ 10; 25; 50; 100; 200 ]
+    parallel_cells
+      (List.map
+         (fun n () ->
+           let cluster = Scenario.build (Scenario.with_n_devices n Scenario.default) in
+           let out = Es_joint.Optimizer.solve cluster in
+           [
+             string_of_int n;
+             fmt_f ~digits:3 out.Es_joint.Optimizer.solve_time_s;
+             string_of_int out.Es_joint.Optimizer.iterations;
+             fmt_f ~digits:4 out.Es_joint.Optimizer.objective;
+             string_of_int (Es_joint.Objective.misses cluster out.Es_joint.Optimizer.decisions);
+           ])
+         [ 10; 25; 50; 100; 200 ])
   in
   print_table ~header:[ "devices"; "solve(s)"; "iters"; "objective"; "misses" ] rows
 

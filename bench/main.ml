@@ -5,22 +5,36 @@
      dune exec bench/main.exe -- F1 T2             # run a subset
      dune exec bench/main.exe -- --list            # list experiment ids
      dune exec bench/main.exe -- --jsonl out.jsonl # also log every policy
-                                                   # run as JSONL records *)
+                                                   # run as JSONL records
+     dune exec bench/main.exe -- --jobs 4          # parallelize sweep cells
+                                                   # (0 = auto-size) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* Peel off --jsonl PATH; the remaining args are experiment ids. *)
-  let rec extract_jsonl acc = function
+  (* Peel off --jsonl PATH and --jobs N; the remaining args are experiment
+     ids. *)
+  let rec extract acc = function
     | "--jsonl" :: path :: rest ->
         Common.jsonl_out := Some (open_out path);
-        List.rev_append acc rest
+        extract acc rest
     | "--jsonl" :: [] ->
         prerr_endline "--jsonl expects a file path";
         exit 2
-    | a :: rest -> extract_jsonl (a :: acc) rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 0 ->
+            Common.jobs := (if j = 0 then Es_util.Par.default_jobs () else j);
+            extract acc rest
+        | Some _ | None ->
+            prerr_endline "--jobs expects a non-negative integer";
+            exit 2)
+    | "--jobs" :: [] ->
+        prerr_endline "--jobs expects a domain count";
+        exit 2
+    | a :: rest -> extract (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = extract_jsonl [] args in
+  let args = extract [] args in
   at_exit (fun () -> Option.iter close_out !Common.jsonl_out);
   let ids = List.map (fun (id, _, _) -> id) Experiments.all in
   match args with

@@ -1,0 +1,221 @@
+(* Solver-scaling and hot-path timing harness — the `make bench-timing`
+   target.  Three measurements, each emitted as one JSONL record (the es_obs
+   codec, same framing as --jsonl / --metrics-out) to the output file:
+
+     pareto_micro     sort-based skyline vs the O(n^2) reference frontier on
+                      real candidate plan sets, single core
+     solver_scaling   Optimizer.solve wall time at jobs=1 vs jobs=N per
+                      cluster size, checking the objectives are identical
+     bench_suite      (--suite) the parallelized sweep experiments end to
+                      end at harness jobs=1 vs jobs=N, stdout silenced
+
+   Usage:
+     dune exec bench/timing.exe -- [--sizes 10,25,50,100] [--jobs 4]
+       [--repeats 3] [--out BENCH_solver.json] [--suite] *)
+
+module J = Es_obs.Json
+
+let wall = Es_obs.Obs.wall_clock
+
+(* Best-of-N wall time: robust to scheduler noise without bechamel's
+   minimum-runtime requirements. *)
+let time_best ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to max 1 repeats do
+    let t0 = wall () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = wall () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* pareto_micro — candidate-generation kernel                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The same key Candidate.pareto ranks plans under. *)
+let plan_key (p : Es_surgery.Plan.t) =
+  let scale = Es_surgery.Precision.compute_scale p.Es_surgery.Plan.precision in
+  [|
+    Es_surgery.Plan.dev_flops p /. scale;
+    Es_surgery.Plan.transfer_bytes p;
+    Es_surgery.Plan.srv_flops p /. scale;
+    -.p.Es_surgery.Plan.accuracy;
+  |]
+
+let pareto_micro ~repeats =
+  let models =
+    [
+      ("vgg16", Es_dnn.Zoo.vgg16 ());
+      ("resnet50", Es_dnn.Zoo.resnet50 ());
+      ("mobilenet_v2", Es_dnn.Zoo.mobilenet_v2 ());
+      ("yolo_tiny", Es_dnn.Zoo.yolo_tiny ());
+    ]
+  in
+  let plan_sets = List.map (fun (_, g) -> Es_surgery.Candidate.generate g) models in
+  let n_plans = List.fold_left (fun acc ps -> acc + List.length ps) 0 plan_sets in
+  let frontier_all impl = List.iter (fun ps -> ignore (impl plan_key ps)) plan_sets in
+  List.iter
+    (fun ps ->
+      assert (
+        Es_util.Pareto.frontier plan_key ps = Es_util.Pareto.frontier_naive plan_key ps))
+    plan_sets;
+  let skyline_s = time_best ~repeats (fun () -> frontier_all Es_util.Pareto.frontier) in
+  let naive_s = time_best ~repeats (fun () -> frontier_all Es_util.Pareto.frontier_naive) in
+  let speedup = naive_s /. skyline_s in
+  Printf.printf "pareto_micro    %d plans  skyline %.4fs  naive %.4fs  speedup %.2fx\n%!"
+    n_plans skyline_s naive_s speedup;
+  J.Obj
+    [
+      ("kind", J.String "pareto_micro");
+      ("models", J.List (List.map (fun (name, _) -> J.String name) models));
+      ("n_plans", J.Int n_plans);
+      ("skyline_s", J.Float skyline_s);
+      ("naive_s", J.Float naive_s);
+      ("speedup", J.Float speedup);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* solver_scaling — Optimizer.solve at jobs=1 vs jobs=N                *)
+(* ------------------------------------------------------------------ *)
+
+let solver_scaling ~jobs ~repeats n =
+  let open Es_edge in
+  let cluster = Scenario.build (Scenario.with_n_devices n Scenario.default) in
+  let config j = { Es_joint.Optimizer.default_config with jobs = j } in
+  let solve j = Es_joint.Optimizer.solve ~config:(config j) cluster in
+  let out1 = solve 1 in
+  let outn = solve jobs in
+  let identical = out1.Es_joint.Optimizer.objective = outn.Es_joint.Optimizer.objective in
+  let t1 = time_best ~repeats (fun () -> solve 1) in
+  let tn = time_best ~repeats (fun () -> solve jobs) in
+  let speedup = t1 /. tn in
+  Printf.printf
+    "solver_scaling  %3d devices  jobs=1 %.3fs  jobs=%d %.3fs  speedup %.2fx  identical %b\n%!"
+    n t1 jobs tn speedup identical;
+  J.Obj
+    [
+      ("kind", J.String "solver_scaling");
+      ("devices", J.Int n);
+      ("jobs", J.Int jobs);
+      ("t_jobs1_s", J.Float t1);
+      ("t_jobsN_s", J.Float tn);
+      ("speedup", J.Float speedup);
+      ("objective", J.Float out1.Es_joint.Optimizer.objective);
+      ("identical", J.Bool identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* bench_suite — the parallelized sweep experiments end to end         *)
+(* ------------------------------------------------------------------ *)
+
+let silenced f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let suite_ids = [ "F2"; "F3"; "F4"; "T3" ]
+
+let bench_suite ~jobs =
+  let run_suite () =
+    List.iter
+      (fun id ->
+        let _, _, run = List.find (fun (i, _, _) -> i = id) Experiments.all in
+        run ())
+      suite_ids
+  in
+  (* Warm the candidate cache once so neither measurement pays first-touch
+     plan generation. *)
+  Common.jobs := 1;
+  silenced run_suite;
+  let t1 = time_best ~repeats:1 (fun () -> silenced run_suite) in
+  Common.jobs := jobs;
+  let tn = time_best ~repeats:1 (fun () -> silenced run_suite) in
+  Common.jobs := 1;
+  let speedup = t1 /. tn in
+  Printf.printf "bench_suite     %s  jobs=1 %.2fs  jobs=%d %.2fs  speedup %.2fx\n%!"
+    (String.concat "," suite_ids) t1 jobs tn speedup;
+  J.Obj
+    [
+      ("kind", J.String "bench_suite");
+      ("experiments", J.List (List.map (fun id -> J.String id) suite_ids));
+      ("jobs", J.Int jobs);
+      ("t_jobs1_s", J.Float t1);
+      ("t_jobsN_s", J.Float tn);
+      ("speedup", J.Float speedup);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let sizes = ref [ 10; 25; 50; 100 ] in
+  let jobs = ref 4 in
+  let repeats = ref 3 in
+  let out_path = ref "BENCH_solver.json" in
+  let suite = ref false in
+  let usage () =
+    prerr_endline
+      "usage: timing.exe [--sizes N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite]";
+    exit 2
+  in
+  let rec parse = function
+    | "--sizes" :: s :: rest -> (
+        match List.map int_of_string_opt (String.split_on_char ',' s) with
+        | ns when List.for_all Option.is_some ns && ns <> [] ->
+            sizes := List.filter_map Fun.id ns;
+            parse rest
+        | _ -> usage ())
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 0 ->
+            jobs := (if j = 0 then Es_util.Par.default_jobs () else j);
+            parse rest
+        | _ -> usage ())
+    | "--repeats" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some r when r >= 1 ->
+            repeats := r;
+            parse rest
+        | _ -> usage ())
+    | "--out" :: p :: rest ->
+        out_path := p;
+        parse rest
+    | "--suite" :: rest ->
+        suite := true;
+        parse rest
+    | [] -> ()
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let oc = open_out !out_path in
+  let emit record = Es_obs.Export.write_jsonl_line oc record in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "bench-timing: cores=%d jobs=%d repeats=%d sizes=%s -> %s\n%!" cores !jobs
+    !repeats
+    (String.concat "," (List.map string_of_int !sizes))
+    !out_path;
+  (* Header record: parallel speedups below only make sense relative to the
+     machine's core count (on a 1-core box jobs>1 oversubscribes and loses). *)
+  emit
+    (J.Obj
+       [
+         ("kind", J.String "bench_env");
+         ("cores", J.Int cores);
+         ("jobs", J.Int !jobs);
+         ("repeats", J.Int !repeats);
+         ("sizes", J.List (List.map (fun n -> J.Int n) !sizes));
+       ]);
+  emit (pareto_micro ~repeats:!repeats);
+  List.iter (fun n -> emit (solver_scaling ~jobs:!jobs ~repeats:!repeats n)) !sizes;
+  if !suite then emit (bench_suite ~jobs:!jobs);
+  close_out oc

@@ -300,7 +300,14 @@ let sweep_cmd =
     let doc = "Write results as CSV to this file instead of a table on stdout." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc)
   in
-  let run scenario devices seed duration param values csv =
+  let jobs =
+    let doc =
+      "Run independent (value, policy) cells on this many domains (0 = auto). Results are \
+       identical to a sequential sweep."
+    in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let run scenario devices seed duration param values csv jobs =
     let parsed_values =
       String.split_on_char ',' values |> List.filter_map float_of_string_opt
     in
@@ -329,29 +336,31 @@ let sweep_cmd =
           end
           else begin
             let policies = Es_baselines.Baselines.all () in
-            let rows = ref [] in
-            List.iter
-              (fun v ->
-                match cluster_at v with
-                | None -> ()
-                | Some cluster ->
-                    List.iter
-                      (fun (p : Es_baselines.Baselines.t) ->
-                        let decisions = p.Es_baselines.Baselines.solve cluster in
-                        let options =
-                          { Es_sim.Runner.default_options with duration_s = duration }
-                        in
-                        let r = Es_sim.Runner.run ~options cluster decisions in
-                        rows :=
-                          ( v,
-                            p.Es_baselines.Baselines.name,
-                            r.Es_sim.Metrics.dsr,
-                            r.Es_sim.Metrics.mean_latency_s,
-                            r.Es_sim.Metrics.p99_s )
-                          :: !rows)
-                      policies)
-              parsed_values;
-            let rows = List.rev !rows in
+            (* Each (value, policy) cell is independent and deterministic
+               (fixed sim seed), so they fan out over domains under --jobs;
+               collection order below is input order either way. *)
+            let cells =
+              List.concat_map
+                (fun v ->
+                  match cluster_at v with
+                  | None -> []
+                  | Some cluster ->
+                      List.map (fun (p : Es_baselines.Baselines.t) -> (v, cluster, p)) policies)
+                parsed_values
+            in
+            let rows =
+              Es_util.Par.parallel_map ~jobs
+                (fun (v, cluster, (p : Es_baselines.Baselines.t)) ->
+                  let decisions = p.Es_baselines.Baselines.solve cluster in
+                  let options = { Es_sim.Runner.default_options with duration_s = duration } in
+                  let r = Es_sim.Runner.run ~options cluster decisions in
+                  ( v,
+                    p.Es_baselines.Baselines.name,
+                    r.Es_sim.Metrics.dsr,
+                    r.Es_sim.Metrics.mean_latency_s,
+                    r.Es_sim.Metrics.p99_s ))
+                cells
+            in
             (match csv with
             | Some path ->
                 let oc = open_out path in
@@ -379,7 +388,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep a parameter across every policy, optionally to CSV")
     Term.(
-      const run $ scenario_arg $ devices_arg $ seed_arg $ duration_arg $ param $ values $ csv)
+      const run $ scenario_arg $ devices_arg $ seed_arg $ duration_arg $ param $ values $ csv
+      $ jobs)
 
 (* ---------- online ---------- *)
 

@@ -52,34 +52,44 @@ let split_at mu b bounds =
     Es_util.Numeric.clamp ~lo:bounds.u_lo ~hi:bounds.u_hi u
   end
 
+(* The bisection inner loops run on flat arrays with a single reusable split
+   buffer: ~60 θ probes × ~60 μ probes per server per outer iteration made
+   the old per-probe List.map/List.iter2 allocation the solver's top cost. *)
+let fill_splits mu b all_bounds us =
+  for i = 0 to Array.length all_bounds - 1 do
+    us.(i) <- split_at mu b all_bounds.(i)
+  done
+
 let loads margin b all_bounds us =
   let f = ref 0.0 and g = ref 0.0 in
-  List.iter2
-    (fun bounds u ->
-      let it = bounds.item in
-      if it.bits > 0.0 then f := !f +. (it.bits /. u /. b);
-      if it.work_s > 0.0 then begin
-        let s =
-          if it.bits = 0.0 then Float.min bounds.slack (margin_time margin it)
-          else bounds.slack -. u
-        in
-        g := !g +. (it.work_s /. s)
-      end)
-    all_bounds us;
+  for i = 0 to Array.length all_bounds - 1 do
+    let bounds = all_bounds.(i) in
+    let u = us.(i) in
+    let it = bounds.item in
+    if it.bits > 0.0 then f := !f +. (it.bits /. u /. b);
+    if it.work_s > 0.0 then begin
+      let s =
+        if it.bits = 0.0 then Float.min bounds.slack (margin_time margin it)
+        else bounds.slack -. u
+      in
+      g := !g +. (it.work_s /. s)
+    end
+  done;
   (!f, !g)
 
 (* Minimum of max(bandwidth load, compute load) over the splits; convex, the
    optimum is at the f = g crossing of the KKT path (or at a clamp end). *)
 let best_loadmax margin b all_bounds =
+  let us = Array.make (Array.length all_bounds) 0.0 in
   let eval mu =
-    let us = List.map (split_at mu b) all_bounds in
+    fill_splits mu b all_bounds us;
     let f, g = loads margin b all_bounds us in
     (Float.max f g, us)
   in
   let lo = ref 1e-12 and hi = ref 1e12 in
   (* f − g is increasing in mu; find the sign change. *)
   let fg mu =
-    let us = List.map (split_at mu b) all_bounds in
+    fill_splits mu b all_bounds us;
     let f, g = loads margin b all_bounds us in
     f -. g
   in
@@ -93,17 +103,19 @@ let best_loadmax margin b all_bounds =
     eval !hi
   end
 
+exception Infeasible_theta
+
 let feasible_at margin b items theta =
-  let rec collect acc = function
-    | [] -> Some (List.rev acc)
-    | it :: rest -> (
+  match
+    Array.map
+      (fun it ->
         match bounds_at margin theta it with
-        | None -> None
-        | Some bnd -> collect (bnd :: acc) rest)
-  in
-  match collect [] items with
-  | None -> None
-  | Some all_bounds ->
+        | Some bnd -> bnd
+        | None -> raise Infeasible_theta)
+      items
+  with
+  | exception Infeasible_theta -> None
+  | all_bounds ->
       let loadmax, us = best_loadmax margin b all_bounds in
       if loadmax <= 1.0 +. 1e-9 then Some (all_bounds, us) else None
 
@@ -137,21 +149,28 @@ let solve ?(stability_margin = 0.95) ?(tol = 1e-3) ~bandwidth_bps items =
   if bandwidth_bps <= 0.0 then invalid_arg "Minmax.solve: non-positive bandwidth";
   if items = [] then Some { theta = 0.0; grants = [] }
   else begin
+    let items = Array.of_list items in
     (* Sustained-load prechecks: no θ is feasible when offered load exceeds
        capacity. *)
-    let bit_load = Es_util.Numeric.sum_by (fun it -> it.rate *. it.bits) items in
-    let work_load = Es_util.Numeric.sum_by (fun it -> it.rate *. it.work_s) items in
+    let bit_load = ref 0.0 and work_load = ref 0.0 in
+    Array.iter
+      (fun it ->
+        bit_load := !bit_load +. (it.rate *. it.bits);
+        work_load := !work_load +. (it.rate *. it.work_s))
+      items;
     let peak_ok =
-      List.for_all (fun it -> it.bits = 0.0 || it.rate *. it.bits /. it.peak_bps <= stability_margin) items
+      Array.for_all
+        (fun it -> it.bits = 0.0 || it.rate *. it.bits /. it.peak_bps <= stability_margin)
+        items
     in
     if
-      bit_load > stability_margin *. bandwidth_bps
-      || work_load > stability_margin || not peak_ok
+      !bit_load > stability_margin *. bandwidth_bps
+      || !work_load > stability_margin || not peak_ok
     then None
     else begin
       let feasible = feasible_at stability_margin bandwidth_bps items in
       let theta_lo =
-        List.fold_left (fun acc it -> Float.max acc (it.fixed_s /. it.deadline_s)) 0.0 items
+        Array.fold_left (fun acc it -> Float.max acc (it.fixed_s /. it.deadline_s)) 0.0 items
       in
       (* Grow an upper bracket. *)
       let rec grow theta n =
@@ -172,15 +191,14 @@ let solve ?(stability_margin = 0.95) ?(tol = 1e-3) ~bandwidth_bps items =
           (match feasible !hi with
           | None -> None (* numerically impossible, but keep total *)
           | Some (all_bounds, us) ->
-              let n = List.length all_bounds in
-              let keys = Array.make n 0 in
+              let n = Array.length all_bounds in
               let bws = Array.make n 0.0 in
               let peaks = Array.make n 0.0 in
               let shares = Array.make n 0.0 in
-              List.iteri
-                (fun i (bounds, u) ->
+              Array.iteri
+                (fun i bounds ->
                   let it = bounds.item in
-                  keys.(i) <- it.key;
+                  let u = us.(i) in
                   peaks.(i) <- it.peak_bps;
                   if it.bits > 0.0 then bws.(i) <- it.bits /. u;
                   if it.work_s > 0.0 then begin
@@ -191,12 +209,13 @@ let solve ?(stability_margin = 0.95) ?(tol = 1e-3) ~bandwidth_bps items =
                     in
                     shares.(i) <- it.work_s /. s
                   end)
-                (List.combine all_bounds us);
+                all_bounds;
               let bws = scale_up_bandwidth bandwidth_bps bws peaks in
               let shares = scale_up_shares shares in
               let grants =
                 List.init n (fun i ->
-                    (keys.(i), { bandwidth_bps = bws.(i); compute_share = shares.(i) }))
+                    ( all_bounds.(i).item.key,
+                      { bandwidth_bps = bws.(i); compute_share = shares.(i) } ))
               in
               Some { theta = !hi; grants })
     end

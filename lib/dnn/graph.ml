@@ -56,11 +56,12 @@ module Builder = struct
     b.count <- id + 1;
     id
 
+  (* Atomic: graphs are built from multiple domains under --jobs, and a
+     duplicated uid would alias entries in the per-(graph, processor)
+     profile caches. *)
   let next_uid =
-    let counter = ref 0 in
-    fun () ->
-      incr counter;
-      !counter
+    let counter = Atomic.make 0 in
+    fun () -> Atomic.fetch_and_add counter 1 + 1
 
   let finish ?output b =
     let nodes = Array.of_list (List.rev b.rev_nodes) in

@@ -34,12 +34,18 @@ let layer_latency perf g id =
 
 (* Per-(graph, processor) prefix sums of layer latencies.  The optimizer's
    inner loops evaluate millions of (cut, processor) latencies on a handful
-   of graphs; memoizing turns each evaluation into two array reads. *)
-let prefix_cache : (int * perf, float array) Hashtbl.t = Hashtbl.create 64
+   of graphs; memoizing turns each evaluation into two array reads.  The
+   cache is domain-local (one table per domain, no locking): this lookup is
+   hot enough that even an uncontended mutex measurably slows the solver,
+   and a contended one serializes parallel trajectories outright.  Each
+   domain recomputes at most (graphs × processors) small arrays. *)
+let prefix_cache : (int * perf, float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 let prefix_sums perf g =
+  let cache = Domain.DLS.get prefix_cache in
   let key = (g.Graph.uid, perf) in
-  match Hashtbl.find_opt prefix_cache key with
+  match Hashtbl.find_opt cache key with
   | Some sums -> sums
   | None ->
       let n = Graph.n_nodes g in
@@ -47,7 +53,7 @@ let prefix_sums perf g =
       for i = 0 to n - 1 do
         sums.(i + 1) <- sums.(i) +. layer_latency perf g i
       done;
-      Hashtbl.add prefix_cache key sums;
+      Hashtbl.replace cache key sums;
       sums
 
 let range_latency perf g ~lo ~hi =

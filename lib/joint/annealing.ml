@@ -8,6 +8,8 @@ type config = {
   seed : int;
   widths : float list;
   precisions : Precision.t list;
+  restarts : int;
+  jobs : int;
 }
 
 let default_config =
@@ -18,6 +20,8 @@ let default_config =
     seed = 17;
     widths = Candidate.default_widths;
     precisions = Candidate.default_precisions;
+    restarts = 1;
+    jobs = 0;
   }
 
 type output = {
@@ -28,34 +32,20 @@ type output = {
   solve_time_s : float;
 }
 
-let solve ?(config = default_config) ?metrics ?spans cluster =
-  let t0 = Sys.time () in
+(* One annealing trajectory over pre-built candidate pools.  All randomness
+   comes from [rng], so a trajectory is fully determined by its stream —
+   which is what lets restarts run on any number of domains with
+   bit-identical results: the streams are split off before the fan-out. *)
+let anneal_one ~config ~restart ~rng ~pools ?metrics ?spans cluster =
   let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
-  if nd = 0 then invalid_arg "Annealing.solve: empty cluster";
   let tracer =
     match spans with
     | None -> Es_obs.Span.null
     | Some sink -> Es_obs.Span.tracer ~sink ~clock:Es_obs.Obs.wall_clock ()
   in
-  let root = Es_obs.Span.start tracer "annealing/solve" in
+  let root = Es_obs.Span.start tracer ~attrs:[ ("restart", Es_obs.Json.Int restart) ] "annealing/solve" in
   let obj_histo =
     Option.map (fun reg -> Es_obs.Metric.histogram reg "annealing/accepted_objective") metrics
-  in
-  let rng = Es_util.Prng.create config.seed in
-  (* Per-device candidate pools, accuracy-filtered like the main optimizer. *)
-  let pools =
-    Array.init nd (fun i ->
-        let dev = cluster.Cluster.devices.(i) in
-        let all =
-          Candidate.pareto_candidates ~widths:config.widths ~precisions:config.precisions
-            dev.Cluster.model
-        in
-        let ok =
-          List.filter
-            (fun (p : Plan.t) -> p.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9)
-            all
-        in
-        Array.of_list (if ok = [] then all else ok))
   in
   (* State: plan index + server per device.  Start all-local (stable). *)
   let local_index pool =
@@ -141,9 +131,7 @@ let solve ?(config = default_config) ?metrics ?spans cluster =
       Es_obs.Metric.inc ~by:!accepted (Es_obs.Metric.counter reg "annealing/accepted");
       Es_obs.Metric.inc
         ~by:(!evaluated - !accepted)
-        (Es_obs.Metric.counter reg "annealing/rejected");
-      Es_obs.Metric.set (Es_obs.Metric.gauge reg "annealing/objective") obj;
-      Es_obs.Metric.set (Es_obs.Metric.gauge reg "annealing/final_temperature") !temp);
+        (Es_obs.Metric.counter reg "annealing/rejected"));
   Es_obs.Span.finish tracer
     ~attrs:
       [
@@ -152,10 +140,67 @@ let solve ?(config = default_config) ?metrics ?spans cluster =
         ("accepted", Es_obs.Json.Int !accepted);
       ]
     root;
+  (obj, ds, !evaluated, !accepted, !temp)
+
+let solve ?(config = default_config) ?metrics ?spans cluster =
+  let t0 = Es_obs.Obs.wall_clock () in
+  let nd = Cluster.n_devices cluster in
+  if nd = 0 then invalid_arg "Annealing.solve: empty cluster";
+  (* Per-device candidate pools, accuracy-filtered like the main optimizer;
+     built once and shared read-only across restarts. *)
+  let pools =
+    Array.init nd (fun i ->
+        let dev = cluster.Cluster.devices.(i) in
+        let all =
+          Candidate.pareto_candidates ~widths:config.widths ~precisions:config.precisions
+            dev.Cluster.model
+        in
+        let ok =
+          List.filter
+            (fun (p : Plan.t) -> p.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9)
+            all
+        in
+        Array.of_list (if ok = [] then all else ok))
+  in
+  let restarts = Stdlib.max 1 config.restarts in
+  (* A single restart keeps the historical stream (create seed); with more,
+     every restart gets an independent stream split off a base generator
+     before the fan-out, so the result is the same at any [jobs]. *)
+  let streams =
+    if restarts = 1 then [ (0, Es_util.Prng.create config.seed) ]
+    else begin
+      let base = Es_util.Prng.create config.seed in
+      List.init restarts (fun i -> (i, Es_util.Prng.split base))
+    end
+  in
+  let spans = if restarts > 1 then Option.map Es_obs.Span.locked_sink spans else spans in
+  let results =
+    Es_util.Par.parallel_map ~jobs:(if restarts = 1 then 1 else config.jobs)
+      (fun (restart, rng) -> anneal_one ~config ~restart ~rng ~pools ?metrics ?spans cluster)
+      streams
+  in
+  let best_obj, best_ds, _, _, best_temp =
+    match results with
+    | [] -> assert false
+    | r :: rest ->
+        (* Strict <, so the lowest-index restart wins ties — the order a
+           sequential run would have kept. *)
+        List.fold_left
+          (fun (bo, bd, be, ba, bt) (o, d, e, a, t) ->
+            if o < bo then (o, d, e, a, t) else (bo, bd, be, ba, bt))
+          r rest
+  in
+  let evaluated = List.fold_left (fun acc (_, _, e, _, _) -> acc + e) 0 results in
+  let accepted = List.fold_left (fun acc (_, _, _, a, _) -> acc + a) 0 results in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      Es_obs.Metric.set (Es_obs.Metric.gauge reg "annealing/objective") best_obj;
+      Es_obs.Metric.set (Es_obs.Metric.gauge reg "annealing/final_temperature") best_temp);
   {
-    decisions = ds;
-    objective = obj;
-    evaluated = !evaluated;
-    accepted = !accepted;
-    solve_time_s = Sys.time () -. t0;
+    decisions = best_ds;
+    objective = best_obj;
+    evaluated;
+    accepted;
+    solve_time_s = Es_obs.Obs.wall_clock () -. t0;
   }

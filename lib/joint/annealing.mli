@@ -15,6 +15,13 @@ type config = {
   seed : int;
   widths : float list;
   precisions : Es_surgery.Precision.t list;
+  restarts : int;
+      (** independent trajectories (default 1).  With several, each draws
+          its own {!Es_util.Prng.split} stream created before the fan-out,
+          so the returned best is identical at any [jobs]; ties go to the
+          lowest restart index.  [restarts = 1] keeps the historical
+          single-stream behavior exactly *)
+  jobs : int;  (** domains for the restart fan-out: [1] sequential, [0] auto *)
 }
 
 val default_config : config
@@ -39,10 +46,12 @@ val solve :
 
     Telemetry (both optional, off by default): [metrics] accrues
     [annealing/evaluated] / [annealing/accepted] / [annealing/rejected]
-    counters, the [annealing/accepted_objective] histogram and final
-    [annealing/objective] / [annealing/final_temperature] gauges; [spans]
-    receives an [annealing/solve] root span (wall-clock) with
-    [annealing/checkpoint] children (~64 per run) sampling temperature,
-    objective and acceptance along the cooling schedule.
+    counters (summed across restarts), the [annealing/accepted_objective]
+    histogram, and final [annealing/objective] / [annealing/final_temperature]
+    gauges written once from the winning restart; [spans] receives an
+    [annealing/solve] root span per restart (wall-clock, with a [restart]
+    attribute) carrying [annealing/checkpoint] children (~64 per run)
+    sampling temperature, objective and acceptance along the cooling
+    schedule.  Under parallel restarts the sink is serialized internally.
 
     @raise Invalid_argument on an empty cluster. *)

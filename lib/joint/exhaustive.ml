@@ -8,8 +8,8 @@ type output = {
   solve_time_s : float;
 }
 
-let solve ?(widths = Candidate.default_widths) ?(max_candidates_per_device = 6) cluster =
-  let t0 = Sys.time () in
+let solve ?(widths = Candidate.default_widths) ?(max_candidates_per_device = 6) ?jobs cluster =
+  let t0 = Es_obs.Obs.wall_clock () in
   let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
   (* Subsample the Pareto frontier exactly the way the heuristic does
      (subsample first, then the accuracy filter), so that with the same cap
@@ -36,44 +36,78 @@ let solve ?(widths = Candidate.default_widths) ?(max_candidates_per_device = 6) 
   if total > 2e6 then
     invalid_arg
       (Printf.sprintf "Exhaustive.solve: %.0f combinations exceed the 2e6 cap" total);
-  let best_obj = ref Objective.infeasible in
-  let best_ds = ref None in
-  let combos = ref 0 in
-  let assignment = Array.make nd 0 in
-  let choice = Array.make nd 0 in
-  let rec enumerate device =
-    if device = nd then begin
-      incr combos;
-      let plans = Array.init nd (fun i -> cands.(i).(choice.(i))) in
-      match Optimizer.best_allocation cluster ~assignment ~plans with
-      | None -> ()
-      | Some ds ->
-          let obj = Objective.of_decisions cluster ds in
-          if obj < !best_obj then begin
-            best_obj := obj;
-            best_ds := Some ds
-          end
-    end
-    else
-      for c = 0 to Array.length cands.(device) - 1 do
-        choice.(device) <- c;
-        let plan = cands.(device).(c) in
-        if Plan.is_device_only plan then begin
-          (* The server choice is inert for local plans: fix it to 0. *)
-          assignment.(device) <- 0;
-          enumerate (device + 1)
-        end
-        else
-          for s = 0 to ns - 1 do
-            assignment.(device) <- s;
+  (* The search below device [from] with the prefix already pinned in
+     [assignment]/[choice]; each parallel branch owns private copies. *)
+  let enumerate_from ~assignment ~choice from =
+    let best_obj = ref Objective.infeasible in
+    let best_ds = ref None in
+    let combos = ref 0 in
+    let rec enumerate device =
+      if device = nd then begin
+        incr combos;
+        let plans = Array.init nd (fun i -> cands.(i).(choice.(i))) in
+        match Optimizer.best_allocation cluster ~assignment ~plans with
+        | None -> ()
+        | Some ds ->
+            let obj = Objective.of_decisions cluster ds in
+            if obj < !best_obj then begin
+              best_obj := obj;
+              best_ds := Some ds
+            end
+      end
+      else
+        for c = 0 to Array.length cands.(device) - 1 do
+          choice.(device) <- c;
+          let plan = cands.(device).(c) in
+          if Plan.is_device_only plan then begin
+            (* The server choice is inert for local plans: fix it to 0. *)
+            assignment.(device) <- 0;
             enumerate (device + 1)
-          done
-      done
+          end
+          else
+            for s = 0 to ns - 1 do
+              assignment.(device) <- s;
+              enumerate (device + 1)
+            done
+        done
+    in
+    enumerate from;
+    (!best_obj, !best_ds, !combos)
   in
-  enumerate 0;
+  let best_obj, best_ds, combos =
+    if nd = 0 then enumerate_from ~assignment:[||] ~choice:[||] 0
+    else begin
+      (* Fan out over device 0's (plan, server) branches.  Each branch is an
+         independent sub-search on private state; merging in branch order
+         with a strict [<] reproduces the sequential first-wins tie-break
+         exactly, and the per-branch combination counts sum to the
+         sequential total. *)
+      let branches =
+        List.concat_map
+          (fun c ->
+            if Plan.is_device_only cands.(0).(c) then [ (c, 0) ]
+            else List.init ns (fun s -> (c, s)))
+          (List.init (Array.length cands.(0)) Fun.id)
+      in
+      let results =
+        Es_util.Par.parallel_map ?jobs
+          (fun (c, s) ->
+            let assignment = Array.make nd 0 in
+            let choice = Array.make nd 0 in
+            choice.(0) <- c;
+            assignment.(0) <- s;
+            enumerate_from ~assignment ~choice 1)
+          branches
+      in
+      List.fold_left
+        (fun (bo, bd, bc) (o, d, n) -> if o < bo then (o, d, bc + n) else (bo, bd, bc + n))
+        (Objective.infeasible, None, 0)
+        results
+    end
+  in
   {
-    decisions = !best_ds;
-    objective = !best_obj;
-    combinations = !combos;
-    solve_time_s = Sys.time () -. t0;
+    decisions = best_ds;
+    objective = best_obj;
+    combinations = combos;
+    solve_time_s = Es_obs.Obs.wall_clock () -. t0;
   }

@@ -16,10 +16,14 @@ type output = {
 val solve :
   ?widths:float list ->
   ?max_candidates_per_device:int ->
+  ?jobs:int ->
   Es_edge.Cluster.t ->
   output
 (** [max_candidates_per_device] (default 6) subsamples each device's Pareto
     frontier evenly (always keeping the device-only and full-offload
-    extremes).  @raise Invalid_argument when the instance exceeds 2 million
+    extremes).  [jobs] fans the first device's (plan, server) branches out
+    over domains ([1] sequential, [0]/omitted auto); the returned optimum,
+    tie-breaks and combination count are identical at any [jobs].
+    @raise Invalid_argument when the instance exceeds 2 million
     combinations — that is the exhaustive solver telling you to use
     {!Optimizer}. *)

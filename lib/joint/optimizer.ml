@@ -11,6 +11,7 @@ type config = {
   local_search_passes : int;
   seed : int;
   max_candidates : int option;
+  jobs : int;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     local_search_passes = 2;
     seed = 1;
     max_candidates = None;
+    jobs = 0;
   }
 
 type trace_point = {
@@ -66,7 +68,130 @@ let plan_stable cluster ~device ~server plan ~bandwidth_bps ~compute_share =
      && rate *. bits /. bw < stability_margin
      && (work = 0.0 || (compute_share > 0.0 && rate *. work /. compute_share < stability_margin)))
 
+(* Per-plan invariants, computed once per device per solve, so the surgery
+   step scores a (plan, grants) pair with a handful of float operations and
+   zero allocation — no Decision record, no Latency.breakdown, no list
+   filtering.  [work] is indexed by server. *)
+type scored = {
+  plan : Plan.t;
+  local : bool;
+  acc_ok : bool;
+  mem_ok : bool;
+  dev_s : float;
+  up_bytes : float;
+  down_bytes : float;
+  bits : float;
+  work : float array;
+}
+
+let score_candidates cluster ~device candidates =
+  let dev = cluster.Cluster.devices.(device) in
+  let dperf = dev.Cluster.proc.Processor.perf in
+  let servers = cluster.Cluster.servers in
+  Array.map
+    (fun (p : Plan.t) ->
+      {
+        plan = p;
+        local = Plan.is_device_only p;
+        acc_ok = p.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9;
+        mem_ok = Plan.device_mem_bytes p <= dev.Cluster.proc.Processor.mem_bytes;
+        dev_s = Plan.device_time dperf p;
+        up_bytes = Plan.transfer_bytes p;
+        down_bytes = Plan.result_bytes p;
+        bits = 8.0 *. (Plan.transfer_bytes p +. Plan.result_bytes p);
+        work =
+          Array.map (fun (s : Cluster.server) -> Plan.server_time s.Cluster.sproc.Processor.perf p) servers;
+      })
+    (Array.of_list candidates)
+
+(* The surgery step over a scored pool.  Float arithmetic mirrors
+   [plan_latency] (Decision clamps + Link.transfer_time + Latency.total, in
+   the same operation order) and [plan_stable] exactly, so decisions are
+   bit-identical to the record-allocating path; selection replicates
+   argmin_by's first-wins tie-break over (eligible | all) × (stable | any). *)
+let best_scored cluster ~device ~server (pool : scored array) ~bandwidth_bps ~compute_share =
+  let dev = cluster.Cluster.devices.(device) in
+  let rate = dev.Cluster.rate in
+  let peak = dev.Cluster.link.Link.peak_bps in
+  let half_rtt = dev.Cluster.link.Link.rtt_s /. 2.0 in
+  (* Latency path: Decision.make clamps grants; transfer_time caps at peak. *)
+  let bw_lat = Float.min (Float.max bandwidth_bps 1.0) peak in
+  let share_lat = Float.max compute_share 1e-6 in
+  (* Stability path: unclamped grants, capped at peak. *)
+  let bw_st = Float.min bandwidth_bps peak in
+  let latency c =
+    if c.local then c.dev_s
+    else begin
+      let up = if c.up_bytes <= 0.0 then 0.0 else (c.up_bytes *. 8.0 /. bw_lat) +. half_rtt in
+      let srv = c.work.(server) /. share_lat in
+      let down =
+        if c.down_bytes <= 0.0 then 0.0 else (c.down_bytes *. 8.0 /. bw_lat) +. half_rtt
+      in
+      c.dev_s +. up +. srv +. down
+    end
+  in
+  let stable c =
+    c.mem_ok
+    && rate *. c.dev_s < stability_margin
+    && (c.local
+       || bw_st > 0.0
+          && rate *. c.bits /. bw_st < stability_margin
+          && (let w = c.work.(server) in
+              w = 0.0 || (compute_share > 0.0 && rate *. w /. compute_share < stability_margin)))
+  in
+  let el_st = ref (-1) and el_st_l = ref infinity in
+  let el_any = ref (-1) and el_any_l = ref infinity in
+  let all_st = ref (-1) and all_st_l = ref infinity in
+  let all_any = ref (-1) and all_any_l = ref infinity in
+  for i = 0 to Array.length pool - 1 do
+    let c = pool.(i) in
+    let l = latency c in
+    let st = stable c in
+    if c.acc_ok then begin
+      if !el_any < 0 || l < !el_any_l then begin
+        el_any := i;
+        el_any_l := l
+      end;
+      if st && (!el_st < 0 || l < !el_st_l) then begin
+        el_st := i;
+        el_st_l := l
+      end
+    end;
+    if !all_any < 0 || l < !all_any_l then begin
+      all_any := i;
+      all_any_l := l
+    end;
+    if st && (!all_st < 0 || l < !all_st_l) then begin
+      all_st := i;
+      all_st_l := l
+    end
+  done;
+  let pick =
+    if !el_any >= 0 then if !el_st >= 0 then !el_st else !el_any
+    else if !all_st >= 0 then !all_st
+    else !all_any
+  in
+  (* candidate sets are never empty: full model always present *)
+  assert (pick >= 0);
+  pool.(pick).plan
+
+let device_pool ?exits ?max_candidates ?precisions ~widths cluster ~device =
+  let dev = cluster.Cluster.devices.(device) in
+  let candidates = Candidate.pareto_candidates ?exits ?precisions ~widths dev.Cluster.model in
+  let candidates =
+    match max_candidates with Some k -> Candidate.subsample k candidates | None -> candidates
+  in
+  score_candidates cluster ~device candidates
+
 let best_plan_for_grants ?exits ?max_candidates ?precisions ~widths cluster ~device ~server
+    ~bandwidth_bps ~compute_share =
+  let pool = device_pool ?exits ?max_candidates ?precisions ~widths cluster ~device in
+  best_scored cluster ~device ~server pool ~bandwidth_bps ~compute_share
+
+(* The original list-based surgery step (one Decision + Latency.breakdown per
+   candidate), kept as the qcheck oracle: [best_plan_for_grants] must return
+   the bit-identical plan on every input. *)
+let best_plan_for_grants_ref ?exits ?max_candidates ?precisions ~widths cluster ~device ~server
     ~bandwidth_bps ~compute_share =
   let dev = cluster.Cluster.devices.(device) in
   let candidates = Candidate.pareto_candidates ?exits ?precisions ~widths dev.Cluster.model in
@@ -193,7 +318,7 @@ let force_feasible config cluster plans assignment =
   go order
 
 let solve_one ~config ?metrics ?spans cluster =
-  let t0 = Sys.time () in
+  let t0 = Es_obs.Obs.wall_clock () in
   let nd = Cluster.n_devices cluster in
   if nd = 0 then invalid_arg "Optimizer.solve: empty cluster";
   let tracer =
@@ -213,6 +338,14 @@ let solve_one ~config ?metrics ?spans cluster =
           Es_obs.Histogram.observe obj_h obj
   in
   let widths = config.widths in
+  let pools =
+    Array.init nd (fun device ->
+        device_pool ?max_candidates:config.max_candidates ~precisions:config.precisions ~widths
+          cluster ~device)
+  in
+  let best_plan ~device ~server ~bandwidth_bps ~compute_share =
+    best_scored cluster ~device ~server pools.(device) ~bandwidth_bps ~compute_share
+  in
   (* Initial surgery: fair-share estimate against the fastest server. *)
   let servers = cluster.Cluster.servers in
   let fastest =
@@ -230,9 +363,7 @@ let solve_one ~config ?metrics ?spans cluster =
   let plans =
     Array.init nd (fun device ->
         let bw = servers.(fastest).Cluster.ap_bandwidth_bps /. per_server in
-        best_plan_for_grants ?max_candidates:config.max_candidates ~precisions:config.precisions
-          ~widths cluster ~device ~server:fastest ~bandwidth_bps:bw
-          ~compute_share:(1.0 /. per_server))
+        best_plan ~device ~server:fastest ~bandwidth_bps:bw ~compute_share:(1.0 /. per_server))
   in
   let assignment = ref (Assign.balanced_greedy cluster ~plans) in
   let best : (float * Decision.t array) option ref = ref None in
@@ -293,10 +424,7 @@ let solve_one ~config ?metrics ?spans cluster =
                    (d.Decision.bandwidth_bps, d.Decision.compute_share)
                  else fair_share_estimate cluster ~plans ~assignment:!assignment ~device
                in
-               plans.(device) <-
-                 best_plan_for_grants ?max_candidates:config.max_candidates
-                   ~precisions:config.precisions ~widths cluster ~device ~server ~bandwidth_bps
-                   ~compute_share)
+               plans.(device) <- best_plan ~device ~server ~bandwidth_bps ~compute_share)
              working;
            (* --- Assignment step --- *)
            if config.reassign && Array.length servers > 1 then begin
@@ -318,11 +446,6 @@ let solve_one ~config ?metrics ?spans cluster =
         | None -> assert false)
   in
   let objective = Objective.of_decisions cluster decisions in
-  (match metrics with
-  | None -> ()
-  | Some reg ->
-      Es_obs.Metric.set (Es_obs.Metric.gauge reg "optimizer/objective") objective;
-      Es_obs.Metric.set (Es_obs.Metric.gauge reg "optimizer/solve_time_s") (Sys.time () -. t0));
   Es_obs.Span.finish tracer
     ~attrs:
       [
@@ -335,20 +458,46 @@ let solve_one ~config ?metrics ?spans cluster =
     objective;
     iterations = !iterations;
     trace = List.rev !trace;
-    solve_time_s = Sys.time () -. t0;
+    solve_time_s = Es_obs.Obs.wall_clock () -. t0;
   }
 
+(* Final gauges are set exactly once per [solve], from the chosen landing
+   point — the multi-start trajectories themselves no longer write them, so
+   the exported values cannot disagree with the returned result. *)
+let set_final_gauges metrics ~objective ~solve_time_s =
+  match metrics with
+  | None -> ()
+  | Some reg ->
+      Es_obs.Metric.set (Es_obs.Metric.gauge reg "optimizer/objective") objective;
+      Es_obs.Metric.set (Es_obs.Metric.gauge reg "optimizer/solve_time_s") solve_time_s
+
 let solve ?(config = default_config) ?metrics ?spans cluster =
-  let primary = solve_one ~config ?metrics ?spans cluster in
-  if config.allocator <> Policy.Minmax_alloc then primary
+  let t0 = Es_obs.Obs.wall_clock () in
+  if config.allocator <> Policy.Minmax_alloc then begin
+    let out = solve_one ~config ?metrics ?spans cluster in
+    set_final_gauges metrics ~objective:out.objective ~solve_time_s:out.solve_time_s;
+    out
+  end
   else begin
     (* Multi-start: coordinate descent is sensitive to the allocator driving
        its surgery steps, so the full joint configuration also runs the
        equal-share trajectory and keeps the better landing point (with its
        allocation re-polished by the optimal inner step).  This makes the
        joint result never worse than the surgery-only ablation by
-       construction. *)
-    let alt = solve_one ~config:{ config with allocator = Policy.Equal } ?metrics ?spans cluster in
+       construction.
+
+       The two trajectories are independent and deterministic (no shared
+       mutable state beyond the domain-safe caches and the metrics registry),
+       so they run concurrently under [config.jobs] with results identical to
+       the sequential order.  A shared span sink is serialized; the
+       [optimizer/iterations] counter accumulates both trajectories. *)
+    let spans = Option.map Es_obs.Span.locked_sink spans in
+    let primary, alt =
+      Es_util.Par.both ~jobs:config.jobs
+        (fun () -> solve_one ~config ?metrics ?spans cluster)
+        (fun () ->
+          solve_one ~config:{ config with allocator = Policy.Equal } ?metrics ?spans cluster)
+    in
     let alt_plans = Array.map (fun (d : Decision.t) -> d.Decision.plan) alt.decisions in
     let alt_assignment = Array.map (fun (d : Decision.t) -> d.Decision.server) alt.decisions in
     let candidates =
@@ -365,10 +514,8 @@ let solve ?(config = default_config) ?metrics ?spans cluster =
       | Some ds -> ds
       | None -> primary.decisions
     in
-    {
-      primary with
-      decisions = best;
-      objective = Objective.of_decisions cluster best;
-      solve_time_s = primary.solve_time_s +. alt.solve_time_s;
-    }
+    let solve_time_s = Es_obs.Obs.wall_clock () -. t0 in
+    let objective = Objective.of_decisions cluster best in
+    set_final_gauges metrics ~objective ~solve_time_s;
+    { primary with decisions = best; objective; solve_time_s }
   end

@@ -34,6 +34,11 @@ type config = {
   max_candidates : int option;
       (** cap each device's Pareto set (evenly subsampled); [None] = full.
           Used to compare against {!Exhaustive} on an identical plan grid *)
+  jobs : int;
+      (** domains for the multi-start fan-out: [1] sequential, [0] (the
+          default) auto-sizes from {!Es_util.Par.default_jobs}.  Decisions
+          and objective are bit-identical for every [jobs] value — the
+          trajectories are deterministic and independent *)
 }
 
 val default_config : config
@@ -50,7 +55,9 @@ type output = {
   objective : float;
   iterations : int;  (** outer iterations actually run *)
   trace : trace_point list;  (** objective after each iteration, in order *)
-  solve_time_s : float;  (** wall-clock optimizer runtime *)
+  solve_time_s : float;
+      (** wall-clock optimizer runtime ({!Es_obs.Obs.wall_clock}): elapsed
+          time for the whole solve, including parallel trajectories *)
 }
 
 val solve :
@@ -64,12 +71,15 @@ val solve :
     execution (their requests never enter the network).
 
     Telemetry (both optional, off by default): [metrics] accrues
-    [optimizer/iterations], the [optimizer/iteration_objective] histogram
-    and final [optimizer/objective] / [optimizer/solve_time_s] gauges;
-    [spans] receives one [optimizer/solve] root span per solver run
+    [optimizer/iterations] (summed across multi-start trajectories), the
+    [optimizer/iteration_objective] histogram, and the final
+    [optimizer/objective] / [optimizer/solve_time_s] gauges — the gauges are
+    written once per solve from the chosen landing point, so they always
+    agree with the returned output regardless of which trajectory won.
+    [spans] receives one [optimizer/solve] root span per trajectory
     (wall-clock) with an [optimizer/iteration] child per outer iteration
-    carrying objective / misses / mean-latency / feasibility attributes.
-    The multi-start second trajectory reports into the same registry/sink.
+    carrying objective / misses / mean-latency / feasibility attributes;
+    under parallel multi-start the sink is serialized internally.
 
     @raise Invalid_argument on an empty cluster. *)
 
@@ -100,4 +110,20 @@ val best_plan_for_grants :
 (** The surgery step for one device, exposed for tests and baselines: the
     latency-minimizing stable candidate meeting the accuracy floor under the
     given grants (falling back to the accuracy-best candidate when nothing
-    is stable). *)
+    is stable).  Scores candidates over precomputed per-plan invariants with
+    no per-plan allocation — the solver's hottest loop. *)
+
+val best_plan_for_grants_ref :
+  ?exits:int option list ->
+  ?max_candidates:int ->
+  ?precisions:Es_surgery.Precision.t list ->
+  widths:float list ->
+  Es_edge.Cluster.t ->
+  device:int ->
+  server:int ->
+  bandwidth_bps:float ->
+  compute_share:float ->
+  Es_surgery.Plan.t
+(** The original list-based implementation (allocates a Decision per
+    candidate), kept as the qcheck reference oracle for
+    {!best_plan_for_grants}: both must return bit-identical plans. *)

@@ -4,6 +4,7 @@ type t = {
   min_value : float;
   nbuckets : int;
   counts : int array;
+  lock : Mutex.t;  (* serializes [observe]: instruments are shared across domains *)
   mutable underflow : int;
   mutable overflow : int;
   mutable n : int;
@@ -27,6 +28,7 @@ let create ?(growth = default_growth) ?(min_value = default_min_value)
     min_value;
     nbuckets = buckets;
     counts = Array.make buckets 0;
+    lock = Mutex.create ();
     underflow = 0;
     overflow = 0;
     n = 0;
@@ -39,6 +41,7 @@ let bucket_index t v = int_of_float (Float.floor (log (v /. t.min_value) /. t.lo
 
 let observe t v =
   if not (Float.is_nan v) then begin
+    Mutex.lock t.lock;
     t.n <- t.n + 1;
     t.total <- t.total +. v;
     if v < t.lo then t.lo <- v;
@@ -48,7 +51,8 @@ let observe t v =
       let i = bucket_index t v in
       if i >= t.nbuckets then t.overflow <- t.overflow + 1
       else t.counts.(Stdlib.max i 0) <- t.counts.(Stdlib.max i 0) + 1
-    end
+    end;
+    Mutex.unlock t.lock
   end
 
 let count t = t.n

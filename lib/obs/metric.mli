@@ -10,7 +10,12 @@
     Naming convention (documented in DESIGN.md): lower_snake_case with a
     unit suffix where applicable ([request_latency_s], [queue_depth]),
     namespaced by subsystem with a [/] ([annealing/accepted]).  Labels are
-    sorted at registration, so label order at call sites is irrelevant. *)
+    sorted at registration, so label order at call sites is irrelevant.
+
+    Thread-safety: a registry may be shared across domains (parallel solver
+    trajectories report into one registry under [--jobs]).  Registration is
+    mutex-protected; counters and gauges are atomics, so {!inc} and {!add}
+    are linearizable; {!Histogram.observe} serializes internally. *)
 
 type registry
 

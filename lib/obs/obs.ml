@@ -1,6 +1,9 @@
 let noop = Span.noop_sink
 
-let wall_clock () = Sys.time ()
+(* Wall clock, not [Sys.time]: process CPU time double-counts across domains
+   and would misreport solver runtimes the moment multi-start runs under
+   --jobs. *)
+let wall_clock () = Unix.gettimeofday ()
 
 type scope = {
   metrics : Metric.registry option;

@@ -10,8 +10,10 @@ val noop : Span.sink
     this is the disabled path instrumented code compiles down to. *)
 
 val wall_clock : unit -> float
-(** Process CPU clock ({!Sys.time}) — the clock solvers use for spans, as
-    distinct from the simulator's virtual clock. *)
+(** Wall-clock seconds ([Unix.gettimeofday]) — the clock solvers use for
+    spans and runtimes, as distinct from the simulator's virtual clock.
+    Wall time (not process CPU time) so parallel solver trajectories are
+    measured by elapsed time rather than by summed per-domain CPU. *)
 
 type scope = {
   metrics : Metric.registry option;

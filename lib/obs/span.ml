@@ -71,3 +71,9 @@ let duration_s s = s.end_s -. s.start_s
 let memory_sink () =
   let acc = ref [] in
   ((fun s -> acc := s :: !acc), fun () -> List.rev !acc)
+
+let locked_sink sink =
+  let m = Mutex.create () in
+  fun s ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> sink s)

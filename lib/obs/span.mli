@@ -63,3 +63,9 @@ val duration_s : t -> float
 val memory_sink : unit -> sink * (unit -> t list)
 (** An accumulating sink for tests: the second component returns all spans
     emitted so far, in emission (i.e. finish) order. *)
+
+val locked_sink : sink -> sink
+(** Serializes emissions behind a mutex, for sinks shared by tracers running
+    on different domains (e.g. both multi-start trajectories streaming into
+    one JSONL channel under [--jobs]).  Per-span order across domains is
+    whatever completion order was; each emission is atomic. *)

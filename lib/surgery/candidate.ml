@@ -29,7 +29,15 @@ let plan_key (p : Plan.t) =
 
 let pareto plans = Es_util.Pareto.frontier plan_key plans
 
-let cache : (string, Plan.t list) Hashtbl.t = Hashtbl.create 16
+(* Domain-safe with per-model once semantics: the first caller to ask for a
+   key publishes a [Building] marker and generates outside the lock; racing
+   callers block on the condition until the plans are [Ready] instead of
+   duplicating the (expensive) generate + frontier work. *)
+type cache_entry = Building | Ready of Plan.t list
+
+let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
+let cache_cond = Condition.create ()
 
 (* Keyed by name *and* a structural fingerprint, so distinct user models
    sharing a name don't collide, while fresh instances of the same zoo
@@ -45,14 +53,43 @@ let cache_key g widths exits precisions =
 let pareto_candidates ?(widths = default_widths) ?exits ?(precisions = default_precisions) g =
   let exits = match exits with Some e -> e | None -> exit_nodes g in
   let key = cache_key g widths exits precisions in
-  match Hashtbl.find_opt cache key with
-  | Some plans -> plans
-  | None ->
-      let plans = pareto (generate ~widths ~exits ~precisions g) in
-      Hashtbl.add cache key plans;
-      plans
+  let rec await () =
+    match Hashtbl.find_opt cache key with
+    | Some (Ready plans) ->
+        Mutex.unlock cache_lock;
+        plans
+    | Some Building ->
+        Condition.wait cache_cond cache_lock;
+        await ()
+    | None ->
+        Hashtbl.replace cache key Building;
+        Mutex.unlock cache_lock;
+        let plans =
+          try pareto (generate ~widths ~exits ~precisions g)
+          with e ->
+            (* Withdraw the marker so waiters retry rather than hang. *)
+            Mutex.lock cache_lock;
+            Hashtbl.remove cache key;
+            Condition.broadcast cache_cond;
+            Mutex.unlock cache_lock;
+            raise e
+        in
+        Mutex.lock cache_lock;
+        Hashtbl.replace cache key (Ready plans);
+        Condition.broadcast cache_cond;
+        Mutex.unlock cache_lock;
+        plans
+  in
+  Mutex.lock cache_lock;
+  await ()
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  (* Any in-flight builder re-publishes its entry on completion; waiters on a
+     dropped [Building] marker wake here and become builders themselves. *)
+  Condition.broadcast cache_cond;
+  Mutex.unlock cache_lock
 
 let subsample k plans =
   if k <= 0 then invalid_arg "Candidate.subsample: k must be positive";

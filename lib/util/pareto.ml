@@ -9,7 +9,7 @@ let dominates a b =
   done;
   !no_worse && !strictly
 
-let frontier key items =
+let frontier_naive key items =
   let keyed = List.map (fun x -> (key x, x)) items in
   let non_dominated (k, _) =
     not (List.exists (fun (k', _) -> dominates k' k) keyed)
@@ -23,4 +23,88 @@ let frontier key items =
   in
   dedup [] (List.filter non_dominated keyed) |> List.map snd
 
-let frontier_arr key items = Array.of_list (frontier key (Array.to_list items))
+(* Sort-based skyline.  Domination implies strict lexicographic precedence,
+   so after sorting by (key lex, input index) every potential dominator of an
+   item precedes it, and by induction the already-kept frontier members
+   suffice as dominance witnesses: if y dominates x then either y is kept, or
+   y shares its key with an earlier kept item, or y is itself dominated by
+   something lexicographically even smaller — following that chain bottoms
+   out at a kept dominator of x.  Exact-duplicate keys sort adjacent with the
+   smallest input index first, matching the first-occurrence dedup of the
+   naive version.  O(n log n + n·F·d) for frontier size F vs the old
+   O(n²·d). *)
+let skyline ~n ~key_at =
+  let keys = Array.init n key_at in
+  let d = Array.length keys.(0) in
+  Array.iter
+    (fun k ->
+      if Array.length k <> d then invalid_arg "Pareto.frontier: dimension mismatch")
+    keys;
+  let lex_cmp a b =
+    let rec go i =
+      if i = d then 0
+      else
+        let c = compare (a.(i) : float) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = lex_cmp keys.(i) keys.(j) in
+      if c <> 0 then c else compare i j)
+    order;
+  let kept_keys = Array.make n [||] in
+  let kept_n = ref 0 in
+  let keep = Array.make n false in
+  for r = 0 to n - 1 do
+    let i = order.(r) in
+    let k = keys.(i) in
+    let duplicate = r > 0 && lex_cmp k keys.(order.(r - 1)) = 0 in
+    if not duplicate then begin
+      let dominated = ref false in
+      let j = ref 0 in
+      while (not !dominated) && !j < !kept_n do
+        if dominates kept_keys.(!j) k then dominated := true;
+        incr j
+      done;
+      if not !dominated then begin
+        kept_keys.(!kept_n) <- k;
+        incr kept_n;
+        keep.(i) <- true
+      end
+    end
+  done;
+  keep
+
+let frontier key items =
+  match items with
+  | [] | [ _ ] -> items
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let keep = skyline ~n ~key_at:(fun i -> key arr.(i)) in
+      let out = ref [] in
+      for i = n - 1 downto 0 do
+        if keep.(i) then out := arr.(i) :: !out
+      done;
+      !out
+
+let frontier_arr key items =
+  let n = Array.length items in
+  if n <= 1 then Array.copy items
+  else begin
+    let keep = skyline ~n ~key_at:(fun i -> key items.(i)) in
+    let count = ref 0 in
+    Array.iter (fun b -> if b then incr count) keep;
+    let out = Array.make !count items.(0) in
+    let w = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        out.(!w) <- items.(i);
+        incr w
+      end
+    done;
+    out
+  end

@@ -10,7 +10,12 @@ val dominates : float array -> float array -> bool
 
 val frontier : ('a -> float array) -> 'a list -> 'a list
 (** [frontier key items] keeps exactly the non-dominated items, preserving
-    the relative order of survivors.  O(n²·d) — fine for the candidate-set
-    sizes involved (≤ a few thousand). *)
+    the relative order of survivors and deduplicating exact-key ties to the
+    first occurrence.  Sort-based skyline, O(n log n + n·F·d) for frontier
+    size F — the candidate-generation hot path. *)
+
+val frontier_naive : ('a -> float array) -> 'a list -> 'a list
+(** The original O(n²·d) scan, kept as the qcheck reference oracle:
+    [frontier key items = frontier_naive key items] for all inputs. *)
 
 val frontier_arr : ('a -> float array) -> 'a array -> 'a array

@@ -177,6 +177,153 @@ let test_best_plan_uses_bandwidth () =
   in
   Alcotest.(check bool) "weak device offloads" false (Es_surgery.Plan.is_device_only p)
 
+(* ---------- Parallel determinism ---------- *)
+
+let plan_fingerprint (p : Es_surgery.Plan.t) =
+  ( p.Es_surgery.Plan.width,
+    p.Es_surgery.Plan.exit_node,
+    p.Es_surgery.Plan.precision,
+    p.Es_surgery.Plan.cut,
+    p.Es_surgery.Plan.accuracy )
+
+let check_outputs_identical label (a : Optimizer.output) (b : Optimizer.output) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: objective bit-identical (%.17g vs %.17g)" label a.Optimizer.objective
+       b.Optimizer.objective)
+    true
+    (a.Optimizer.objective = b.Optimizer.objective);
+  Array.iteri
+    (fun i (d : Decision.t) ->
+      let d' = b.Optimizer.decisions.(i) in
+      Alcotest.(check int) (label ^ ": same server") d.Decision.server d'.Decision.server;
+      Alcotest.(check bool)
+        (label ^ ": same bandwidth") true
+        (d.Decision.bandwidth_bps = d'.Decision.bandwidth_bps);
+      Alcotest.(check bool)
+        (label ^ ": same share") true
+        (d.Decision.compute_share = d'.Decision.compute_share);
+      Alcotest.(check bool)
+        (label ^ ": same plan") true
+        (plan_fingerprint d.Decision.plan = plan_fingerprint d'.Decision.plan))
+    a.Optimizer.decisions
+
+(* The ISSUE's headline determinism contract: solve at jobs=4 is bit-identical
+   to jobs=1 on every named scenario. *)
+let test_solve_jobs_bit_identical () =
+  List.iter
+    (fun name ->
+      let c = Scenario.build (Es_workload.Scenarios.by_name name) in
+      let solve jobs =
+        Optimizer.solve ~config:{ Optimizer.default_config with Optimizer.jobs } c
+      in
+      check_outputs_identical name (solve 1) (solve 4))
+    [ "default"; "smart_city"; "ar_assistant"; "drone_swarm" ]
+
+(* The allocation-free surgery step must pick the bit-identical plan the old
+   Decision-per-candidate implementation picks, for arbitrary grants. *)
+let best_plan_matches_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"best_plan_for_grants = reference implementation"
+       QCheck.(
+         triple (int_range 0 1000) (float_range 0.0 200e6) (float_range 0.0 1.0))
+       (fun (dev_pick, bandwidth_bps, compute_share) ->
+         let c = Lazy.force default_cluster in
+         let device = dev_pick mod Cluster.n_devices c in
+         let server = dev_pick mod Cluster.n_servers c in
+         let widths = [ 1.0; 0.75; 0.5 ] in
+         let p =
+           Optimizer.best_plan_for_grants ~widths c ~device ~server ~bandwidth_bps
+             ~compute_share
+         in
+         let p' =
+           Optimizer.best_plan_for_grants_ref ~widths c ~device ~server ~bandwidth_bps
+             ~compute_share
+         in
+         plan_fingerprint p = plan_fingerprint p'))
+
+let test_annealing_restarts_jobs_identical () =
+  let c = Lazy.force default_cluster in
+  let solve jobs =
+    Annealing.solve
+      ~config:{ Annealing.default_config with Annealing.iterations = 150; restarts = 3; jobs }
+      c
+  in
+  let a = solve 1 and b = solve 2 in
+  Alcotest.(check bool) "same objective" true (a.Annealing.objective = b.Annealing.objective);
+  Alcotest.(check int) "same evaluated count" a.Annealing.evaluated b.Annealing.evaluated;
+  Array.iteri
+    (fun i (d : Decision.t) ->
+      let d' = b.Annealing.decisions.(i) in
+      Alcotest.(check bool) "same decision" true
+        (d.Decision.server = d'.Decision.server
+        && d.Decision.bandwidth_bps = d'.Decision.bandwidth_bps
+        && plan_fingerprint d.Decision.plan = plan_fingerprint d'.Decision.plan))
+    a.Annealing.decisions
+
+let test_annealing_single_restart_unchanged () =
+  (* restarts = 1 must reproduce the historical single-stream result exactly
+     (the PRNG is not split in that case). *)
+  let c = Lazy.force default_cluster in
+  let config = { Annealing.default_config with Annealing.iterations = 150 } in
+  let a = Annealing.solve ~config c in
+  let b = Annealing.solve ~config:{ config with Annealing.jobs = 4 } c in
+  Alcotest.(check bool) "jobs irrelevant at one restart" true
+    (a.Annealing.objective = b.Annealing.objective)
+
+let test_exhaustive_jobs_identical () =
+  let c =
+    Scenario.build
+      {
+        Scenario.default with
+        Scenario.n_devices = 3;
+        seed = 9;
+        model_names = [ "alexnet"; "mobilenet_v2" ];
+      }
+  in
+  let solve jobs = Exhaustive.solve ~max_candidates_per_device:4 ~jobs c in
+  let a = solve 1 and b = solve 4 in
+  Alcotest.(check bool) "same objective" true (a.Exhaustive.objective = b.Exhaustive.objective);
+  Alcotest.(check int) "same combination count" a.Exhaustive.combinations
+    b.Exhaustive.combinations;
+  match (a.Exhaustive.decisions, b.Exhaustive.decisions) with
+  | Some da, Some db ->
+      Array.iteri
+        (fun i (d : Decision.t) ->
+          Alcotest.(check bool) "same decision" true
+            (d.Decision.server = db.(i).Decision.server
+            && plan_fingerprint d.Decision.plan = plan_fingerprint db.(i).Decision.plan))
+        da
+  | None, None -> ()
+  | _ -> Alcotest.fail "feasibility differs across jobs"
+
+(* Satellite: the final gauges must agree with the returned output even under
+   parallel multi-start (they are written once from the landing point). *)
+let test_final_gauges_from_landing_point () =
+  let c = Lazy.force default_cluster in
+  let metrics = Es_obs.Metric.create () in
+  let out =
+    Optimizer.solve ~config:{ Optimizer.default_config with Optimizer.jobs = 2 } ~metrics c
+  in
+  (match Es_obs.Metric.find metrics "optimizer/objective" with
+  | Some (Es_obs.Metric.Gauge g) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "gauge %.6f = returned %.6f" g out.Optimizer.objective)
+        true
+        (g = out.Optimizer.objective)
+  | _ -> Alcotest.fail "optimizer/objective gauge missing");
+  (match Es_obs.Metric.find metrics "optimizer/solve_time_s" with
+  | Some (Es_obs.Metric.Gauge t) ->
+      Alcotest.(check bool) "solve_time gauge positive and plausible" true
+        (t > 0.0 && t >= out.Optimizer.solve_time_s -. 1e-6)
+  | _ -> Alcotest.fail "optimizer/solve_time_s gauge missing");
+  match Es_obs.Metric.find metrics "optimizer/iterations" with
+  | Some (Es_obs.Metric.Counter n) ->
+      (* Both trajectories report into the same counter: at least the winner's
+         iterations, plausibly more. *)
+      Alcotest.(check bool) "iterations summed across trajectories" true
+        (n >= out.Optimizer.iterations)
+  | _ -> Alcotest.fail "optimizer/iterations counter missing"
+
 (* ---------- Exhaustive ---------- *)
 
 let tiny_cluster n =
@@ -373,6 +520,19 @@ let () =
           Alcotest.test_case "memory respected" `Quick test_optimizer_respects_device_memory;
           Alcotest.test_case "best plan floor" `Quick test_best_plan_respects_floor;
           Alcotest.test_case "best plan offloads" `Quick test_best_plan_uses_bandwidth;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "solve jobs=4 = jobs=1 (named scenarios)" `Slow
+            test_solve_jobs_bit_identical;
+          best_plan_matches_reference;
+          Alcotest.test_case "annealing restarts across jobs" `Quick
+            test_annealing_restarts_jobs_identical;
+          Alcotest.test_case "annealing restarts=1 unchanged" `Quick
+            test_annealing_single_restart_unchanged;
+          Alcotest.test_case "exhaustive across jobs" `Quick test_exhaustive_jobs_identical;
+          Alcotest.test_case "final gauges from landing point" `Quick
+            test_final_gauges_from_landing_point;
         ] );
       ( "exhaustive",
         [

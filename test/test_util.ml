@@ -348,6 +348,85 @@ let pareto_frontier_sound =
       in
       non_dominated_inside && covers)
 
+(* Law: the sort-based skyline must reproduce the naive O(n²) frontier
+   exactly — same members, same (input) order.  Small integer-valued floats
+   force heavy ties and duplicates, the cases where the two dedup paths
+   could diverge. *)
+let pareto_skyline_matches_oracle_2d =
+  qtest ~count:500 "sorted skyline = naive frontier (2-d, duplicate-heavy)"
+    QCheck.(list_of_size (Gen.int_range 0 60) (pair (int_range 0 6) (int_range 0 6)))
+    (fun pts ->
+      let key (a, b) = [| float_of_int a; float_of_int b |] in
+      Pareto.frontier key pts = Pareto.frontier_naive key pts)
+
+let pareto_skyline_matches_oracle_4d =
+  qtest ~count:300 "sorted skyline = naive frontier (4-d)"
+    QCheck.(
+      list_of_size (Gen.int_range 0 40)
+        (quad (int_range 0 4) (int_range 0 4) (int_range 0 4) (int_range 0 4)))
+    (fun pts ->
+      let key (a, b, c, d) =
+        [| float_of_int a; float_of_int b; float_of_int c; float_of_int d |]
+      in
+      Pareto.frontier key pts = Pareto.frontier_naive key pts)
+
+let pareto_frontier_arr_agrees =
+  qtest ~count:200 "frontier_arr = frontier on the same input"
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair (int_range 0 6) (int_range 0 6)))
+    (fun pts ->
+      let key (a, b) = [| float_of_int a; float_of_int b |] in
+      Array.to_list (Pareto.frontier_arr key (Array.of_list pts)) = Pareto.frontier key pts)
+
+(* ---------- Par ---------- *)
+
+let par_map_matches_sequential =
+  qtest ~count:60 "parallel_map ~jobs:k f = List.map f for arbitrary k"
+    QCheck.(pair (int_range 0 6) (list (int_range (-1000) 1000)))
+    (fun (jobs, xs) ->
+      let f x = (x * 31) lxor (x asr 2) in
+      Par.parallel_map ~jobs f xs = List.map f xs)
+
+let test_par_map_array () =
+  let arr = Array.init 101 (fun i -> i) in
+  Alcotest.(check (array int))
+    "array variant, order preserved"
+    (Array.map (fun x -> x * x) arr)
+    (Par.parallel_map_array ~jobs:4 (fun x -> x * x) arr)
+
+let test_par_nested () =
+  (* A parallel call inside a pool task degrades to sequential instead of
+     deadlocking on the queue. *)
+  let out =
+    Par.parallel_map ~jobs:3
+      (fun x -> Par.parallel_map ~jobs:3 (fun y -> x + y) [ 1; 2; 3 ])
+      [ 10; 20 ]
+  in
+  Alcotest.(check (list (list int))) "nested result" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] out
+
+let test_par_exception () =
+  Alcotest.check_raises "worker exception re-raised in caller" (Failure "boom") (fun () ->
+      ignore
+        (Par.parallel_map ~jobs:4
+           (fun x -> if x = 7 then failwith "boom" else x)
+           (List.init 20 Fun.id)))
+
+let test_par_iter_covers () =
+  let hits = Array.make 50 0 in
+  Par.parallel_iter ~jobs:4 (fun i -> hits.(i) <- hits.(i) + 1) (List.init 50 Fun.id);
+  Alcotest.(check bool) "each element visited exactly once" true
+    (Array.for_all (fun c -> c = 1) hits)
+
+let test_par_both () =
+  let a, b = Par.both ~jobs:2 (fun () -> 21 * 2) (fun () -> "x" ^ "y") in
+  Alcotest.(check int) "first thunk" 42 a;
+  Alcotest.(check string) "second thunk" "xy" b;
+  let a, b = Par.both ~jobs:1 (fun () -> 1) (fun () -> 2) in
+  Alcotest.(check (pair int int)) "sequential fallback" (1, 2) (a, b)
+
+let test_par_default_jobs () =
+  Alcotest.(check bool) "default_jobs >= 1" true (Par.default_jobs () >= 1);
+  Alcotest.(check bool) "not inside pool at top level" false (Par.inside_pool ())
+
 (* ---------- Numeric ---------- *)
 
 let test_clamp () =
@@ -450,6 +529,19 @@ let () =
           Alcotest.test_case "dominates" `Quick test_dominates;
           Alcotest.test_case "frontier basic" `Quick test_frontier_basic;
           pareto_frontier_sound;
+          pareto_skyline_matches_oracle_2d;
+          pareto_skyline_matches_oracle_4d;
+          pareto_frontier_arr_agrees;
+        ] );
+      ( "par",
+        [
+          par_map_matches_sequential;
+          Alcotest.test_case "map_array" `Quick test_par_map_array;
+          Alcotest.test_case "nested" `Quick test_par_nested;
+          Alcotest.test_case "exception" `Quick test_par_exception;
+          Alcotest.test_case "iter covers" `Quick test_par_iter_covers;
+          Alcotest.test_case "both" `Quick test_par_both;
+          Alcotest.test_case "default_jobs" `Quick test_par_default_jobs;
         ] );
       ( "numeric",
         [
