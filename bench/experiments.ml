@@ -925,6 +925,115 @@ let t5 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* F17 — recovery timeline after a server crash                        *)
+(* ------------------------------------------------------------------ *)
+
+let f17 () =
+  heading "F17" "Recovery timeline: busiest server crashes at t=20s, 5s bins";
+  let duration = 40.0 in
+  let crash_t = duration /. 2.0 in
+  let cluster = Scenario.build Scenario.default in
+  let out = Es_joint.Optimizer.solve cluster in
+  let decisions = out.Es_joint.Optimizer.decisions in
+  (* Crash the server carrying the most offloaded devices — the worst
+     single-server loss for this decision set. *)
+  let counts = Array.make (Cluster.n_servers cluster) 0 in
+  Array.iter
+    (fun (d : Decision.t) ->
+      if Decision.offloads d then counts.(d.Decision.server) <- counts.(d.Decision.server) + 1)
+    decisions;
+  let crash = ref 0 in
+  Array.iteri (fun s c -> if c > counts.(!crash) then crash := s) counts;
+  let crash = !crash in
+  let faults = Es_sim.Faults.scripted (Es_sim.Faults.crash ~at:crash_t crash) in
+  let options resilience =
+    { Es_sim.Runner.default_options with duration_s = duration; warmup_s = 0.0; faults; resilience }
+  in
+  let static = Es_sim.Runner.run ~options:(options None) cluster decisions in
+  let local =
+    Es_sim.Runner.run
+      ~options:(options (Some Es_sim.Runner.default_resilience))
+      cluster decisions
+  in
+  let recover = Es_joint.Recover.precompute ~jobs:!jobs cluster in
+  let reconfigure = Es_joint.Recover.schedule_for_faults recover ~decisions faults in
+  let resolve =
+    Es_sim.Runner.run
+      ~options:(options (Some Es_sim.Runner.default_resilience))
+      ~reconfigure cluster decisions
+  in
+  log_report ~point:"static" ~policy:"EdgeSurgeon" static;
+  log_report ~point:"local" ~policy:"EdgeSurgeon" local;
+  log_report ~point:"resolve" ~policy:"EdgeSurgeon" resolve;
+  (* Deadline-hit rate per 5s bin: generated-vs-hit over the request
+     resolution timeline (event_hits covers drops and timeouts too). *)
+  let nbins = int_of_float (duration /. 5.0) in
+  let bin_rates (r : Es_sim.Metrics.report) =
+    let hits = Array.make nbins 0 and total = Array.make nbins 0 in
+    Array.iter
+      (fun (t, hit) ->
+        let b = int_of_float (t /. 5.0) in
+        if b >= 0 && b < nbins then begin
+          total.(b) <- total.(b) + 1;
+          if hit then hits.(b) <- hits.(b) + 1
+        end)
+      r.Es_sim.Metrics.event_hits;
+    Array.init nbins (fun b ->
+        if total.(b) = 0 then None else Some (float_of_int hits.(b) /. float_of_int total.(b)))
+  in
+  let s_bins = bin_rates static and l_bins = bin_rates local and r_bins = bin_rates resolve in
+  let rows =
+    List.init nbins (fun i ->
+        let label = Printf.sprintf "%d-%ds" (i * 5) ((i + 1) * 5) in
+        let cell = function None -> "-" | Some r -> fmt_pct r in
+        [ label; cell s_bins.(i); cell l_bins.(i); cell r_bins.(i) ])
+  in
+  note "crash: server %d at t=%.0fs (%d of %d devices offload to it); detection delay 1s"
+    crash crash_t counts.(crash) (Cluster.n_devices cluster);
+  print_table
+    ~align:[ Es_util.Table.Left ]
+    ~header:[ "window"; "no recovery"; "local fallback"; "re-solve" ]
+    rows;
+  (* Post-crash rate over the devices that actually depended on the crashed
+     server — the overall DSR dilutes the damage with unaffected traffic. *)
+  let affected i =
+    let d = decisions.(i) in
+    Decision.offloads d && d.Decision.server = crash
+  in
+  let affected_rate (r : Es_sim.Metrics.report) =
+    let hits = ref 0 and gen = ref 0 in
+    Array.iteri
+      (fun i (d : Es_sim.Metrics.device_stats) ->
+        if affected i then begin
+          hits := !hits + d.Es_sim.Metrics.deadline_hits;
+          gen := !gen + d.Es_sim.Metrics.generated
+        end)
+      r.Es_sim.Metrics.per_device;
+    float_of_int !hits /. float_of_int (max 1 !gen)
+  in
+  let pc resilience reconfigure =
+    let opts =
+      {
+        Es_sim.Runner.default_options with
+        duration_s = duration;
+        warmup_s = crash_t;
+        faults;
+        resilience;
+      }
+    in
+    match reconfigure with
+    | None -> Es_sim.Runner.run ~options:opts cluster decisions
+    | Some rc -> Es_sim.Runner.run ~options:opts ~reconfigure:rc cluster decisions
+  in
+  let s_aff = affected_rate (pc None None) in
+  let l_aff = affected_rate (pc (Some Es_sim.Runner.default_resilience) None) in
+  let r_aff = affected_rate (pc (Some Es_sim.Runner.default_resilience) (Some reconfigure)) in
+  note "overall DSR: none %s%%  local %s%%  re-solve %s%%" (fmt_pct static.Es_sim.Metrics.dsr)
+    (fmt_pct local.Es_sim.Metrics.dsr) (fmt_pct resolve.Es_sim.Metrics.dsr);
+  note "post-crash hit rate on affected devices: none %s%%  local %s%%  re-solve %s%%"
+    (fmt_pct s_aff) (fmt_pct l_aff) (fmt_pct r_aff)
+
+(* ------------------------------------------------------------------ *)
 (* MICRO — bechamel microbenchmarks of the hot paths                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1007,6 +1116,7 @@ let all : (string * string * (unit -> unit)) list =
     ("F14", "device energy", f14);
     ("F15", "multi-exit deployment", f15);
     ("F16", "server-side batching", f16);
+    ("F17", "recovery after server crash", f17);
     ("T3", "optimizer runtime", t3);
     ("T4", "prefix vs min-cut partitioning", t4);
     ("T5", "capacity planning", t5);

@@ -210,16 +210,26 @@ let plan_cmd =
 let print_report name (r : Es_sim.Metrics.report) =
   (* Mirrors Metrics.pp_report's coverage: totals incl. drops, pooled
      quantiles, and per-server utilization — the same fields the JSONL
-     export carries. *)
+     export carries.  Degraded/timed-out counts appear only when non-zero,
+     keeping fault-free output byte-identical to earlier builds. *)
+  let resilience_part =
+    (if r.Es_sim.Metrics.total_degraded > 0 then
+       Printf.sprintf ", %d degraded" r.Es_sim.Metrics.total_degraded
+     else "")
+    ^
+    if r.Es_sim.Metrics.total_timed_out > 0 then
+      Printf.sprintf ", %d timed out" r.Es_sim.Metrics.total_timed_out
+    else ""
+  in
   Printf.printf
     "%-14s DSR %5.1f%%  mean %7.1fms  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  (%d reqs, %d \
-     dropped, util [%s])\n"
+     dropped%s, util [%s])\n"
     name (100.0 *. r.Es_sim.Metrics.dsr)
     (1000.0 *. r.Es_sim.Metrics.mean_latency_s)
     (1000.0 *. r.Es_sim.Metrics.p50_s)
     (1000.0 *. r.Es_sim.Metrics.p95_s)
     (1000.0 *. r.Es_sim.Metrics.p99_s)
-    r.Es_sim.Metrics.total_generated r.Es_sim.Metrics.total_dropped
+    r.Es_sim.Metrics.total_generated r.Es_sim.Metrics.total_dropped resilience_part
     (String.concat "; "
        (Array.to_list
           (Array.map (fun u -> Printf.sprintf "%.2f" u) r.Es_sim.Metrics.server_utilization)))
@@ -231,7 +241,34 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every per-device decision.")
   in
-  let run scenario devices seed ap_mbps duration policy verbose metrics_out trace_out no_obs =
+  let faults =
+    let doc =
+      "Inject faults: an inline spec or a file of one event per line ($(b,#) comments). Tokens: \
+       down:S@T[+DUR], up:S@T, outage:D@T+DUR, degrade:D:F@T+DUR, straggle:S:F@T+DUR."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC|FILE" ~doc)
+  in
+  let retries =
+    let doc = "Retry a failed request attempt up to N times (exponential backoff)." in
+    Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let timeout_factor =
+    let doc = "Time a request out after FACTOR x its device deadline (0 disables)." in
+    Arg.(value & opt (some float) None & info [ "timeout-factor" ] ~docv:"FACTOR" ~doc)
+  in
+  let fallback =
+    let doc =
+      "Failure response: $(b,none) drops requests hit by a fault; $(b,local) re-executes them \
+       on-device with the fastest local plan; $(b,resolve) additionally swaps in precomputed \
+       recovery decisions (residual re-solve per failed server) shortly after each crash."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("local", `Local); ("resolve", `Resolve) ]) `None
+      & info [ "fallback" ] ~docv:"MODE" ~doc)
+  in
+  let run scenario devices seed ap_mbps duration policy verbose faults retries timeout_factor
+      fallback metrics_out trace_out no_obs =
     match build_cluster scenario devices seed ap_mbps with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -245,23 +282,86 @@ let run_cmd =
                     (fun (p : Es_baselines.Baselines.t) -> p.Es_baselines.Baselines.name)
                     (Es_baselines.Baselines.all ())));
             1
-        | Some p ->
-            Format.printf "%a" Cluster.pp_summary cluster;
-            let decisions = p.Es_baselines.Baselines.solve cluster in
-            if verbose then
-              Array.iter (fun d -> Format.printf "  %a@." Decision.pp d) decisions;
-            let options = { Es_sim.Runner.default_options with duration_s = duration } in
-            let report =
-              with_obs ~metrics_out ~trace_out ~no_obs (fun ~metrics ~spans ->
-                  Es_sim.Runner.run ~options ?metrics ?spans cluster decisions)
+        | Some p -> (
+            let fault_schedule =
+              match faults with
+              | None -> Ok Es_sim.Faults.empty
+              | Some arg -> (
+                  (* Index ranges are checked here against the scenario's
+                     cluster so a typo dies with a CLI error, not an
+                     uncaught exception out of the runner. *)
+                  match Es_sim.Faults.of_spec_or_file arg with
+                  | Error _ as e -> e
+                  | Ok schedule -> (
+                      match
+                        Es_sim.Faults.validate
+                          ~n_devices:(Cluster.n_devices cluster)
+                          ~n_servers:(Cluster.n_servers cluster)
+                          schedule
+                      with
+                      | Ok () -> Ok schedule
+                      | Error _ as e -> e))
             in
-            print_report p.Es_baselines.Baselines.name report;
-            0)
+            match fault_schedule with
+            | Error e ->
+                Printf.eprintf "bad --faults: %s\n" e;
+                1
+            | Ok fault_schedule ->
+                Format.printf "%a" Cluster.pp_summary cluster;
+                if not (Es_sim.Faults.is_empty fault_schedule) then
+                  Format.printf "fault schedule:@.%a@?" Es_sim.Faults.pp fault_schedule;
+                let decisions = p.Es_baselines.Baselines.solve cluster in
+                if verbose then
+                  Array.iter (fun d -> Format.printf "  %a@." Decision.pp d) decisions;
+                (* Any resilience knob (or a non-none fallback) switches the
+                   per-request policy on; the defaults fill the gaps. *)
+                let resilience =
+                  if retries = None && timeout_factor = None && fallback = `None then None
+                  else begin
+                    let d = Es_sim.Runner.default_resilience in
+                    Some
+                      {
+                        d with
+                        Es_sim.Runner.max_retries =
+                          Option.value retries ~default:d.Es_sim.Runner.max_retries;
+                        timeout_factor =
+                          Option.value timeout_factor ~default:d.Es_sim.Runner.timeout_factor;
+                        local_fallback = fallback <> `None;
+                      }
+                  end
+                in
+                let reconfigure =
+                  match fallback with
+                  | `Resolve when not (Es_sim.Faults.is_empty fault_schedule) ->
+                      let recover = Es_joint.Recover.precompute cluster in
+                      let entries =
+                        Es_joint.Recover.schedule_for_faults recover ~decisions fault_schedule
+                      in
+                      Printf.printf "recovery: %d precomputed fallback set(s), %d swap(s)\n"
+                        (Cluster.n_servers cluster) (List.length entries);
+                      entries
+                  | _ -> []
+                in
+                let options =
+                  {
+                    Es_sim.Runner.default_options with
+                    duration_s = duration;
+                    faults = fault_schedule;
+                    resilience;
+                  }
+                in
+                let report =
+                  with_obs ~metrics_out ~trace_out ~no_obs (fun ~metrics ~spans ->
+                      Es_sim.Runner.run ~options ?metrics ?spans ~reconfigure cluster decisions)
+                in
+                print_report p.Es_baselines.Baselines.name report;
+                0))
   in
   Cmd.v (Cmd.info "run" ~doc:"Solve and simulate one policy on a scenario")
     Term.(
       const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ duration_arg $ policy
-      $ verbose $ metrics_out_arg $ trace_out_arg $ no_obs_arg)
+      $ verbose $ faults $ retries $ timeout_factor $ fallback $ metrics_out_arg $ trace_out_arg
+      $ no_obs_arg)
 
 (* ---------- compare ---------- *)
 

@@ -33,6 +33,10 @@ let validate cluster decisions =
       else begin
         let d = decisions.(i) in
         if d.device <> i then err "decision %d is for device %d" i d.device
+        else if not (Float.is_finite d.bandwidth_bps) || d.bandwidth_bps < 0.0 then
+          err "device %d: bandwidth grant %g is not finite and non-negative" i d.bandwidth_bps
+        else if not (Float.is_finite d.compute_share) || d.compute_share < 0.0 then
+          err "device %d: compute share %g is not finite and non-negative" i d.compute_share
         else if offloads d && (d.server < 0 || d.server >= ns) then
           err "device %d: server %d out of range" i d.server
         else begin

@@ -27,7 +27,8 @@ val offloads : t -> bool
 (** True when any work or data goes to the server. *)
 
 val validate : Cluster.t -> t array -> (unit, string) result
-(** Checks: one decision per device in order; server ids in range; per-server
+(** Checks: one decision per device in order; grants finite and
+    non-negative (NaN/∞ rejected); server ids in range; per-server
     bandwidth sums within AP capacity and compute shares within 1 (small
     epsilon); accuracy floors respected. *)
 

@@ -4,6 +4,7 @@ type result = {
   report : Es_sim.Metrics.report;
   schedule : (float * Decision.t array) list;
   resolve_count : int;
+  resolve_rejected : int;
 }
 
 let scale_rates cluster m =
@@ -29,13 +30,51 @@ let run ?(options = Es_sim.Runner.default_options) ?config ~epoch_s ~rate_profil
   let arrivals =
     piecewise_arrivals ~seed:options.Es_sim.Runner.seed ~duration_s ~rate_profile cluster
   in
+  (* Structural sanity for a fresh solve: a candidate that would crash the
+     runner (NaN grants, out-of-range server) can never replace a working
+     decision set.  Deliberately weaker than [Decision.validate] — a
+     force-feasible solve may legitimately trade away accuracy floors. *)
+  let ns = Cluster.n_servers cluster in
+  let structurally_sound ds =
+    Array.for_all
+      (fun (d : Decision.t) ->
+        Float.is_finite d.Decision.bandwidth_bps
+        && d.Decision.bandwidth_bps >= 0.0
+        && Float.is_finite d.Decision.compute_share
+        && d.Decision.compute_share >= 0.0
+        && ((not (Decision.offloads d))
+           || (d.Decision.server >= 0 && d.Decision.server < ns && d.Decision.bandwidth_bps > 0.0)
+           ))
+      ds
+  in
+  let rejected = ref 0 in
+  let prev = ref None in
   let schedule =
     List.map
       (fun t ->
         let load = Float.max 1e-9 (rate_profile t) in
         let scaled = scale_rates cluster load in
         let out = Optimizer.solve ?config scaled in
-        (t, out.Optimizer.decisions))
+        let cand = out.Optimizer.decisions in
+        (* Guard the re-solve: keep the previous decisions when the fresh
+           solve is malformed or strictly worse under the current load than
+           simply not moving. *)
+        let chosen =
+          match !prev with
+          | None -> cand
+          | Some p ->
+              if
+                structurally_sound cand
+                && Objective.of_decisions scaled cand
+                   <= Objective.of_decisions scaled p +. 1e-9
+              then cand
+              else begin
+                incr rejected;
+                p
+              end
+        in
+        prev := Some chosen;
+        (t, chosen))
       (epochs_of ~epoch_s ~duration_s)
   in
   match schedule with
@@ -44,7 +83,7 @@ let run ?(options = Es_sim.Runner.default_options) ?config ~epoch_s ~rate_profil
       let report =
         Es_sim.Runner.run ~options ~arrivals ~reconfigure:rest cluster initial
       in
-      { report; schedule; resolve_count = List.length schedule }
+      { report; schedule; resolve_count = List.length schedule; resolve_rejected = !rejected }
 
 let run_static ?(options = Es_sim.Runner.default_options) ?config ~rate_profile cluster =
   let duration_s = options.Es_sim.Runner.duration_s in
@@ -54,4 +93,4 @@ let run_static ?(options = Es_sim.Runner.default_options) ?config ~rate_profile 
   let nominal = scale_rates cluster (Float.max 1e-9 (rate_profile 0.0)) in
   let out = Optimizer.solve ?config nominal in
   let report = Es_sim.Runner.run ~options ~arrivals cluster out.Optimizer.decisions in
-  { report; schedule = [ (0.0, out.Optimizer.decisions) ]; resolve_count = 1 }
+  { report; schedule = [ (0.0, out.Optimizer.decisions) ]; resolve_count = 1; resolve_rejected = 0 }

@@ -10,7 +10,12 @@ type result = {
   report : Es_sim.Metrics.report;
   schedule : (float * Es_edge.Decision.t array) list;
       (** decisions applied at each epoch boundary (including t = 0) *)
-  resolve_count : int;
+  resolve_count : int;  (** optimizer solves attempted (one per epoch) *)
+  resolve_rejected : int;
+      (** epoch solves discarded by the guard: a re-solve whose output was
+          structurally unsound (non-finite grants, bad server index) or
+          strictly worse under the epoch's load than keeping the previous
+          decisions leaves the previous decisions in place *)
 }
 
 val scale_rates : Es_edge.Cluster.t -> float -> Es_edge.Cluster.t

@@ -1,7 +1,9 @@
 type device_stats = {
   generated : int;
   completed : int;
+  degraded : int;
   dropped : int;
+  timed_out : int;
   deadline_hits : int;
   latency : Es_util.Stats.t;
   samples : float array;
@@ -17,16 +19,21 @@ type report = {
   p99_s : float;
   total_generated : int;
   total_completed : int;
+  total_degraded : int;
   total_dropped : int;
+  total_timed_out : int;
   server_utilization : float array;
   measured_duration_s : float;
   events : (float * float) array;
+  event_hits : (float * bool) array;
 }
 
 type dev_acc = {
   mutable generated : int;
   mutable completed : int;
+  mutable degraded : int;
   mutable dropped : int;
+  mutable timed_out : int;
   mutable hits : int;
   stats : Es_util.Stats.t;
   mutable rev_samples : float list;
@@ -36,7 +43,8 @@ type collector = {
   devs : dev_acc array;
   window_start : float;
   window_end : float;
-  mutable rev_events : (float * float) list;
+  mutable rev_events : (float * float * bool) list;
+  mutable rev_hits : (float * bool) list;
 }
 
 let create_collector ~n_devices ~window_start ~window_end =
@@ -46,7 +54,9 @@ let create_collector ~n_devices ~window_start ~window_end =
           {
             generated = 0;
             completed = 0;
+            degraded = 0;
             dropped = 0;
+            timed_out = 0;
             hits = 0;
             stats = Es_util.Stats.create ();
             rev_samples = [];
@@ -54,6 +64,7 @@ let create_collector ~n_devices ~window_start ~window_end =
     window_start;
     window_end;
     rev_events = [];
+    rev_hits = [];
   }
 
 let in_window c t = t >= c.window_start && t <= c.window_end
@@ -67,19 +78,33 @@ let on_arrival c ~device ~now =
 let on_drop c ~device ~now =
   if in_window c now then begin
     let d = c.devs.(device) in
-    d.dropped <- d.dropped + 1
+    d.dropped <- d.dropped + 1;
+    c.rev_hits <- (now, false) :: c.rev_hits
   end
 
-let on_completion c ~device ~arrival ~now ~deadline =
+let on_timeout c ~device ~arrival =
+  (* Attribute to the arrival, like completions, so the window's
+     conservation law (generated = completed + dropped + timed out) holds
+     for requests that expire after the horizon's edge. *)
+  if in_window c arrival then begin
+    let d = c.devs.(device) in
+    d.timed_out <- d.timed_out + 1;
+    c.rev_hits <- (arrival, false) :: c.rev_hits
+  end
+
+let on_completion c ?(degraded = false) ~device ~arrival ~now ~deadline () =
   (* Attribute the sample to the request's arrival, matching on_arrival. *)
   if in_window c arrival then begin
     let d = c.devs.(device) in
     let latency = now -. arrival in
     d.completed <- d.completed + 1;
-    if latency <= deadline +. 1e-12 then d.hits <- d.hits + 1;
+    if degraded then d.degraded <- d.degraded + 1;
+    let hit = latency <= deadline +. 1e-12 in
+    if hit then d.hits <- d.hits + 1;
     Es_util.Stats.add d.stats latency;
     d.rev_samples <- latency :: d.rev_samples;
-    c.rev_events <- (now, latency) :: c.rev_events
+    c.rev_events <- (now, latency, hit) :: c.rev_events;
+    c.rev_hits <- (now, hit) :: c.rev_hits
   end
 
 let finalize c ~server_busy ~duration =
@@ -89,7 +114,9 @@ let finalize c ~server_busy ~duration =
         {
           generated = d.generated;
           completed = d.completed;
+          degraded = d.degraded;
           dropped = d.dropped;
+          timed_out = d.timed_out;
           deadline_hits = d.hits;
           latency = d.stats;
           samples = Array.of_list (List.rev d.rev_samples);
@@ -102,13 +129,16 @@ let finalize c ~server_busy ~duration =
   let total f = Array.fold_left (fun acc d -> acc + f d) 0 per_device in
   let total_generated = total (fun d -> d.generated) in
   let total_completed = total (fun d -> d.completed) in
+  let total_degraded = total (fun d -> d.degraded) in
   let total_dropped = total (fun d -> d.dropped) in
+  let total_timed_out = total (fun d -> d.timed_out) in
   let hits = total (fun d -> d.deadline_hits) in
   let dsr =
     if total_generated = 0 then 1.0 else float_of_int hits /. float_of_int total_generated
   in
   let pct p = if Array.length latencies = 0 then nan else Es_util.Stats.percentile latencies p in
   let window = Float.max 1e-9 (Float.min c.window_end duration -. c.window_start) in
+  let events_rev = c.rev_events in
   {
     per_device;
     latencies;
@@ -119,10 +149,13 @@ let finalize c ~server_busy ~duration =
     p99_s = pct 99.0;
     total_generated;
     total_completed;
+    total_degraded;
     total_dropped;
+    total_timed_out;
     server_utilization = Array.map (fun b -> b /. window) server_busy;
     measured_duration_s = window;
-    events = Array.of_list (List.rev c.rev_events);
+    events = Array.of_list (List.rev_map (fun (now, lat, _) -> (now, lat)) events_rev);
+    event_hits = Array.of_list (List.rev c.rev_hits);
   }
 
 let pp_report fmt r =
@@ -134,6 +167,11 @@ let pp_report fmt r =
      %.1f p95 %.1f p99 %.1f@."
     r.total_generated r.total_completed r.total_dropped (100.0 *. r.dsr)
     (1000.0 *. r.mean_latency_s) (1000.0 *. r.p50_s) (1000.0 *. r.p95_s) (1000.0 *. r.p99_s);
+  (* Printed only when fault injection / resilience actually fired, so a
+     fault-free run's report is byte-identical to pre-fault builds. *)
+  if r.total_degraded > 0 || r.total_timed_out > 0 then
+    Format.fprintf fmt "resilience: %d degraded completions, %d timed out@." r.total_degraded
+      r.total_timed_out;
   Array.iteri
     (fun s u -> Format.fprintf fmt "  server %d: utilization %.2f@." s u)
     r.server_utilization
@@ -145,7 +183,9 @@ let report_to_json (r : report) =
       ("kind", String "report");
       ("generated", Int r.total_generated);
       ("completed", Int r.total_completed);
+      ("degraded", Int r.total_degraded);
       ("dropped", Int r.total_dropped);
+      ("timed_out", Int r.total_timed_out);
       ("dsr", Float r.dsr);
       ("mean_latency_s", Float r.mean_latency_s);
       ("p50_s", Float r.p50_s);
@@ -164,7 +204,9 @@ let report_to_json (r : report) =
                       ("device", Int i);
                       ("generated", Int d.generated);
                       ("completed", Int d.completed);
+                      ("degraded", Int d.degraded);
                       ("dropped", Int d.dropped);
+                      ("timed_out", Int d.timed_out);
                       ("deadline_hits", Int d.deadline_hits);
                       ("mean_latency_s", Float (Es_util.Stats.mean d.latency));
                     ])
@@ -181,6 +223,8 @@ let record_to reg (r : report) =
   set "report/generated" (float_of_int r.total_generated);
   set "report/completed" (float_of_int r.total_completed);
   set "report/dropped" (float_of_int r.total_dropped);
+  set "report/degraded" (float_of_int r.total_degraded);
+  set "report/timed_out" (float_of_int r.total_timed_out);
   set "report/measured_duration_s" r.measured_duration_s;
   Array.iteri
     (fun s u ->

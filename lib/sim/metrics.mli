@@ -3,7 +3,11 @@
 type device_stats = {
   generated : int;  (** requests arriving inside the measurement window *)
   completed : int;
-  dropped : int;  (** rejected at a full queue *)
+  degraded : int;
+      (** completions served by the local-fallback path (subset of
+          [completed]) *)
+  dropped : int;  (** rejected at a full queue, or lost to a fault *)
+  timed_out : int;  (** expired before completing (resilience timeout) *)
   deadline_hits : int;
   latency : Es_util.Stats.t;  (** end-to-end latency of completed requests *)
   samples : float array;  (** raw latency samples, completion order *)
@@ -14,20 +18,27 @@ type report = {
   latencies : float array;  (** all completed-request latencies pooled *)
   dsr : float;
       (** deadline-satisfaction ratio: hits / generated — requests that
-          never completed (still queued at the horizon, or dropped) count
-          as misses *)
+          never completed (still queued at the horizon, dropped, or timed
+          out) count as misses *)
   mean_latency_s : float;
   p50_s : float;
   p95_s : float;
   p99_s : float;
   total_generated : int;
   total_completed : int;
+  total_degraded : int;
   total_dropped : int;
+  total_timed_out : int;
   server_utilization : float array;  (** busy fraction per server *)
   measured_duration_s : float;
   events : (float * float) array;
       (** pooled (completion time, latency) pairs in completion order, for
           timeline plots *)
+  event_hits : (float * bool) array;
+      (** pooled (resolution time, deadline hit?) pairs over every request
+          outcome — completions at completion time, drops at drop time,
+          timeouts at arrival time — so recovery-timeline plots see the
+          damage window, not just the surviving completions *)
 }
 
 type collector
@@ -36,7 +47,24 @@ val create_collector : n_devices:int -> window_start:float -> window_end:float -
 
 val on_arrival : collector -> device:int -> now:float -> unit
 val on_drop : collector -> device:int -> now:float -> unit
-val on_completion : collector -> device:int -> arrival:float -> now:float -> deadline:float -> unit
+
+val on_timeout : collector -> device:int -> arrival:float -> unit
+(** A request that expired without completing; attributed to its arrival
+    time (like completions) so in-window conservation holds:
+    generated = completed + dropped + timed out once the run drains. *)
+
+val on_completion :
+  collector ->
+  ?degraded:bool ->
+  device:int ->
+  arrival:float ->
+  now:float ->
+  deadline:float ->
+  unit ->
+  unit
+(** [degraded] marks a completion served by the local-fallback path after
+    the offload plan failed; it still counts toward [completed] (and
+    toward [deadline_hits] if it met the deadline). *)
 
 val finalize :
   collector -> server_busy:float array -> duration:float -> report
@@ -46,7 +74,9 @@ val finalize :
 val pp_report : Format.formatter -> report -> unit
 (** Totals (generated/completed/dropped), DSR, pooled latency quantiles,
     then one line of utilization per server — the same fields, same
-    grouping, as the JSONL export. *)
+    grouping, as the JSONL export.  A resilience line (degraded/timed-out
+    counts) appears only when those counts are non-zero, so fault-free
+    output is unchanged from pre-fault builds. *)
 
 val report_to_json : report -> Es_obs.Json.t
 (** One [kind="report"] JSON object: totals, quantiles, per-server

@@ -3,6 +3,16 @@ open Es_surgery
 
 type batching = { max_batch : int; window_s : float; alpha : float }
 
+type resilience = {
+  timeout_factor : float;
+  max_retries : int;
+  backoff_base_s : float;
+  local_fallback : bool;
+}
+
+let default_resilience =
+  { timeout_factor = 3.0; max_retries = 1; backoff_base_s = 0.05; local_fallback = true }
+
 type options = {
   duration_s : float;
   warmup_s : float;
@@ -11,6 +21,8 @@ type options = {
   compute_jitter : float;
   queue_capacity : int option;
   batching : batching option;
+  faults : Faults.t;
+  resilience : resilience option;
 }
 
 let default_options =
@@ -22,6 +34,8 @@ let default_options =
     compute_jitter = 0.0;
     queue_capacity = None;
     batching = None;
+    faults = Faults.empty;
+    resilience = None;
   }
 
 type dev_stations = {
@@ -31,14 +45,77 @@ type dev_stations = {
   down : Station.t;
 }
 
-let positive x = Float.max x 1e-3
+let stage_names = [| "device"; "uplink"; "uplink_prop"; "server"; "downlink"; "downlink_prop" |]
+let stages = Array.to_list stage_names
 
-let stages = [ "device"; "uplink"; "uplink_prop"; "server"; "downlink"; "downlink_prop" ]
+(* Stage indices into [stage_names]. *)
+let s_device = 0
+
+and s_uplink = 1
+
+and s_uplink_prop = 2
+
+and s_server = 3
+
+and s_downlink = 4
+
+and s_downlink_prop = 5
+
+(* Bad plans used to be masked by clamping speeds to a tiny positive value;
+   now they fail loudly at the boundary.  A decision that leaves a stage
+   unused (zero grant on a device-only plan) is fine — that station simply
+   never sees a job. *)
+let check_decision ~ns i (d : Decision.t) =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  let finite_nonneg what v =
+    if not (Float.is_finite v) || v < 0.0 then
+      bad "Runner.run: decision %d has %s = %g (must be finite and >= 0)" i what v
+  in
+  finite_nonneg "bandwidth_bps" d.Decision.bandwidth_bps;
+  finite_nonneg "compute_share" d.Decision.compute_share;
+  if Decision.offloads d then begin
+    if d.Decision.server < 0 || d.Decision.server >= ns then
+      bad "Runner.run: decision %d targets server %d (cluster has %d)" i d.Decision.server ns;
+    if d.Decision.bandwidth_bps <= 0.0 then
+      bad "Runner.run: decision %d offloads but grants no bandwidth" i;
+    if Plan.srv_flops d.Decision.plan > 0.0 && d.Decision.compute_share <= 0.0 then
+      bad "Runner.run: decision %d runs server work but grants no compute share" i
+  end
+
+let check_resilience (r : resilience) =
+  if not (Float.is_finite r.timeout_factor) || r.timeout_factor < 0.0 then
+    invalid_arg "Runner.run: resilience timeout_factor must be finite and >= 0";
+  if r.max_retries < 0 then invalid_arg "Runner.run: resilience max_retries must be >= 0";
+  if not (Float.is_finite r.backoff_base_s) || r.backoff_base_s < 0.0 then
+    invalid_arg "Runner.run: resilience backoff_base_s must be finite and >= 0"
+
+(* The fastest device-only plan for a model: the degraded-mode fallback a
+   device runs when its offload path is gone.  Accuracy floors are
+   deliberately ignored — a degraded answer beats a dropped request. *)
+let fallback_work_of (dev : Cluster.device) =
+  let perf = dev.Cluster.proc.Processor.perf in
+  let locals =
+    List.filter Plan.is_device_only (Candidate.pareto_candidates dev.Cluster.model)
+  in
+  let best =
+    match locals with
+    | [] -> Plan.device_only dev.Cluster.model
+    | p :: rest ->
+        List.fold_left
+          (fun acc q -> if Plan.device_time perf q < Plan.device_time perf acc then q else acc)
+          p rest
+  in
+  Plan.device_time perf best
 
 let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
     ?(work_scale = fun ~device:_ _ -> 1.0) cluster decisions =
   let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
   if Array.length decisions <> nd then invalid_arg "Runner.run: decisions size mismatch";
+  Array.iteri (check_decision ~ns) decisions;
+  Option.iter check_resilience options.resilience;
+  (match Faults.validate ~n_devices:nd ~n_servers:ns options.faults with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.run: bad fault schedule: " ^ msg));
   let engine = Engine.create () in
   let tracer =
     match spans with
@@ -55,7 +132,11 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
     Array.init nd (fun i ->
         let d = current.(i) in
         let station name speed =
-          Station.create engine ?capacity ~name ~speed:(positive speed) ()
+          (* unused stages (zero grants on device-only plans) get a
+             placeholder speed; validation above guarantees every stage a
+             request can actually reach has a real positive grant *)
+          let speed = if speed > 0.0 then speed else 1.0 in
+          Station.create engine ?capacity ~name ~speed ()
         in
         {
           cpu = station (Printf.sprintf "cpu%d" i) 1.0;
@@ -73,6 +154,13 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
             Batcher.create engine ~max_batch:cfg.max_batch ~window_s:cfg.window_s
               ~alpha:cfg.alpha ~speed:1.0 ())
   in
+  (* Live fault state.  All 1.0 / all-up when the schedule is empty, in
+     which case every use below reduces to the fault-free arithmetic
+     exactly ([x *. 1.0] and [x /. 1.0] are bit-identities). *)
+  let server_up = Array.make ns true in
+  let server_factor = Array.make ns 1.0 in
+  let link_up = Array.make nd true in
+  let link_factor = Array.make nd 1.0 in
   let collector =
     Metrics.create_collector ~n_devices:nd ~window_start:options.warmup_s
       ~window_end:options.duration_s
@@ -80,33 +168,44 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
   (* Metric handles are resolved once up front; with [metrics = None] every
      note_* is a constant no-op closure, so the uninstrumented hot path pays
      only the call.  Counting windows mirror the collector's, so live
-     counters, the end-of-run report and the JSONL export all agree. *)
+     counters, the end-of-run report and the JSONL export all agree.
+     Per-stage handles live in arrays indexed by stage id — the per-event
+     path does no list or string lookups. *)
   let in_window t = t >= options.warmup_s && t <= options.duration_s in
-  let note_arrival, note_completion, note_drop, note_segment =
+  let note_arrival, note_completion, note_drop, note_segment, note_timeout =
     match metrics with
-    | None -> ((fun _ -> ()), (fun ~arrival:_ _ -> ()), (fun _ _ -> ()), fun _ _ -> ())
+    | None ->
+        ( (fun _ -> ()),
+          (fun ~arrival:_ ~degraded:_ _ -> ()),
+          (fun _ _ -> ()),
+          (fun _ _ -> ()),
+          fun _ -> () )
     | Some reg ->
         let generated = Es_obs.Metric.counter reg "requests_generated" in
         let completed = Es_obs.Metric.counter reg "requests_completed" in
         let latency = Es_obs.Metric.histogram reg "request_latency_s" in
         let seg_h =
-          List.map
-            (fun s -> (s, Es_obs.Metric.histogram reg ~labels:[ ("stage", s) ] "segment_s"))
-            stages
+          Array.map
+            (fun s -> Es_obs.Metric.histogram reg ~labels:[ ("stage", s) ] "segment_s")
+            stage_names
         in
         let drop_c =
-          List.map
-            (fun s -> (s, Es_obs.Metric.counter reg ~labels:[ ("stage", s) ] "requests_dropped"))
-            stages
+          Array.map
+            (fun s -> Es_obs.Metric.counter reg ~labels:[ ("stage", s) ] "requests_dropped")
+            stage_names
         in
+        let degraded_c = Es_obs.Metric.counter reg "requests_completed_degraded" in
+        let timed_out_c = Es_obs.Metric.counter reg "requests_timed_out" in
         ( (fun now -> if in_window now then Es_obs.Metric.inc generated),
-          (fun ~arrival l ->
+          (fun ~arrival ~degraded l ->
             if in_window arrival then begin
               Es_obs.Metric.inc completed;
+              if degraded then Es_obs.Metric.inc degraded_c;
               Es_obs.Histogram.observe latency l
             end),
-          (fun stage now -> if in_window now then Es_obs.Metric.inc (List.assoc stage drop_c)),
-          fun stage dt -> Es_obs.Histogram.observe (List.assoc stage seg_h) dt )
+          (fun stage now -> if in_window now then Es_obs.Metric.inc drop_c.(stage)),
+          (fun stage dt -> Es_obs.Histogram.observe seg_h.(stage) dt),
+          fun arrival -> if in_window arrival then Es_obs.Metric.inc timed_out_c )
   in
   let note_queue =
     match metrics with
@@ -134,20 +233,72 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
         (* A zero grant means the new plan no longer uses the stage; keep
            the old speed so in-flight jobs drain instead of stalling. *)
         if d.Decision.bandwidth_bps > 0.0 then begin
-          Station.set_speed st.up d.Decision.bandwidth_bps;
-          Station.set_speed st.down d.Decision.bandwidth_bps
+          let bw = d.Decision.bandwidth_bps *. link_factor.(i) in
+          Station.set_speed st.up bw;
+          Station.set_speed st.down bw
         end;
-        if d.Decision.compute_share > 0.0 then Station.set_speed st.srv d.Decision.compute_share)
+        if d.Decision.compute_share > 0.0 then
+          Station.set_speed st.srv
+            (d.Decision.compute_share /. server_factor.(d.Decision.server)))
       ds
   in
+  let apply_fault = function
+    | Faults.Server_down s ->
+        if server_up.(s) then begin
+          server_up.(s) <- false;
+          Array.iteri
+            (fun i st ->
+              let d = current.(i) in
+              if Decision.offloads d && d.Decision.server = s then ignore (Station.flush st.srv))
+            stations
+        end
+    | Faults.Server_up s -> server_up.(s) <- true
+    | Faults.Link_outage d ->
+        if link_up.(d) then begin
+          link_up.(d) <- false;
+          ignore (Station.flush stations.(d).up);
+          ignore (Station.flush stations.(d).down)
+        end
+    | Faults.Link_restored d -> link_up.(d) <- true
+    | Faults.Link_degraded (d, f) ->
+        link_factor.(d) <- f;
+        let dec = current.(d) in
+        if dec.Decision.bandwidth_bps > 0.0 then begin
+          let bw = dec.Decision.bandwidth_bps *. f in
+          Station.set_speed stations.(d).up bw;
+          Station.set_speed stations.(d).down bw
+        end
+    | Faults.Straggler (s, f) ->
+        server_factor.(s) <- f;
+        Array.iteri
+          (fun i st ->
+            let dec = current.(i) in
+            if Decision.offloads dec && dec.Decision.server = s
+               && dec.Decision.compute_share > 0.0
+            then Station.set_speed st.srv (dec.Decision.compute_share /. f))
+          stations
+  in
+  (* Fault events are scheduled before reconfigurations and arrivals, so at
+     an equal timestamp the fault applies first — a recovery schedule firing
+     at crash time sees the crashed state. *)
+  List.iter
+    (fun (t, ev) ->
+      if t <= options.duration_s then Engine.schedule_at engine t (fun () -> apply_fault ev))
+    (Faults.events options.faults);
   (match reconfigure with
   | None -> ()
   | Some changes ->
       List.iter
         (fun (t, ds) ->
           if Array.length ds <> nd then invalid_arg "Runner.run: reconfigure size mismatch";
+          Array.iteri (check_decision ~ns) ds;
           Engine.schedule_at engine t (fun () -> apply_decisions ds))
         changes);
+  let fallback_work =
+    match options.resilience with
+    | Some r when r.local_fallback -> Some (Array.map fallback_work_of cluster.Cluster.devices)
+    | _ -> None
+  in
   let jitter () =
     if options.compute_jitter <= 0.0 then 1.0
     else begin
@@ -173,7 +324,10 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
     (* One trace per request: a root "request" span whose child segments
        tile [arrival, completion] exactly — the chain below submits each
        stage synchronously at the previous stage's completion, so segment
-       durations sum to the end-to-end latency. *)
+       durations sum to the end-to-end latency.  Under resilience a request
+       can have several racing continuations (a retry, the fallback, a late
+       original completion); [resolved] makes the first outcome the only
+       one that touches metrics and finishes the root span. *)
     let root =
       Es_obs.Span.start tracer
         ~attrs:
@@ -182,33 +336,114 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
           ]
         "request"
     in
+    let resolved = ref false in
     let complete () =
-      let now = Engine.now engine in
-      note_completion ~arrival (now -. arrival);
-      Es_obs.Span.finish tracer
-        ~attrs:
-          [
-            ("outcome", Es_obs.Json.String "completed");
-            ("latency_s", Es_obs.Json.Float (now -. arrival));
-          ]
-        root;
-      Metrics.on_completion collector ~device:dev_id ~arrival ~now
-        ~deadline:dev.Cluster.deadline
+      if not !resolved then begin
+        resolved := true;
+        let now = Engine.now engine in
+        note_completion ~arrival ~degraded:false (now -. arrival);
+        Es_obs.Span.finish tracer
+          ~attrs:
+            [
+              ("outcome", Es_obs.Json.String "completed");
+              ("latency_s", Es_obs.Json.Float (now -. arrival));
+            ]
+          root;
+        Metrics.on_completion collector ~device:dev_id ~arrival ~now
+          ~deadline:dev.Cluster.deadline ()
+      end
+    in
+    let complete_degraded () =
+      if not !resolved then begin
+        resolved := true;
+        let now = Engine.now engine in
+        note_completion ~arrival ~degraded:true (now -. arrival);
+        Es_obs.Span.finish tracer
+          ~attrs:
+            [
+              ("outcome", Es_obs.Json.String "completed_degraded");
+              ("latency_s", Es_obs.Json.Float (now -. arrival));
+            ]
+          root;
+        Metrics.on_completion collector ~degraded:true ~device:dev_id ~arrival ~now
+          ~deadline:dev.Cluster.deadline ()
+      end
     in
     let drop stage =
-      let now = Engine.now engine in
-      note_drop stage now;
-      Es_obs.Span.finish tracer
-        ~attrs:
-          [ ("outcome", Es_obs.Json.String "dropped"); ("stage", Es_obs.Json.String stage) ]
-        root;
-      Metrics.on_drop collector ~device:dev_id ~now
+      if not !resolved then begin
+        resolved := true;
+        let now = Engine.now engine in
+        note_drop stage now;
+        Es_obs.Span.finish tracer
+          ~attrs:
+            [
+              ("outcome", Es_obs.Json.String "dropped");
+              ("stage", Es_obs.Json.String stage_names.(stage));
+            ]
+          root;
+        Metrics.on_drop collector ~device:dev_id ~now
+      end
     in
+    let timed_out () =
+      if not !resolved then begin
+        resolved := true;
+        note_timeout arrival;
+        Es_obs.Span.finish tracer
+          ~attrs:[ ("outcome", Es_obs.Json.String "timed_out") ]
+          root;
+        Metrics.on_timeout collector ~device:dev_id ~arrival
+      end
+    in
+    let attempts = ref 0 in
+    let fallback_started = ref false in
+    let start_fallback () =
+      match fallback_work with
+      | Some works when (not !resolved) && not !fallback_started ->
+          fallback_started := true;
+          let sp = Es_obs.Span.start tracer ~parent:root "fallback" in
+          let submitted = Engine.now engine in
+          let on_start =
+            if tracing then
+              Some
+                (fun () ->
+                  Es_obs.Span.set_attr sp "queue_s"
+                    (Es_obs.Json.Float (Engine.now engine -. submitted)))
+            else None
+          in
+          let ok =
+            Station.submit st.cpu ?on_start ~work:(works.(dev_id) *. scale) (fun () ->
+                Es_obs.Span.finish tracer sp;
+                complete_degraded ())
+          in
+          note_queue st.cpu;
+          if not ok then begin
+            Es_obs.Span.finish tracer ~attrs:[ ("outcome", Es_obs.Json.String "dropped") ] sp;
+            drop s_device
+          end
+      | _ -> ()
+    in
+    (* Failure of an attempt at [stage]: retry with exponential backoff from
+       the failed phase, then fall back locally, then drop.  Without a
+       resilience policy the request is simply dropped (pre-fault
+       behavior). *)
+    let rec fail stage restart =
+      if not !resolved then
+        match options.resilience with
+        | None -> drop stage
+        | Some r ->
+            incr attempts;
+            if !attempts <= r.max_retries then begin
+              let backoff = r.backoff_base_s *. (2.0 ** float_of_int (!attempts - 1)) in
+              Engine.schedule engine backoff (fun () -> if not !resolved then restart ())
+            end
+            else if r.local_fallback then start_fallback ()
+            else drop stage
     (* A traced station hop: the segment span opens at submission; queueing
        time (submission → service start) is recorded as an attribute so the
-       span decomposes further without breaking the tiling. *)
-    let submit stage station ~work k =
-      let sp = Es_obs.Span.start tracer ~parent:root stage in
+       span decomposes further without breaking the tiling.  [restart] is
+       the phase to re-enter if this hop is rejected or evicted. *)
+    and submit stage station ~work ~restart k =
+      let sp = Es_obs.Span.start tracer ~parent:root stage_names.(stage) in
       let submitted = Engine.now engine in
       let on_start =
         if tracing then
@@ -218,8 +453,12 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
                 (Es_obs.Json.Float (Engine.now engine -. submitted)))
         else None
       in
+      let on_evict () =
+        Es_obs.Span.finish tracer ~attrs:[ ("outcome", Es_obs.Json.String "evicted") ] sp;
+        fail stage restart
+      in
       let ok =
-        Station.submit station ?on_start ~work (fun () ->
+        Station.submit station ?on_start ~on_evict ~work (fun () ->
             note_segment stage (Engine.now engine -. submitted);
             Es_obs.Span.finish tracer sp;
             k ())
@@ -229,13 +468,13 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
         Es_obs.Span.finish tracer
           ~attrs:[ ("outcome", Es_obs.Json.String "dropped") ]
           sp;
-        drop stage
+        fail stage restart
       end
     in
     (* Propagation legs get their own child spans so the segments still tile
        the request's full lifetime. *)
     let propagate stage delay k =
-      let sp = Es_obs.Span.start tracer ~parent:root stage in
+      let sp = Es_obs.Span.start tracer ~parent:root stage_names.(stage) in
       Engine.schedule engine delay (fun () ->
           note_segment stage delay;
           Es_obs.Span.finish tracer sp;
@@ -243,33 +482,42 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
     in
     note_arrival arrival;
     Metrics.on_arrival collector ~device:dev_id ~now:arrival;
-    let dev_work = Plan.device_time dev.Cluster.proc.Processor.perf plan *. scale in
-    submit "device" st.cpu ~work:dev_work (fun () ->
-        if not (Decision.offloads d) then complete ()
-        else begin
-          let link = dev.Cluster.link in
-          let half_rtt = link.Link.rtt_s /. 2.0 in
-          let up_bits = 8.0 *. Plan.transfer_bytes plan *. fade_factor link in
-          submit "uplink" st.up ~work:up_bits (fun () ->
-              propagate "uplink_prop" half_rtt (fun () ->
+    let rec attempt_device () =
+      let dev_work = Plan.device_time dev.Cluster.proc.Processor.perf plan *. scale in
+      submit s_device st.cpu ~work:dev_work ~restart:attempt_device (fun () ->
+          if not (Decision.offloads d) then complete () else attempt_offload ())
+    and attempt_offload () =
+      if not link_up.(dev_id) then fail s_uplink attempt_offload
+      else begin
+        let link = dev.Cluster.link in
+        let half_rtt = link.Link.rtt_s /. 2.0 in
+        let up_bits = 8.0 *. Plan.transfer_bytes plan *. fade_factor link in
+        submit s_uplink st.up ~work:up_bits ~restart:attempt_offload (fun () ->
+            propagate s_uplink_prop half_rtt (fun () ->
+                if not server_up.(d.Decision.server) then fail s_server attempt_offload
+                else begin
                   let srv = cluster.Cluster.servers.(d.Decision.server) in
                   let work_s =
                     Plan.server_time srv.Cluster.sproc.Processor.perf plan *. scale
                   in
                   let after_server () =
-                    let down_bits = 8.0 *. Plan.result_bytes plan *. fade_factor link in
-                    submit "downlink" st.down ~work:down_bits (fun () ->
-                        propagate "downlink_prop" half_rtt complete)
+                    if not link_up.(dev_id) then fail s_downlink attempt_offload
+                    else begin
+                      let down_bits = 8.0 *. Plan.result_bytes plan *. fade_factor link in
+                      submit s_downlink st.down ~work:down_bits ~restart:attempt_offload
+                        (fun () -> propagate s_downlink_prop half_rtt complete)
+                    end
                   in
                   match options.batching with
                   | Some _ ->
                       (* One batched accelerator per server; shares ignored.
                          The "server" segment span covers queue + batch wait +
-                         service, measured around the batcher. *)
+                         service, measured around the batcher.  Batchers have
+                         no eviction path: faults only gate admission here. *)
                       let sp = Es_obs.Span.start tracer ~parent:root "server" in
                       let submitted = Engine.now engine in
                       Batcher.submit batchers.(d.Decision.server) ~work:work_s (fun () ->
-                          note_segment "server" (Engine.now engine -. submitted);
+                          note_segment s_server (Engine.now engine -. submitted);
                           Es_obs.Span.finish tracer sp;
                           after_server ())
                   | None ->
@@ -279,10 +527,20 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
                           server_busy.(d.Decision.server) <-
                             server_busy.(d.Decision.server) +. (work_s /. Float.max share 1e-9)
                       in
-                      submit "server" st.srv ~work:work_s (fun () ->
+                      submit s_server st.srv ~work:work_s ~restart:attempt_offload (fun () ->
                           record_busy ();
-                          after_server ())))
-        end)
+                          after_server ())
+                end))
+      end
+    in
+    (match options.resilience with
+    | Some r when r.timeout_factor > 0.0 ->
+        Engine.schedule engine (r.timeout_factor *. dev.Cluster.deadline) (fun () ->
+            if not !resolved then
+              if r.local_fallback && not !fallback_started then start_fallback ()
+              else if not !fallback_started then timed_out ())
+    | _ -> ());
+    attempt_device ()
   in
   (match arrivals with
   | Some trace ->

@@ -9,13 +9,49 @@
 
     With default options (no fading, no jitter) and a single in-flight
     request, the measured latency equals {!Es_edge.Latency.of_decision} —
-    a property pinned by the test suite. *)
+    a property pinned by the test suite.
+
+    {2 Faults and resilience}
+
+    A {!Faults.t} schedule injects failures: a down server (or a link in
+    outage) evicts its queued work and rejects new submissions until
+    restored; degraded links and stragglers rescale station speeds.  A
+    {!resilience} policy decides what a request does about it — bounded
+    retries with exponential backoff from the failed phase, an optional
+    per-request timeout, and an optional local fallback that re-executes
+    the request on the device with the fastest device-only surgery plan
+    (accuracy floors deliberately waived: a degraded answer beats a lost
+    request).  Requests then end in one of four outcomes — completed,
+    completed-degraded, dropped, or timed-out — each traced (root-span
+    [outcome] attribute) and counted ({!Metrics}, live registry counters).
+
+    Everything stays deterministic under [seed]: fault injection draws no
+    simulation randomness, and with [faults = Faults.empty] and
+    [resilience = None] (the defaults) the run is bit-identical to the
+    pre-fault simulator — pinned by the test suite. *)
 
 type batching = {
   max_batch : int;
   window_s : float;
   alpha : float;  (** parallelizable fraction; see {!Batcher} *)
 }
+
+type resilience = {
+  timeout_factor : float;
+      (** a request times out [timeout_factor ×] its device deadline after
+          arrival; 0 disables the timeout.  If a local fallback is enabled
+          and not yet running, the timeout starts it instead of giving up. *)
+  max_retries : int;  (** failed attempts retried before falling back/dropping *)
+  backoff_base_s : float;
+      (** retry [k] (1-based) waits [backoff_base_s × 2{^ k-1}] *)
+  local_fallback : bool;
+      (** after retries are exhausted (or on timeout), re-execute on the
+          device CPU with the fastest device-only plan; completions count
+          as degraded *)
+}
+
+val default_resilience : resilience
+(** 3× deadline timeout, 1 retry, 50 ms base backoff, local fallback on. *)
 
 type options = {
   duration_s : float;  (** simulated horizon (default 60) *)
@@ -27,7 +63,12 @@ type options = {
   batching : batching option;
       (** [Some _] replaces the per-device dedicated-share server stations
           with one {!Batcher} per server (GPU batching semantics; compute
-          shares are then ignored).  Default [None]. *)
+          shares are then ignored).  Default [None].  Faults gate admission
+          to a batched server but cannot evict batched work. *)
+  faults : Faults.t;  (** fault schedule (default {!Faults.empty}) *)
+  resilience : resilience option;
+      (** per-request retry/timeout/fallback policy (default [None]:
+          requests hit by a fault are dropped, as are capacity rejections) *)
 }
 
 val default_options : options
@@ -36,7 +77,9 @@ val stages : string list
 (** The segment names a request can traverse, in path order:
     ["device"; "uplink"; "uplink_prop"; "server"; "downlink";
     "downlink_prop"].  Span names and the [stage] label on [segment_s] /
-    [requests_dropped] metrics draw from this list. *)
+    [requests_dropped] metrics draw from this list.  (The local-fallback
+    re-execution is traced as a separate ["fallback"] span and is not a
+    stage.) *)
 
 val run :
   ?options:options ->
@@ -55,11 +98,13 @@ val run :
     - [reconfigure]: piecewise decision changes [(t, decisions)] applied at
       time [t] — new requests use the new plans, granted rates/shares change
       for subsequently started transfers/executions (the online scheduler's
-      mechanism).
+      mechanism).  At an equal timestamp, fault events apply before
+      reconfigurations, which apply before arrivals.
     - [work_scale]: per-request work multiplier hook (e.g. multi-exit
       early-exit draws); applied to device and server compute.
     - [metrics]: live telemetry — counters [requests_generated] /
-      [requests_completed] / [requests_dropped{stage}] and histograms
+      [requests_completed] / [requests_completed_degraded] /
+      [requests_timed_out] / [requests_dropped{stage}] and histograms
       [request_latency_s] / [segment_s{stage}] restricted to the
       measurement window (matching the report), [queue_depth{station}]
       gauges, plus the end-of-run [report/…] gauges via
@@ -70,4 +115,11 @@ val run :
       splitting waiting from service.  Omitting both [metrics] and [spans]
       leaves the simulator on its uninstrumented (near-zero-cost) path.
 
-    @raise Invalid_argument on malformed decision arrays. *)
+    Decision arrays (initial and every reconfiguration) are validated up
+    front: non-finite or negative grants, an out-of-range server on an
+    offloading plan, or an offloading plan with no bandwidth raise
+    [Invalid_argument] — bad plans fail loudly instead of being clamped.
+
+    @raise Invalid_argument on malformed decision arrays, a fault schedule
+    referencing out-of-range devices/servers, or a negative/non-finite
+    resilience parameter. *)

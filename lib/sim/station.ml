@@ -1,4 +1,9 @@
-type job = { work : float; on_start : (unit -> unit) option; k : unit -> unit }
+type job = {
+  work : float;
+  on_start : (unit -> unit) option;
+  on_evict : (unit -> unit) option;
+  k : unit -> unit;
+}
 
 type t = {
   engine : Engine.t;
@@ -6,10 +11,15 @@ type t = {
   mutable rate : float;
   capacity : int;
   waiting : job Queue.t;
-  mutable in_service : bool;
+  mutable in_service : job option;
+  mutable service_end : float;
+  mutable epoch : int;
+      (* bumped by [flush] so the completion closure of an evicted
+         in-service job can recognize itself as stale and do nothing *)
   mutable busy : float;
   mutable n_completed : int;
   mutable n_dropped : int;
+  mutable n_evicted : int;
 }
 
 let create engine ?(capacity = max_int) ?(name = "station") ~speed () =
@@ -20,38 +30,65 @@ let create engine ?(capacity = max_int) ?(name = "station") ~speed () =
     rate = speed;
     capacity;
     waiting = Queue.create ();
-    in_service = false;
+    in_service = None;
+    service_end = 0.0;
+    epoch = 0;
     busy = 0.0;
     n_completed = 0;
     n_dropped = 0;
+    n_evicted = 0;
   }
 
-let queue_length t = Queue.length t.waiting + if t.in_service then 1 else 0
+let queue_length t = Queue.length t.waiting + if t.in_service <> None then 1 else 0
 
 let rec start_next t =
   match Queue.take_opt t.waiting with
-  | None -> t.in_service <- false
+  | None -> t.in_service <- None
   | Some job ->
-      t.in_service <- true;
+      t.in_service <- Some job;
       (match job.on_start with Some f -> f () | None -> ());
       let service = job.work /. t.rate in
       t.busy <- t.busy +. service;
+      t.service_end <- Engine.now t.engine +. service;
+      let epoch = t.epoch in
       Engine.schedule t.engine service (fun () ->
-          t.n_completed <- t.n_completed + 1;
-          job.k ();
-          start_next t)
+          if t.epoch = epoch then begin
+            t.n_completed <- t.n_completed + 1;
+            job.k ();
+            start_next t
+          end)
 
-let submit t ?on_start ~work k =
+let submit t ?on_start ?on_evict ~work k =
   if work < 0.0 then invalid_arg "Station.submit: negative work";
   if queue_length t >= t.capacity then begin
     t.n_dropped <- t.n_dropped + 1;
     false
   end
   else begin
-    Queue.add { work; on_start; k } t.waiting;
-    if not t.in_service then start_next t;
+    Queue.add { work; on_start; on_evict; k } t.waiting;
+    if t.in_service = None then start_next t;
     true
   end
+
+let flush t =
+  let evicted = ref [] in
+  (match t.in_service with
+  | Some job ->
+      (* refund the unserved remainder of the busy-time we booked upfront *)
+      let remaining = t.service_end -. Engine.now t.engine in
+      if remaining > 0.0 then t.busy <- t.busy -. remaining;
+      t.epoch <- t.epoch + 1;
+      t.in_service <- None;
+      evicted := [ job ]
+  | None -> ());
+  Queue.iter (fun job -> evicted := job :: !evicted) t.waiting;
+  Queue.clear t.waiting;
+  let jobs = List.rev !evicted in
+  let n = List.length jobs in
+  t.n_evicted <- t.n_evicted + n;
+  (* state is already reset, so eviction callbacks may safely resubmit *)
+  List.iter (fun job -> match job.on_evict with Some f -> f () | None -> ()) jobs;
+  n
 
 let set_speed t speed =
   if speed <= 0.0 then invalid_arg "Station.set_speed: non-positive speed";
@@ -62,3 +99,4 @@ let name t = t.name
 let busy_time t = t.busy
 let completed t = t.n_completed
 let dropped t = t.n_dropped
+let evicted t = t.n_evicted

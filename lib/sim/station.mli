@@ -15,14 +15,25 @@ type t
 val create : Engine.t -> ?capacity:int -> ?name:string -> speed:float -> unit -> t
 (** @raise Invalid_argument on non-positive speed. *)
 
-val submit : t -> ?on_start:(unit -> unit) -> work:float -> (unit -> unit) -> bool
+val submit :
+  t -> ?on_start:(unit -> unit) -> ?on_evict:(unit -> unit) -> work:float -> (unit -> unit) -> bool
 (** [submit st ~work k] enqueues a job needing [work] units and calls [k]
     at its completion.  Returns [false] (and drops the job, never calling
     [k]) when the station is at capacity.  Zero-work jobs complete
     immediately but still pass through the queue discipline.
     [on_start] fires when the job leaves the queue and begins service
     (telemetry uses it to split waiting from service time); for a job
-    submitted to an idle station it fires within [submit] itself. *)
+    submitted to an idle station it fires within [submit] itself.
+    [on_evict] fires if the job is thrown away by {!flush} before
+    completing — exactly one of [k] / [on_evict] ever runs. *)
+
+val flush : t -> int
+(** [flush st] evicts every queued job and cancels the job in service (its
+    already-booked busy time is refunded for the unserved remainder), then
+    fires each evicted job's [on_evict] callback, in-service job first then
+    FIFO order.  The station is idle-and-empty before the callbacks run, so
+    they may resubmit.  Returns the number of jobs evicted.  Fault
+    injection uses this when a server crashes or a link goes dark. *)
 
 val set_speed : t -> float -> unit
 (** Takes effect for subsequently started jobs. *)
@@ -36,4 +47,9 @@ val busy_time : t -> float
 (** Cumulative seconds the station has been serving jobs. *)
 
 val completed : t -> int
+
 val dropped : t -> int
+(** Arrivals rejected at capacity (does not include evictions). *)
+
+val evicted : t -> int
+(** Jobs thrown away by {!flush}. *)

@@ -125,6 +125,31 @@ let test_decision_validate_capacity () =
   | Ok () -> Alcotest.fail "compute oversubscription must be rejected"
   | Error _ -> ()
 
+let test_decision_validate_finite_grants () =
+  (* NaN and negative grants must be caught before they poison the capacity
+     sums (NaN comparisons are all false, so the cap checks alone would
+     silently pass them). *)
+  let c = small_cluster () in
+  let plan = Plan.server_only resnet18 in
+  let base =
+    [|
+      Decision.make ~device:0 ~server:0 ~plan ~bandwidth_bps:50e6 ~compute_share:0.4 ();
+      Decision.make ~device:1 ~server:0 ~plan ~bandwidth_bps:50e6 ~compute_share:0.4 ();
+    |]
+  in
+  let rejected label ds =
+    match Decision.validate c ds with
+    | Ok () -> Alcotest.fail (label ^ " must be rejected")
+    | Error _ -> ()
+  in
+  rejected "NaN bandwidth" [| { base.(0) with Decision.bandwidth_bps = Float.nan }; base.(1) |];
+  rejected "infinite bandwidth"
+    [| { base.(0) with Decision.bandwidth_bps = Float.infinity }; base.(1) |];
+  rejected "NaN compute share"
+    [| base.(0); { base.(1) with Decision.compute_share = Float.nan } |];
+  rejected "negative compute share"
+    [| base.(0); { base.(1) with Decision.compute_share = -0.1 } |]
+
 let test_decision_validate_accuracy_floor () =
   let c = small_cluster () in
   (* Device 0 requires accuracy >= 0.6; a width-0.5 early exit goes below. *)
@@ -354,6 +379,7 @@ let () =
           Alcotest.test_case "offloads" `Quick test_decision_offloads;
           Alcotest.test_case "requires resources" `Quick test_decision_requires_resources;
           Alcotest.test_case "capacity validation" `Quick test_decision_validate_capacity;
+          Alcotest.test_case "finite grants" `Quick test_decision_validate_finite_grants;
           Alcotest.test_case "accuracy floor" `Quick test_decision_validate_accuracy_floor;
         ] );
       ( "latency",

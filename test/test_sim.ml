@@ -274,6 +274,23 @@ let test_runner_queueing_appears_under_load () =
     true
     (r.Es_sim.Metrics.mean_latency_s > service *. 1.05)
 
+let test_runner_golden_bit_identity () =
+  (* Fault-free regression pin: the exact report the pre-fault simulator
+     produced for Neurosurgeon on the default scenario (duration 60, seed 7).
+     Equality is at zero tolerance — any change to the event stream, RNG
+     draw order, or float arithmetic on the no-faults path shows up here. *)
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve c in
+  let r = Es_sim.Runner.run c ds in
+  Alcotest.(check int) "generated" 1636 r.Es_sim.Metrics.total_generated;
+  Alcotest.(check int) "completed" 1636 r.Es_sim.Metrics.total_completed;
+  Alcotest.(check int) "dropped" 0 r.Es_sim.Metrics.total_dropped;
+  Alcotest.(check int) "degraded" 0 r.Es_sim.Metrics.total_degraded;
+  Alcotest.(check int) "timed out" 0 r.Es_sim.Metrics.total_timed_out;
+  Alcotest.(check (float 0.0)) "dsr" 0.9193154034229829 r.Es_sim.Metrics.dsr;
+  Alcotest.(check (float 0.0)) "mean" 0.11612828338427551 r.Es_sim.Metrics.mean_latency_s;
+  Alcotest.(check (float 0.0)) "p99" 0.40194546086112665 r.Es_sim.Metrics.p99_s
+
 let test_runner_queue_capacity_drops () =
   let c =
     Cluster.make
@@ -292,7 +309,14 @@ let test_runner_queue_capacity_drops () =
         { Es_sim.Runner.default_options with duration_s = 20.0; queue_capacity = Some 5 }
       c [| d |]
   in
-  Alcotest.(check bool) "overload drops requests" true (r.Es_sim.Metrics.total_dropped > 0)
+  Alcotest.(check bool) "overload drops requests" true (r.Es_sim.Metrics.total_dropped > 0);
+  (* Exact accounting: every generated request is either completed or
+     dropped — capacity rejections must not leak out of the ledger. *)
+  Alcotest.(check int) "drop accounting is exact" r.Es_sim.Metrics.total_generated
+    (r.Es_sim.Metrics.total_completed + r.Es_sim.Metrics.total_dropped);
+  let per = r.Es_sim.Metrics.per_device.(0) in
+  Alcotest.(check int) "per-device ledger matches totals" per.Es_sim.Metrics.generated
+    (per.Es_sim.Metrics.completed + per.Es_sim.Metrics.dropped)
 
 let test_runner_fading_slows_transfers () =
   let c = one_device_cluster () in
@@ -356,6 +380,226 @@ let test_runner_warmup_discards () =
   in
   Alcotest.(check int) "warmup arrival excluded" 1 r.Es_sim.Metrics.total_generated
 
+let test_runner_reconfigure_zero_grant_drain () =
+  (* Switching a device to a zero-grant (device-only) decision while an
+     offloaded request is still in flight must drain that request cleanly:
+     it completes on the stations it already entered, nothing drops, and
+     the ledger balances. *)
+  let c = one_device_cluster () in
+  let remote =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18) ~bandwidth_bps:5e6
+      ~compute_share:0.5 ()
+  in
+  let local = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  (* Arrival at t=29.9 is mid-transfer when grants go to zero at t=30. *)
+  let arrivals = [| (10.0, 0); (29.9, 0); (40.0, 0) |] in
+  let r =
+    Es_sim.Runner.run ~arrivals ~reconfigure:[ (30.0, [| local |]) ]
+      ~options:{ Es_sim.Runner.default_options with duration_s = 120.0; warmup_s = 0.0 }
+      c [| remote |]
+  in
+  Alcotest.(check int) "all three complete" 3 r.Es_sim.Metrics.total_completed;
+  Alcotest.(check int) "nothing dropped" 0 r.Es_sim.Metrics.total_dropped
+
+let test_runner_rejects_invalid_decisions () =
+  let c = one_device_cluster () in
+  let nan_bw =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18)
+      ~bandwidth_bps:Float.nan ~compute_share:0.5 ()
+  in
+  let raises ds =
+    match
+      try
+        ignore (Es_sim.Runner.run c ds);
+        `No_raise
+      with Invalid_argument _ -> `Raised
+    with
+    | `Raised -> ()
+    | `No_raise -> Alcotest.fail "invalid decision accepted"
+  in
+  raises [| nan_bw |];
+  (* Decision.make guards negative grants at construction; corrupt the
+     record directly to exercise the runner's own validation. *)
+  let base =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18) ~bandwidth_bps:5e6
+      ~compute_share:0.5 ()
+  in
+  raises [| { base with Decision.compute_share = -0.5 } |];
+  raises [| { base with Decision.bandwidth_bps = 0.0 } |];
+  (* The reconfigure path validates too. *)
+  let ok = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  match
+    try
+      ignore (Es_sim.Runner.run ~reconfigure:[ (10.0, [| nan_bw |]) ] c [| ok |]);
+      `No_raise
+    with Invalid_argument _ -> `Raised
+  with
+  | `Raised -> ()
+  | `No_raise -> Alcotest.fail "invalid reconfiguration accepted"
+
+(* ---------- Faults and resilience ---------- *)
+
+let crashed_options ?resilience ?(crash_at = 20.0) ?for_s () =
+  let crash = Es_sim.Faults.crash ~at:crash_at ?for_s 0 in
+  {
+    Es_sim.Runner.default_options with
+    duration_s = 40.0;
+    warmup_s = 0.0;
+    faults = Es_sim.Faults.scripted crash;
+    resilience;
+  }
+
+let offload_cluster_and_decision () =
+  let c = one_device_cluster () in
+  let d =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18) ~bandwidth_bps:50e6
+      ~compute_share:0.8 ()
+  in
+  (c, d)
+
+let test_faults_drop_without_resilience () =
+  (* Server down from t=20 with no resilience policy: every later offloaded
+     request drops, and the ledger still balances. *)
+  let c, d = offload_cluster_and_decision () in
+  let arrivals = [| (10.0, 0); (25.0, 0); (30.0, 0) |] in
+  let r = Es_sim.Runner.run ~arrivals ~options:(crashed_options ()) c [| d |] in
+  Alcotest.(check int) "pre-crash request completes" 1 r.Es_sim.Metrics.total_completed;
+  Alcotest.(check int) "post-crash requests drop" 2 r.Es_sim.Metrics.total_dropped;
+  Alcotest.(check int) "conservation" r.Es_sim.Metrics.total_generated
+    (r.Es_sim.Metrics.total_completed + r.Es_sim.Metrics.total_dropped
+   + r.Es_sim.Metrics.total_timed_out)
+
+let test_faults_local_fallback_degrades () =
+  (* Same crash with the default resilience policy: the post-crash requests
+     re-execute locally and complete degraded instead of dropping. *)
+  let c, d = offload_cluster_and_decision () in
+  let arrivals = [| (10.0, 0); (25.0, 0); (30.0, 0) |] in
+  let r =
+    Es_sim.Runner.run ~arrivals
+      ~options:(crashed_options ~resilience:Es_sim.Runner.default_resilience ())
+      c [| d |]
+  in
+  Alcotest.(check int) "everything completes" 3 r.Es_sim.Metrics.total_completed;
+  Alcotest.(check int) "post-crash completions are degraded" 2 r.Es_sim.Metrics.total_degraded;
+  Alcotest.(check int) "nothing dropped" 0 r.Es_sim.Metrics.total_dropped
+
+let test_faults_server_recovers () =
+  (* Crash for 10s: a request arriving after the repair completes normally. *)
+  let c, d = offload_cluster_and_decision () in
+  let arrivals = [| (10.0, 0); (35.0, 0) |] in
+  let r = Es_sim.Runner.run ~arrivals ~options:(crashed_options ~for_s:10.0 ()) c [| d |] in
+  Alcotest.(check int) "both complete" 2 r.Es_sim.Metrics.total_completed;
+  Alcotest.(check int) "no degradation after repair" 0 r.Es_sim.Metrics.total_degraded
+
+let test_faults_in_flight_eviction_retries () =
+  (* An in-service request at the crash instant is evicted; with retries and
+     a repaired server it must still complete (possibly degraded via local
+     fallback, but never dropped). *)
+  let c, d = offload_cluster_and_decision () in
+  let arrivals = [| (19.99, 0) |] in
+  let r =
+    Es_sim.Runner.run ~arrivals
+      ~options:
+        (crashed_options ~resilience:Es_sim.Runner.default_resilience ~for_s:1.0 ())
+      c [| d |]
+  in
+  Alcotest.(check int) "evicted request completes" 1 r.Es_sim.Metrics.total_completed;
+  Alcotest.(check int) "not dropped" 0 r.Es_sim.Metrics.total_dropped
+
+let test_faults_link_outage () =
+  let c, d = offload_cluster_and_decision () in
+  let faults = Es_sim.Faults.scripted (Es_sim.Faults.outage ~at:20.0 ~for_s:5.0 0) in
+  let arrivals = [| (21.0, 0); (30.0, 0) |] in
+  let no_res =
+    Es_sim.Runner.run ~arrivals
+      ~options:
+        {
+          Es_sim.Runner.default_options with
+          duration_s = 40.0;
+          warmup_s = 0.0;
+          faults;
+        }
+      c [| d |]
+  in
+  Alcotest.(check int) "outage drops the uplink request" 1 no_res.Es_sim.Metrics.total_dropped;
+  Alcotest.(check int) "post-restore request completes" 1 no_res.Es_sim.Metrics.total_completed
+
+let test_faults_straggler_slows () =
+  let c, d = offload_cluster_and_decision () in
+  let base = Es_sim.Runner.run ~arrivals:spaced_arrivals c [| d |] in
+  let slowed =
+    Es_sim.Runner.run ~arrivals:spaced_arrivals
+      ~options:
+        {
+          Es_sim.Runner.default_options with
+          faults = Es_sim.Faults.scripted (Es_sim.Faults.straggle ~at:0.0 ~for_s:60.0 ~factor:4.0 0);
+        }
+      c [| d |]
+  in
+  Alcotest.(check bool) "straggler raises mean latency" true
+    (slowed.Es_sim.Metrics.mean_latency_s > base.Es_sim.Metrics.mean_latency_s)
+
+let test_faults_deterministic () =
+  (* A faulty, resilient run is as deterministic as a clean one. *)
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve c in
+  let options =
+    {
+      Es_sim.Runner.default_options with
+      faults = Es_sim.Faults.scripted (Es_sim.Faults.crash ~at:20.0 ~for_s:15.0 0);
+      resilience = Some Es_sim.Runner.default_resilience;
+    }
+  in
+  let r1 = Es_sim.Runner.run ~options c ds and r2 = Es_sim.Runner.run ~options c ds in
+  Alcotest.(check int) "same generated" r1.Es_sim.Metrics.total_generated
+    r2.Es_sim.Metrics.total_generated;
+  Alcotest.(check int) "same degraded" r1.Es_sim.Metrics.total_degraded
+    r2.Es_sim.Metrics.total_degraded;
+  Alcotest.(check int) "same timeouts" r1.Es_sim.Metrics.total_timed_out
+    r2.Es_sim.Metrics.total_timed_out;
+  Alcotest.(check (float 0.0)) "same mean" r1.Es_sim.Metrics.mean_latency_s
+    r2.Es_sim.Metrics.mean_latency_s;
+  Alcotest.(check int) "conservation under faults" r1.Es_sim.Metrics.total_generated
+    (r1.Es_sim.Metrics.total_completed + r1.Es_sim.Metrics.total_dropped
+   + r1.Es_sim.Metrics.total_timed_out)
+
+let test_timeout_without_fallback () =
+  (* A saturating device-only workload with a tight timeout and no fallback:
+     requests that exceed timeout_factor x deadline are counted timed-out. *)
+  let c =
+    Cluster.make
+      ~devices:
+        [
+          Cluster.device ~id:0 ~proc:Processor.iot_board ~link:Link.wifi ~model:resnet18
+            ~rate:5.0 ~deadline:0.2 ();
+        ]
+      ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_cpu ~ap_bandwidth_mbps:50.0 () ]
+  in
+  let d = Decision.make ~device:0 ~server:0 ~plan:(Plan.device_only resnet18) () in
+  let resilience =
+    {
+      Es_sim.Runner.timeout_factor = 2.0;
+      max_retries = 0;
+      backoff_base_s = 0.05;
+      local_fallback = false;
+    }
+  in
+  let r =
+    Es_sim.Runner.run
+      ~options:
+        {
+          Es_sim.Runner.default_options with
+          duration_s = 20.0;
+          warmup_s = 0.0;
+          resilience = Some resilience;
+        }
+      c [| d |]
+  in
+  Alcotest.(check bool) "timeouts recorded" true (r.Es_sim.Metrics.total_timed_out > 0);
+  Alcotest.(check int) "conservation with timeouts" r.Es_sim.Metrics.total_generated
+    (r.Es_sim.Metrics.total_completed + r.Es_sim.Metrics.total_dropped
+   + r.Es_sim.Metrics.total_timed_out)
+
 let () =
   Alcotest.run "es_sim"
     [
@@ -398,5 +642,23 @@ let () =
           Alcotest.test_case "reconfigure" `Quick test_runner_reconfigure_changes_plan;
           Alcotest.test_case "work scale" `Quick test_runner_work_scale;
           Alcotest.test_case "warmup" `Quick test_runner_warmup_discards;
+          Alcotest.test_case "golden bit-identity" `Quick test_runner_golden_bit_identity;
+          Alcotest.test_case "zero-grant drain" `Quick test_runner_reconfigure_zero_grant_drain;
+          Alcotest.test_case "rejects invalid decisions" `Quick
+            test_runner_rejects_invalid_decisions;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop without resilience" `Quick
+            test_faults_drop_without_resilience;
+          Alcotest.test_case "local fallback degrades" `Quick
+            test_faults_local_fallback_degrades;
+          Alcotest.test_case "server recovers" `Quick test_faults_server_recovers;
+          Alcotest.test_case "in-flight eviction retries" `Quick
+            test_faults_in_flight_eviction_retries;
+          Alcotest.test_case "link outage" `Quick test_faults_link_outage;
+          Alcotest.test_case "straggler slows" `Quick test_faults_straggler_slows;
+          Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
+          Alcotest.test_case "timeout without fallback" `Quick test_timeout_without_fallback;
         ] );
     ]
