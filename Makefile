@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-timing examples clean doc
+.PHONY: all build test check bench bench-timing examples clean doc fmt fmt-check
 
 all: build
 
@@ -27,9 +27,17 @@ bench:
 
 # Solver-scaling + hot-path timing microbench.  Emits one JSONL record per
 # measurement to BENCH_solver.json (committed once as the perf baseline);
-# includes the end-to-end sweep-suite comparison at jobs=1 vs jobs=N.
+# includes the end-to-end sweep-suite comparison at jobs=1 vs jobs=N and
+# the warm-started/cached online re-solve comparison.
 bench-timing:
-	dune exec bench/timing.exe -- --sizes 10,25,50,100 --jobs 4 --repeats 3 --suite --out BENCH_solver.json
+	dune exec bench/timing.exe -- --sizes 10,25,50,100 --jobs 4 --repeats 3 --suite --warm-online --out BENCH_solver.json
+
+# Formatting (requires ocamlformat, pinned in .ocamlformat).
+fmt:
+	dune build @fmt --auto-promote
+
+fmt-check:
+	dune build @fmt
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1,0 +1,127 @@
+(* CI perf-regression gate.
+
+   Compares a fresh bench run (bench_smoke.json, produced by timing.exe on
+   the CI box) against the committed baseline (BENCH_solver.json, produced
+   on a dev box).  Absolute times are incomparable across machines, so the
+   gate checks machine-relative quantities only, with a generous 2x band —
+   it exists to catch real regressions (a warm-start that stopped helping,
+   a skyline that fell back to quadratic), not scheduler noise:
+
+     - pareto_micro skyline speedup must stay within 2x of baseline;
+     - warm_online re-solve speedup must stay within 2x of baseline, and
+       its equal-or-better invariant must hold;
+     - every solver_scaling record must report identical objectives at
+       jobs=1 and jobs=N (determinism, not performance).
+
+   Usage: perf_gate.exe --baseline BENCH_solver.json --current bench_smoke.json
+   Exit 0 on pass, 1 on regression, 2 on usage/parse errors. *)
+
+module J = Es_obs.Json
+
+let fail_usage () =
+  prerr_endline "usage: perf_gate.exe --baseline PATH --current PATH";
+  exit 2
+
+let read_records path =
+  let ic =
+    try open_in path
+    with Sys_error e ->
+      Printf.eprintf "perf-gate: cannot open %s: %s\n" path e;
+      exit 2
+  in
+  let records = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match J.of_string line with
+         | Ok j -> records := j :: !records
+         | Error e ->
+             Printf.eprintf "perf-gate: %s: bad JSONL line: %s\n" path e;
+             exit 2
+     done
+   with End_of_file -> close_in ic);
+  List.rev !records
+
+let kind_of j = Option.bind (J.member "kind" j) J.to_string_opt
+
+let find_kind kind records =
+  List.find_opt (fun j -> kind_of j = Some kind) records
+
+let float_field name j = Option.bind (J.member name j) J.to_float_opt
+
+let bool_field name j =
+  match J.member name j with Some (J.Bool b) -> Some b | _ -> None
+
+let failures = ref 0
+
+let check name ok detail =
+  if ok then Printf.printf "perf-gate: PASS %-28s %s\n" name detail
+  else begin
+    Printf.printf "perf-gate: FAIL %-28s %s\n" name detail;
+    incr failures
+  end
+
+(* A current speedup is acceptable when it retains at least half the
+   baseline's; speedups below 1x in the baseline gate at half of 1x. *)
+let speedup_floor baseline = Float.max baseline 1.0 /. 2.0
+
+let gate_speedup name ~baseline ~current =
+  match (baseline, current) with
+  | None, _ ->
+      check name false "baseline record/field missing"
+  | _, None ->
+      check name false "current record/field missing"
+  | Some b, Some c ->
+      let floor = speedup_floor b in
+      check name (c >= floor)
+        (Printf.sprintf "current %.2fx vs baseline %.2fx (floor %.2fx)" c b floor)
+
+let () =
+  let baseline_path = ref "" and current_path = ref "" in
+  let rec parse = function
+    | "--baseline" :: p :: rest ->
+        baseline_path := p;
+        parse rest
+    | "--current" :: p :: rest ->
+        current_path := p;
+        parse rest
+    | [] -> ()
+    | _ -> fail_usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !baseline_path = "" || !current_path = "" then fail_usage ();
+  let baseline = read_records !baseline_path in
+  let current = read_records !current_path in
+
+  (* pareto_micro: the sort-based skyline must stay clearly ahead of the
+     quadratic reference. *)
+  gate_speedup "pareto_micro.speedup"
+    ~baseline:(Option.bind (find_kind "pareto_micro" baseline) (float_field "speedup"))
+    ~current:(Option.bind (find_kind "pareto_micro" current) (float_field "speedup"));
+
+  (* warm_online: warm+cached epoch re-solves vs cold. *)
+  let warm_base = find_kind "warm_online" baseline in
+  let warm_cur = find_kind "warm_online" current in
+  gate_speedup "warm_online.speedup"
+    ~baseline:(Option.bind warm_base (float_field "speedup"))
+    ~current:(Option.bind warm_cur (float_field "speedup"));
+  (match Option.bind warm_cur (bool_field "equal_or_better") with
+  | Some b -> check "warm_online.equal_or_better" b (Printf.sprintf "%b" b)
+  | None -> check "warm_online.equal_or_better" false "current record/field missing");
+  (match Option.bind warm_cur (fun j -> Option.bind (J.member "cache_hits" j) J.to_int_opt) with
+  | Some h -> check "warm_online.cache_hits" (h > 0) (Printf.sprintf "%d hits" h)
+  | None -> check "warm_online.cache_hits" false "current record/field missing");
+
+  (* solver_scaling: jobs=1 and jobs=N must agree bit-for-bit on every
+     cluster size measured in the current run. *)
+  let scaling = List.filter (fun j -> kind_of j = Some "solver_scaling") current in
+  check "solver_scaling.identical"
+    (scaling <> [] && List.for_all (fun j -> bool_field "identical" j = Some true) scaling)
+    (Printf.sprintf "%d records" (List.length scaling));
+
+  if !failures > 0 then begin
+    Printf.printf "perf-gate: %d check(s) failed\n" !failures;
+    exit 1
+  end
+  else print_endline "perf-gate: all checks passed"

@@ -106,6 +106,91 @@ let solver_scaling ~jobs ~repeats n =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* warm_online — warm-started + cached epoch re-solves vs cold         *)
+(* ------------------------------------------------------------------ *)
+
+(* The default online scenario (F10): step burst x3 over the middle third
+   of 180s, re-optimized every 15s = 12 epoch solves over 3 load levels.
+   The warm arm threads the incumbent into each solve and memoizes on the
+   (cluster, config) fingerprint; the cold arm solves each epoch from
+   scratch.  Timing covers the re-solve loop only (the simulation cost is
+   identical in both arms and would just dilute the ratio); the
+   equal-or-better check runs the full Online.run pipeline on both arms
+   and compares the applied schedules epoch by epoch. *)
+let warm_online ~repeats =
+  let open Es_edge in
+  let cluster = Scenario.build Scenario.default in
+  let duration = 180.0 and epoch = 15.0 in
+  let profile =
+    Es_workload.Profiles.step_burst ~start_s:(duration /. 3.0)
+      ~stop_s:(2.0 *. duration /. 3.0) ~factor:3.0
+  in
+  let rec epoch_times acc t =
+    if t >= duration then List.rev acc else epoch_times (t :: acc) (t +. epoch)
+  in
+  let times = epoch_times [] 0.0 in
+  let loads = List.map (fun t -> Float.max 1e-9 (profile t)) times in
+  let solve_all ~warm ~cache () =
+    let prev = ref None in
+    List.iter
+      (fun load ->
+        let scaled = Es_joint.Online.scale_rates cluster load in
+        let warm_start = if warm then !prev else None in
+        let out =
+          match cache with
+          | Some sc -> Es_joint.Solve_cache.solve sc ?warm_start scaled
+          | None -> Es_joint.Optimizer.solve ?warm_start scaled
+        in
+        prev := Some out.Es_joint.Optimizer.decisions)
+      loads
+  in
+  (* Warm the candidate cache so neither arm pays first-touch plan
+     generation; a fresh solve cache per warm repetition keeps the
+     measurement honest (hits come only from within one run). *)
+  solve_all ~warm:false ~cache:None ();
+  let t_cold = time_best ~repeats (fun () -> solve_all ~warm:false ~cache:None ()) in
+  let t_warm =
+    time_best ~repeats (fun () ->
+        solve_all ~warm:true ~cache:(Some (Es_joint.Solve_cache.create ())) ())
+  in
+  let speedup = t_cold /. t_warm in
+  (* Full-pipeline check: per epoch, the warm arm's applied decisions are
+     equal-or-better under that epoch's load than the cold arm's. *)
+  let options = { Es_sim.Runner.default_options with duration_s = duration } in
+  let cold =
+    Es_joint.Online.run ~options ~warm_start:false ~epoch_s:epoch ~rate_profile:profile
+      cluster
+  in
+  let cache = Es_joint.Solve_cache.create () in
+  let warm =
+    Es_joint.Online.run ~options ~cache ~warm_start:true ~epoch_s:epoch
+      ~rate_profile:profile cluster
+  in
+  let equal_or_better =
+    List.for_all2
+      (fun (t, wd) (_, cd) ->
+        let scaled = Es_joint.Online.scale_rates cluster (Float.max 1e-9 (profile t)) in
+        Es_joint.Objective.of_decisions scaled wd
+        <= Es_joint.Objective.of_decisions scaled cd +. 1e-9)
+      warm.Es_joint.Online.schedule cold.Es_joint.Online.schedule
+  in
+  let cache_hits = warm.Es_joint.Online.cache_hits in
+  Printf.printf
+    "warm_online     %d epochs  cold %.3fs  warm %.3fs  speedup %.2fx  cache_hits %d  equal_or_better %b\n%!"
+    (List.length times) t_cold t_warm speedup cache_hits equal_or_better;
+  J.Obj
+    [
+      ("kind", J.String "warm_online");
+      ("devices", J.Int (Cluster.n_devices cluster));
+      ("epochs", J.Int (List.length times));
+      ("t_cold_s", J.Float t_cold);
+      ("t_warm_s", J.Float t_warm);
+      ("speedup", J.Float speedup);
+      ("cache_hits", J.Int cache_hits);
+      ("equal_or_better", J.Bool equal_or_better);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* bench_suite — the parallelized sweep experiments end to end         *)
 (* ------------------------------------------------------------------ *)
 
@@ -163,9 +248,10 @@ let () =
   let repeats = ref 3 in
   let out_path = ref "BENCH_solver.json" in
   let suite = ref false in
+  let warm = ref false in
   let usage () =
     prerr_endline
-      "usage: timing.exe [--sizes N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite]";
+      "usage: timing.exe [--sizes N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online]";
     exit 2
   in
   let rec parse = function
@@ -193,6 +279,9 @@ let () =
     | "--suite" :: rest ->
         suite := true;
         parse rest
+    | "--warm-online" :: rest ->
+        warm := true;
+        parse rest
     | [] -> ()
     | _ -> usage ()
   in
@@ -217,5 +306,6 @@ let () =
        ]);
   emit (pareto_micro ~repeats:!repeats);
   List.iter (fun n -> emit (solver_scaling ~jobs:!jobs ~repeats:!repeats n)) !sizes;
+  if !warm then emit (warm_online ~repeats:!repeats);
   if !suite then emit (bench_suite ~jobs:!jobs);
   close_out oc

@@ -500,7 +500,19 @@ let online_cmd =
   let epoch =
     Arg.(value & opt float 15.0 & info [ "epoch" ] ~docv:"SECONDS" ~doc:"Re-optimization period.")
   in
-  let run scenario devices seed ap_mbps burst epoch =
+  let warm_start =
+    Arg.(
+      value & opt bool true
+      & info [ "warm-start" ] ~docv:"BOOL"
+          ~doc:"Seed each epoch re-solve from the incumbent decisions (default true).")
+  in
+  let no_solve_cache =
+    Arg.(
+      value & flag
+      & info [ "no-solve-cache" ]
+          ~doc:"Disable the (cluster, config)-keyed solve cache for epoch re-solves.")
+  in
+  let run scenario devices seed ap_mbps burst epoch warm_start no_solve_cache =
     match build_cluster scenario devices seed ap_mbps with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -512,7 +524,13 @@ let online_cmd =
             ~stop_s:(2.0 *. duration /. 3.0) ~factor:burst
         in
         let options = { Es_sim.Runner.default_options with duration_s = duration } in
-        let adaptive = Es_joint.Online.run ~options ~epoch_s:epoch ~rate_profile:profile cluster in
+        let cache =
+          if no_solve_cache then None else Some (Es_joint.Solve_cache.create ())
+        in
+        let adaptive =
+          Es_joint.Online.run ~options ?cache ~warm_start ~epoch_s:epoch
+            ~rate_profile:profile cluster
+        in
         let static = Es_joint.Online.run_static ~options ~rate_profile:profile cluster in
         Printf.printf "load burst x%.1f during [%.0fs, %.0fs) of %.0fs\n" burst (duration /. 3.0)
           (2.0 *. duration /. 3.0) duration;
@@ -520,10 +538,20 @@ let online_cmd =
         print_report
           (Printf.sprintf "adaptive(%d)" adaptive.Es_joint.Online.resolve_count)
           adaptive.Es_joint.Online.report;
+        (match cache with
+        | None -> ()
+        | Some sc ->
+            let s = Es_joint.Solve_cache.stats sc in
+            Printf.printf
+              "solve cache: %d hits, %d misses, %d evictions, %d entries\n"
+              s.Es_joint.Solve_cache.hits s.Es_joint.Solve_cache.misses
+              s.Es_joint.Solve_cache.evictions s.Es_joint.Solve_cache.entries);
         0
   in
   Cmd.v (Cmd.info "online" ~doc:"Online re-optimization under a load burst")
-    Term.(const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ burst $ epoch)
+    Term.(
+      const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ burst $ epoch
+      $ warm_start $ no_solve_cache)
 
 (* ---------- trace ---------- *)
 

@@ -49,6 +49,52 @@ let make ~devices ~servers =
 let n_devices t = Array.length t.devices
 let n_servers t = Array.length t.servers
 
+let add_perf h (p : Es_dnn.Profile.perf) =
+  Es_util.Fnv.add_float h p.Es_dnn.Profile.flops_per_s;
+  Es_util.Fnv.add_float h p.Es_dnn.Profile.mem_bytes_per_s;
+  Es_util.Fnv.add_float h p.Es_dnn.Profile.layer_overhead_s
+
+let add_proc h (p : Processor.t) =
+  Es_util.Fnv.add_string h p.Processor.name;
+  add_perf h p.Processor.perf;
+  Es_util.Fnv.add_float h p.Processor.mem_bytes;
+  let pw = p.Processor.power in
+  Es_util.Fnv.add_float h pw.Processor.idle_w;
+  Es_util.Fnv.add_float h pw.Processor.busy_w;
+  Es_util.Fnv.add_float h pw.Processor.tx_w;
+  Es_util.Fnv.add_float h pw.Processor.rx_w
+
+(* Rates are hashed quantized to [rate_grain] (nearest multiple), so small
+   load jitter maps to the same fingerprint while epoch-scale level changes
+   do not; [rate_grain <= 0] hashes the exact float bits. *)
+let fingerprint ?(rate_grain = 0.0) t =
+  let h = Es_util.Fnv.create () in
+  Es_util.Fnv.add_int h (n_devices t);
+  Es_util.Fnv.add_int h (n_servers t);
+  Array.iter
+    (fun d ->
+      add_proc h d.proc;
+      Es_util.Fnv.add_string h d.link.Link.name;
+      Es_util.Fnv.add_float h d.link.Link.peak_bps;
+      Es_util.Fnv.add_float h d.link.Link.rtt_s;
+      Es_util.Fnv.add_float h d.link.Link.fading_sigma;
+      (* Model identity, as in Candidate's cache key: name + structure. *)
+      Es_util.Fnv.add_string h d.model.Es_dnn.Graph.name;
+      Es_util.Fnv.add_int h (Es_dnn.Graph.n_nodes d.model);
+      Es_util.Fnv.add_float h (Es_dnn.Graph.total_flops d.model);
+      (if rate_grain > 0.0 then
+         Es_util.Fnv.add_int64 h (Int64.of_float (Float.round (d.rate /. rate_grain)))
+       else Es_util.Fnv.add_float h d.rate);
+      Es_util.Fnv.add_float h d.deadline;
+      Es_util.Fnv.add_float h d.accuracy_floor)
+    t.devices;
+  Array.iter
+    (fun s ->
+      add_proc h s.sproc;
+      Es_util.Fnv.add_float h s.ap_bandwidth_bps)
+    t.servers;
+  Es_util.Fnv.to_hex h
+
 let pp_summary fmt t =
   Format.fprintf fmt "cluster: %d devices, %d servers@." (n_devices t) (n_servers t);
   Array.iter

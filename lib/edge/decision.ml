@@ -72,6 +72,27 @@ let validate cluster decisions =
         caps 0
   end
 
+let add_plan h (p : Es_surgery.Plan.t) =
+  Es_util.Fnv.add_string h p.Es_surgery.Plan.base_name;
+  Es_util.Fnv.add_float h p.Es_surgery.Plan.width;
+  Es_util.Fnv.add_int h
+    (match p.Es_surgery.Plan.exit_node with None -> -1 | Some id -> id);
+  Es_util.Fnv.add_string h (Es_surgery.Precision.name p.Es_surgery.Plan.precision);
+  Es_util.Fnv.add_int h p.Es_surgery.Plan.cut
+
+let fingerprint decisions =
+  let h = Es_util.Fnv.create () in
+  Es_util.Fnv.add_int h (Array.length decisions);
+  Array.iter
+    (fun d ->
+      Es_util.Fnv.add_int h d.device;
+      Es_util.Fnv.add_int h d.server;
+      add_plan h d.plan;
+      Es_util.Fnv.add_float h d.bandwidth_bps;
+      Es_util.Fnv.add_float h d.compute_share)
+    decisions;
+  Es_util.Fnv.to_hex h
+
 let pp fmt t =
   Format.fprintf fmt "dev%d -> srv%d  %s  bw=%.1fMbps share=%.3f" t.device t.server
     (Es_surgery.Plan.describe t.plan)

@@ -32,4 +32,11 @@ val validate : Cluster.t -> t array -> (unit, string) result
     bandwidth sums within AP capacity and compute shares within 1 (small
     epsilon); accuracy floors respected. *)
 
+val fingerprint : t array -> string
+(** Digest (16 hex chars) of a whole decision set: per device, the placement,
+    the plan's surgery knobs (base model, width, exit, precision, cut) and
+    the exact grant bits.  Equal fingerprints mean bit-identical decisions up
+    to hash collision — the equality the solve cache's hit test and the
+    warm-start regression tests assert. *)
+
 val pp : Format.formatter -> t -> unit

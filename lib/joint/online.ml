@@ -5,6 +5,7 @@ type result = {
   schedule : (float * Decision.t array) list;
   resolve_count : int;
   resolve_rejected : int;
+  cache_hits : int;
 }
 
 let scale_rates cluster m =
@@ -24,7 +25,8 @@ let epochs_of ~epoch_s ~duration_s =
   let rec go acc t = if t >= duration_s then List.rev acc else go (t :: acc) (t +. epoch_s) in
   go [] 0.0
 
-let run ?(options = Es_sim.Runner.default_options) ?config ~epoch_s ~rate_profile cluster =
+let run ?(options = Es_sim.Runner.default_options) ?config ?cache ?(warm_start = true)
+    ~epoch_s ~rate_profile cluster =
   if epoch_s <= 0.0 then invalid_arg "Online.run: non-positive epoch";
   let duration_s = options.Es_sim.Runner.duration_s in
   let arrivals =
@@ -49,12 +51,22 @@ let run ?(options = Es_sim.Runner.default_options) ?config ~epoch_s ~rate_profil
   in
   let rejected = ref 0 in
   let prev = ref None in
+  let hits0 =
+    match cache with None -> 0 | Some sc -> (Solve_cache.stats sc).Solve_cache.hits
+  in
   let schedule =
     List.map
       (fun t ->
         let load = Float.max 1e-9 (rate_profile t) in
         let scaled = scale_rates cluster load in
-        let out = Optimizer.solve ?config scaled in
+        (* Warm-start from the incumbent (the previous epoch's applied
+           decisions); consult the solve cache when a load level recurs. *)
+        let warm = if warm_start then !prev else None in
+        let out =
+          match cache with
+          | Some sc -> Solve_cache.solve sc ?config ?warm_start:warm scaled
+          | None -> Optimizer.solve ?config ?warm_start:warm scaled
+        in
         let cand = out.Optimizer.decisions in
         (* Guard the re-solve: keep the previous decisions when the fresh
            solve is malformed or strictly worse under the current load than
@@ -83,7 +95,18 @@ let run ?(options = Es_sim.Runner.default_options) ?config ~epoch_s ~rate_profil
       let report =
         Es_sim.Runner.run ~options ~arrivals ~reconfigure:rest cluster initial
       in
-      { report; schedule; resolve_count = List.length schedule; resolve_rejected = !rejected }
+      let cache_hits =
+        match cache with
+        | None -> 0
+        | Some sc -> (Solve_cache.stats sc).Solve_cache.hits - hits0
+      in
+      {
+        report;
+        schedule;
+        resolve_count = List.length schedule;
+        resolve_rejected = !rejected;
+        cache_hits;
+      }
 
 let run_static ?(options = Es_sim.Runner.default_options) ?config ~rate_profile cluster =
   let duration_s = options.Es_sim.Runner.duration_s in
@@ -93,4 +116,10 @@ let run_static ?(options = Es_sim.Runner.default_options) ?config ~rate_profile 
   let nominal = scale_rates cluster (Float.max 1e-9 (rate_profile 0.0)) in
   let out = Optimizer.solve ?config nominal in
   let report = Es_sim.Runner.run ~options ~arrivals cluster out.Optimizer.decisions in
-  { report; schedule = [ (0.0, out.Optimizer.decisions) ]; resolve_count = 1; resolve_rejected = 0 }
+  {
+    report;
+    schedule = [ (0.0, out.Optimizer.decisions) ];
+    resolve_count = 1;
+    resolve_rejected = 0;
+    cache_hits = 0;
+  }

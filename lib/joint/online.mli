@@ -16,6 +16,8 @@ type result = {
           structurally unsound (non-finite grants, bad server index) or
           strictly worse under the epoch's load than keeping the previous
           decisions leaves the previous decisions in place *)
+  cache_hits : int;
+      (** epoch solves answered by the solve cache (0 without [cache]) *)
 }
 
 val scale_rates : Es_edge.Cluster.t -> float -> Es_edge.Cluster.t
@@ -34,13 +36,24 @@ val piecewise_arrivals :
 val run :
   ?options:Es_sim.Runner.options ->
   ?config:Optimizer.config ->
+  ?cache:Solve_cache.t ->
+  ?warm_start:bool ->
   epoch_s:float ->
   rate_profile:(float -> float) ->
   Es_edge.Cluster.t ->
   result
 (** Simulate [options.duration_s] seconds, re-optimizing every [epoch_s]
     against the profile value at the epoch start, over arrivals drawn from
-    the same profile.  @raise Invalid_argument on non-positive [epoch_s]. *)
+    the same profile.
+
+    [warm_start] (default true) seeds every epoch re-solve from the
+    incumbent — the decisions actually applied at the previous epoch — so
+    each re-solve is equal-or-better than a cold one under the epoch's
+    load.  [cache] memoizes epoch solves keyed on the scaled cluster:
+    diurnal or bursty profiles revisit load levels constantly, and a
+    revisited level is then a lookup, not a descent.  The per-epoch guard
+    is unchanged: malformed or worsening candidates leave the incumbent in
+    place.  @raise Invalid_argument on non-positive [epoch_s]. *)
 
 val run_static :
   ?options:Es_sim.Runner.options ->

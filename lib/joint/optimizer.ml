@@ -317,7 +317,20 @@ let force_feasible config cluster plans assignment =
   in
   go order
 
-let solve_one ~config ?metrics ?spans cluster =
+(* Fastest server by sustained throughput: the deterministic anchor for
+   cold initial surgery and for warm-start repairs. *)
+let fastest_server (servers : Cluster.server array) =
+  let best = ref 0 in
+  Array.iteri
+    (fun s (srv : Cluster.server) ->
+      if
+        srv.Cluster.sproc.Processor.perf.Es_dnn.Profile.flops_per_s
+        > servers.(!best).Cluster.sproc.Processor.perf.Es_dnn.Profile.flops_per_s
+      then best := s)
+    servers;
+  !best
+
+let solve_one ~config ?metrics ?spans ?init cluster =
   let t0 = Es_obs.Obs.wall_clock () in
   let nd = Cluster.n_devices cluster in
   if nd = 0 then invalid_arg "Optimizer.solve: empty cluster";
@@ -346,26 +359,24 @@ let solve_one ~config ?metrics ?spans cluster =
   let best_plan ~device ~server ~bandwidth_bps ~compute_share =
     best_scored cluster ~device ~server pools.(device) ~bandwidth_bps ~compute_share
   in
-  (* Initial surgery: fair-share estimate against the fastest server. *)
+  (* Starting point: a warm seed when given, else cold initial surgery
+     against a fair-share estimate on the fastest server. *)
   let servers = cluster.Cluster.servers in
-  let fastest =
-    let best = ref 0 in
-    Array.iteri
-      (fun s (srv : Cluster.server) ->
-        if
-          srv.Cluster.sproc.Processor.perf.Es_dnn.Profile.flops_per_s
-          > servers.(!best).Cluster.sproc.Processor.perf.Es_dnn.Profile.flops_per_s
-        then best := s)
-      servers;
-    !best
+  let plans, assignment =
+    match init with
+    | Some (seed_plans, seed_assignment) ->
+        (Array.copy seed_plans, ref (Array.copy seed_assignment))
+    | None ->
+        let fastest = fastest_server servers in
+        let per_server = float_of_int (max 1 (nd / Array.length servers)) in
+        let plans =
+          Array.init nd (fun device ->
+              let bw = servers.(fastest).Cluster.ap_bandwidth_bps /. per_server in
+              best_plan ~device ~server:fastest ~bandwidth_bps:bw
+                ~compute_share:(1.0 /. per_server))
+        in
+        (plans, ref (Assign.balanced_greedy cluster ~plans))
   in
-  let per_server = float_of_int (max 1 (nd / Array.length servers)) in
-  let plans =
-    Array.init nd (fun device ->
-        let bw = servers.(fastest).Cluster.ap_bandwidth_bps /. per_server in
-        best_plan ~device ~server:fastest ~bandwidth_bps:bw ~compute_share:(1.0 /. per_server))
-  in
-  let assignment = ref (Assign.balanced_greedy cluster ~plans) in
   let best : (float * Decision.t array) option ref = ref None in
   let trace = ref [] in
   let iterations = ref 0 in
@@ -471,14 +482,128 @@ let set_final_gauges metrics ~objective ~solve_time_s =
       Es_obs.Metric.set (Es_obs.Metric.gauge reg "optimizer/objective") objective;
       Es_obs.Metric.set (Es_obs.Metric.gauge reg "optimizer/solve_time_s") solve_time_s
 
-let solve ?(config = default_config) ?metrics ?spans cluster =
-  let t0 = Es_obs.Obs.wall_clock () in
-  if config.allocator <> Policy.Minmax_alloc then begin
-    let out = solve_one ~config ?metrics ?spans cluster in
-    set_final_gauges metrics ~objective:out.objective ~solve_time_s:out.solve_time_s;
-    out
-  end
+(* Validate-and-repair an incumbent decision set into the (plans,
+   assignment) seed of one descent trajectory.  [None] when the incumbent
+   is unusable wholesale (wrong arity for this cluster).  Per-device
+   repairs, for incumbents that went stale between solves:
+   - a plan built for a different model (the device changed) is replaced by
+     the cold-start plan (fair share against the fastest server);
+   - a decision referencing an out-of-range server (downed, or renumbered
+     away in a residual cluster) is re-pointed at the fastest surviving
+     server, keeping its plan — the descent's assignment step re-places it
+     from there. *)
+let warm_seed config cluster (incumbent : Decision.t array) =
+  let nd = Cluster.n_devices cluster in
+  if Array.length incumbent <> nd then None
   else begin
+    let servers = cluster.Cluster.servers in
+    let ns = Array.length servers in
+    let fastest = fastest_server servers in
+    let per_server = float_of_int (max 1 (nd / ns)) in
+    let cold_plan device =
+      let bw = servers.(fastest).Cluster.ap_bandwidth_bps /. per_server in
+      best_plan_for_grants ?max_candidates:config.max_candidates
+        ~precisions:config.precisions ~widths:config.widths cluster ~device ~server:fastest
+        ~bandwidth_bps:bw ~compute_share:(1.0 /. per_server)
+    in
+    let plans =
+      Array.init nd (fun device ->
+          let plan = incumbent.(device).Decision.plan in
+          let model = cluster.Cluster.devices.(device).Cluster.model in
+          if plan.Es_surgery.Plan.base_name = model.Es_dnn.Graph.name then plan
+          else cold_plan device)
+    in
+    let assignment =
+      Array.init nd (fun device ->
+          let s = incumbent.(device).Decision.server in
+          if s >= 0 && s < ns then s else fastest)
+    in
+    Some (plans, assignment)
+  end
+
+(* Candidate decision sets contributed by a finished secondary trajectory:
+   its own landing point (when queueing-stable on the target cluster) plus
+   that landing point with the allocation re-polished by the optimal inner
+   step.  Evaluation order is fixed, so the merge is deterministic. *)
+let trajectory_candidates ~allocator cluster (out : output) =
+  let plans = Array.map (fun (d : Decision.t) -> d.Decision.plan) out.decisions in
+  let assignment = Array.map (fun (d : Decision.t) -> d.Decision.server) out.decisions in
+  (if Array.for_all (Latency.device_stable cluster) out.decisions then [ out.decisions ]
+   else [])
+  @
+  match best_allocation ~allocator cluster ~assignment ~plans with
+  | Some ds -> [ ds ]
+  | None -> []
+
+let solve ?(config = default_config) ?metrics ?spans ?warm_start cluster =
+  let t0 = Es_obs.Obs.wall_clock () in
+  let warm_init = Option.bind warm_start (warm_seed config cluster) in
+  match (config.allocator, warm_init) with
+  | alloc, Some init when alloc <> Policy.Minmax_alloc ->
+      (* Ablation allocators keep their single cold trajectory, plus the
+         warm one; the better landing point wins, cold first on ties. *)
+      let spans = Option.map Es_obs.Span.locked_sink spans in
+      let cold, warm =
+        Es_util.Par.both ~jobs:config.jobs
+          (fun () -> solve_one ~config ?metrics ?spans cluster)
+          (fun () -> solve_one ~config ?metrics ?spans ~init cluster)
+      in
+      let candidates =
+        [ cold.decisions ] @ trajectory_candidates ~allocator:alloc cluster warm
+      in
+      let best =
+        match Es_util.Numeric.argmin_by (Objective.of_decisions cluster) candidates with
+        | Some ds -> ds
+        | None -> cold.decisions
+      in
+      let solve_time_s = Es_obs.Obs.wall_clock () -. t0 in
+      let objective = Objective.of_decisions cluster best in
+      set_final_gauges metrics ~objective ~solve_time_s;
+      { cold with decisions = best; objective; solve_time_s }
+  | alloc, None when alloc <> Policy.Minmax_alloc ->
+      let out = solve_one ~config ?metrics ?spans cluster in
+      set_final_gauges metrics ~objective:out.objective ~solve_time_s:out.solve_time_s;
+      out
+  | _, Some init ->
+      (* Full joint configuration with an incumbent: the two cold
+         multi-start trajectories (primary min-max and equal-share, exactly
+         as in the cold path) plus one warm trajectory seeded from the
+         incumbent.  The merge evaluates the cold candidates first, so on an
+         exact objective tie the result is bit-identical to the cold solve —
+         a warm start can therefore never be worse, and never perturbs a
+         solve it cannot improve.  The thunk list is fanned out over the
+         domain pool in fixed order; results are merged in input order, so
+         decisions are bit-identical for every [jobs]. *)
+      let spans = Option.map Es_obs.Span.locked_sink spans in
+      let outs =
+        Es_util.Par.parallel_map ~jobs:config.jobs
+          (fun f -> f ())
+          [
+            (fun () -> solve_one ~config ?metrics ?spans cluster);
+            (fun () ->
+              solve_one ~config:{ config with allocator = Policy.Equal } ?metrics ?spans
+                cluster);
+            (fun () -> solve_one ~config ?metrics ?spans ~init cluster);
+          ]
+      in
+      let primary, alt, warm =
+        match outs with [ p; a; w ] -> (p, a, w) | _ -> assert false
+      in
+      let candidates =
+        [ primary.decisions ]
+        @ trajectory_candidates ~allocator:Policy.Minmax_alloc cluster alt
+        @ trajectory_candidates ~allocator:Policy.Minmax_alloc cluster warm
+      in
+      let best =
+        match Es_util.Numeric.argmin_by (Objective.of_decisions cluster) candidates with
+        | Some ds -> ds
+        | None -> primary.decisions
+      in
+      let solve_time_s = Es_obs.Obs.wall_clock () -. t0 in
+      let objective = Objective.of_decisions cluster best in
+      set_final_gauges metrics ~objective ~solve_time_s;
+      { primary with decisions = best; objective; solve_time_s }
+  | _, None -> begin
     (* Multi-start: coordinate descent is sensitive to the allocator driving
        its surgery steps, so the full joint configuration also runs the
        equal-share trajectory and keeps the better landing point (with its

@@ -64,11 +64,25 @@ val solve :
   ?config:config ->
   ?metrics:Es_obs.Metric.registry ->
   ?spans:Es_obs.Span.sink ->
+  ?warm_start:Es_edge.Decision.t array ->
   Es_edge.Cluster.t ->
   output
 (** Always returns a decision set: if even full degradation cannot
     stabilize a server, the offending devices fall back to device-only
     execution (their requests never enter the network).
+
+    [warm_start] seeds one extra descent trajectory from an incumbent
+    decision set (the previous epoch's deployment, a bisection bracket
+    endpoint, the pre-failure baseline) alongside the cold multi-start
+    trajectories.  The incumbent is validated and repaired first: a stale
+    plan (device model changed) reverts to the cold initial plan, a
+    decision referencing an out-of-range server (downed or renumbered) is
+    re-pointed at the fastest surviving server; an incumbent of the wrong
+    arity is ignored entirely.  The merge evaluates the cold candidates
+    first, so the result is equal-or-better than the cold solve by
+    construction and bit-identical to it on an exact objective tie — and the
+    bit-identical-for-all-[jobs] determinism contract is preserved (fixed
+    fan-out order, input-order merge).
 
     Telemetry (both optional, off by default): [metrics] accrues
     [optimizer/iterations] (summed across multi-start trajectories), the

@@ -5,13 +5,24 @@
     need".  Both planners bisect over a provisioning axis, solving the full
     joint optimization at each trial point, and return the smallest
     provisioning whose optimized deployment meets every deadline
-    analytically (objective < 1, i.e. zero misses). *)
+    analytically (objective < 1, i.e. zero misses).
+
+    Consecutive trial points differ only along the bisected axis, so each
+    trial solve is warm-started from the nearer (log-space) bracket
+    endpoint's solution — the trial is equal-or-better than a cold solve by
+    {!Optimizer.solve}'s warm-start contract, and the feasibility boundary
+    can only tighten.  The decision set certifying the returned provisioning
+    is exposed as the [witness]. *)
 
 type verdict = {
   required : float;  (** the provisioning level found *)
   feasible : bool;  (** false if even the upper bound fails ([required] is
                         then that bound) *)
   solves : int;  (** optimizer invocations spent *)
+  witness : Es_edge.Decision.t array option;
+      (** the zero-miss decision set the optimizer found at [required]
+          (None when infeasible): the verdict's certificate, checkable with
+          {!Objective.mm1_misses} on the cluster built at [required] *)
 }
 
 val required_bandwidth_mbps :

@@ -3,6 +3,7 @@ open Es_edge
 type t = {
   cluster : Cluster.t;
   config : Optimizer.config;
+  baseline : Decision.t array;
   fallbacks : Decision.t array array;
 }
 
@@ -45,7 +46,7 @@ let local_decisions cluster =
       Decision.make ~device:dev.Cluster.dev_id ~server:0 ~plan ())
     cluster.Cluster.devices
 
-let solve_without ?(config = Optimizer.default_config) cluster ~failed =
+let solve_without ?(config = Optimizer.default_config) ?warm_start cluster ~failed =
   let ns = Cluster.n_servers cluster in
   List.iter
     (fun s ->
@@ -61,12 +62,25 @@ let solve_without ?(config = Optimizer.default_config) cluster ~failed =
        re-numbers server ids to positions, so map the reduced indices back
        to the original cluster's. *)
     let orig_of_new = Array.of_list keep in
+    let new_of_orig = Array.make ns (-1) in
+    Array.iteri (fun n o -> new_of_orig.(o) <- n) orig_of_new;
     let residual =
       Cluster.make
         ~devices:(Array.to_list cluster.Cluster.devices)
         ~servers:(List.map (fun s -> cluster.Cluster.servers.(s)) keep)
     in
-    let out = Optimizer.solve ~config residual in
+    (* Re-index a warm incumbent into the residual numbering.  A device on
+       a failed server keeps its plan but gets server -1 — the optimizer's
+       warm-start repair marks exactly that shape for reassignment. *)
+    let warm_start =
+      Option.map
+        (Array.map (fun (d : Decision.t) ->
+             let s = d.Decision.server in
+             let s' = if s >= 0 && s < ns then new_of_orig.(s) else -1 in
+             { d with Decision.server = s' }))
+        warm_start
+    in
+    let out = Optimizer.solve ~config ?warm_start residual in
     Array.map
       (fun (d : Decision.t) ->
         if Decision.offloads d then { d with Decision.server = orig_of_new.(d.Decision.server) }
@@ -74,14 +88,24 @@ let solve_without ?(config = Optimizer.default_config) cluster ~failed =
       out.Optimizer.decisions
   end
 
-let precompute ?(config = Optimizer.default_config) ?(jobs = 0) cluster =
+let precompute ?(config = Optimizer.default_config) ?(jobs = 0) ?baseline cluster =
   let ns = Cluster.n_servers cluster in
+  (* The healthy-cluster baseline seeds every failure domain: losing one
+     server perturbs only that server's devices, so the survivors' plans
+     and placements are a near-optimal starting trajectory. *)
+  let baseline =
+    match baseline with
+    | Some ds when Array.length ds = Cluster.n_devices cluster -> ds
+    | Some _ | None -> (Optimizer.solve ~config cluster).Optimizer.decisions
+  in
   let fallbacks =
     Es_util.Par.parallel_map_array ~jobs
-      (fun s -> solve_without ~config cluster ~failed:[ s ])
+      (fun s -> solve_without ~config ~warm_start:baseline cluster ~failed:[ s ])
       (Array.init ns Fun.id)
   in
-  { cluster; config; fallbacks }
+  { cluster; config; baseline; fallbacks }
+
+let baseline t = t.baseline
 
 let fallback t ~server =
   if server < 0 || server >= Array.length t.fallbacks then
@@ -92,7 +116,7 @@ let decisions_for t ~decisions down =
   match down with
   | [] -> decisions
   | [ s ] -> t.fallbacks.(s)
-  | many -> solve_without ~config:t.config t.cluster ~failed:many
+  | many -> solve_without ~config:t.config ~warm_start:t.baseline t.cluster ~failed:many
 
 let schedule_for_faults t ?(detect_s = 1.0) ~decisions faults =
   if detect_s < 0.0 then invalid_arg "Recover.schedule_for_faults: negative detect_s";
@@ -159,4 +183,5 @@ let run_online ?(options = Es_sim.Runner.default_options) ?(config = Optimizer.d
         schedule;
         resolve_count = !resolve_count;
         resolve_rejected = 0;
+        cache_hits = 0;
       }

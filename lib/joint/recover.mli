@@ -27,6 +27,7 @@ val local_decisions : Es_edge.Cluster.t -> Es_edge.Decision.t array
 
 val solve_without :
   ?config:Optimizer.config ->
+  ?warm_start:Es_edge.Decision.t array ->
   Es_edge.Cluster.t ->
   failed:int list ->
   Es_edge.Decision.t array
@@ -34,13 +35,32 @@ val solve_without :
     {!Optimizer.solve} on the residual cluster, server indices mapped back
     to the original cluster's numbering.  No fallback decision ever targets
     a failed server.  All servers failed degrades to {!local_decisions}.
+
+    [warm_start] (in the {e original} cluster's server numbering, e.g. the
+    healthy-cluster solution) seeds the residual solve: decisions on
+    surviving servers are re-indexed, decisions on failed servers keep
+    their plan but are marked for reassignment by the optimizer's
+    warm-start repair.
     @raise Invalid_argument on an out-of-range server index. *)
 
-val precompute : ?config:Optimizer.config -> ?jobs:int -> Es_edge.Cluster.t -> t
+val precompute :
+  ?config:Optimizer.config ->
+  ?jobs:int ->
+  ?baseline:Es_edge.Decision.t array ->
+  Es_edge.Cluster.t ->
+  t
 (** [precompute cluster] solves the single-server-loss response for every
     server, fanning the solves out over the {!Es_util.Par} pool ([jobs] as
     in {!Es_util.Par.parallel_map}; nested parallelism inside each solve
-    degrades safely). *)
+    degrades safely).  Each failure domain is warm-started from the
+    healthy-cluster [baseline] decisions (solved here if not supplied;
+    ignored if its arity doesn't match the cluster): losing one server
+    perturbs only that server's devices, so the survivors' incumbent is a
+    near-optimal seed and every fallback is equal-or-better than a cold
+    residual solve. *)
+
+val baseline : t -> Es_edge.Decision.t array
+(** The healthy-cluster decisions the fallback table was seeded from. *)
 
 val fallback : t -> server:int -> Es_edge.Decision.t array
 (** The precomputed response to losing [server].

@@ -1,0 +1,80 @@
+(** Keyed memoization of {!Optimizer.solve}.
+
+    Every repeated-solve consumer in the system — {!Online.run} revisiting a
+    diurnal load level, {!Planner} bisection probing the same trial point
+    from both planners, {!Recover.precompute} rebuilt after a transient —
+    re-pays a full block-coordinate descent for an input it has already
+    solved.  This cache closes that loop: a solve is fingerprinted by
+    everything its output depends on and the memoized {!Optimizer.output} is
+    returned bit-identically on a hit.
+
+    {b Key.} {!Es_edge.Cluster.fingerprint} of the cluster (devices,
+    servers, links, models, deadlines, floors) with the rate vector
+    quantized to [rate_grain], combined with the optimizer config —
+    excluding [jobs], whose value never changes the output (the solver's
+    determinism contract), so sequential and parallel callers share
+    entries.
+
+    {b Bounds and safety.} A mutex-protected LRU bounded by [capacity]
+    (like [Candidate.cache], it may be shared across domains — e.g. under
+    {!Recover.precompute}'s fan-out).  Hit / miss / eviction counts are kept
+    internally and, when a registry is supplied, mirrored to the
+    [solve_cache/hits|misses|evictions] counters in {!Es_obs}.
+
+    {b When the cache is bypassed.} Consumers skip the cache rather than
+    widening the key: any input outside the fingerprint (a different
+    scenario axis, a hand-mutated cluster) simply produces a different
+    fingerprint, and callers that must observe telemetry of the actual
+    descent (spans) should call {!Optimizer.solve} directly — a cache hit
+    emits no spans and runs no trajectories. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** currently resident *)
+}
+
+val create :
+  ?capacity:int -> ?rate_grain:float -> ?metrics:Es_obs.Metric.registry -> unit -> t
+(** [capacity] bounds resident entries (default 64); [rate_grain] is the
+    rate-vector quantization grain in req/s (default 1e-6 — effectively
+    exact recurrence; raise it to absorb load jitter).  [metrics] registers
+    the hit/miss/eviction counters.
+    @raise Invalid_argument on a non-positive capacity or negative grain. *)
+
+val capacity : t -> int
+val rate_grain : t -> float
+
+val fingerprint : t -> config:Optimizer.config -> Es_edge.Cluster.t -> string
+(** The cache key for this (cluster, config) under the cache's grain.
+    Exposed for tests and for callers managing entries directly. *)
+
+val find : t -> string -> Optimizer.output option
+(** Lookup by key; counts a hit or a miss and refreshes LRU order. *)
+
+val store : t -> string -> Optimizer.output -> unit
+(** Insert, evicting least-recently-used entries past capacity.  An
+    existing key is left untouched (first solve wins — all solves for a key
+    are identical by the determinism contract). *)
+
+val solve :
+  t ->
+  ?config:Optimizer.config ->
+  ?metrics:Es_obs.Metric.registry ->
+  ?spans:Es_obs.Span.sink ->
+  ?warm_start:Es_edge.Decision.t array ->
+  Es_edge.Cluster.t ->
+  Optimizer.output
+(** Memoized {!Optimizer.solve}: on a hit the cached output is returned
+    bit-identically (no trajectories run, no spans emitted, [solve_time_s]
+    is the original solve's); on a miss the solve runs — with [warm_start]
+    passed through — and the result is stored.  [warm_start] is a hint, not
+    part of the key: whichever equal-or-better landing point was computed
+    first is the entry. *)
+
+val stats : t -> stats
+val clear : t -> unit
+(** Drops entries; counters keep accumulating. *)

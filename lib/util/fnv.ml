@@ -1,0 +1,31 @@
+(* FNV-1a, 64-bit.  Streaming accumulator over primitive fields; used for
+   structural fingerprints (cluster / decision / solver config) where we
+   need a cheap, deterministic, allocation-light digest — not
+   cryptographic strength. *)
+
+type t = int64 ref
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let create () = ref offset_basis
+
+let add_byte (h : t) b =
+  h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) prime
+
+let add_int64 h x =
+  for i = 0 to 7 do
+    add_byte h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done
+
+let add_int h x = add_int64 h (Int64.of_int x)
+let add_float h x = add_int64 h (Int64.bits_of_float x)
+let add_bool h b = add_byte h (if b then 1 else 0)
+
+let add_string h s =
+  String.iter (fun c -> add_byte h (Char.code c)) s;
+  (* Length terminator: "ab"+"c" must not collide with "a"+"bc". *)
+  add_int h (String.length s)
+
+let value h = !h
+let to_hex h = Printf.sprintf "%016Lx" !h

@@ -373,11 +373,20 @@ let test_planner_bandwidth () =
   let v = Planner.required_bandwidth_mbps ~config:planner_config spec in
   Alcotest.(check bool) "feasible within the probe range" true v.Planner.feasible;
   Alcotest.(check bool) "sane magnitude" true (v.Planner.required >= 5.0 && v.Planner.required <= 2000.0);
-  (* The found capacity must indeed achieve zero misses... *)
+  (* The verdict's witness must indeed achieve zero misses at the found
+     capacity (the witness, not a cold re-solve: warm-started trials may
+     certify a boundary a cold descent would miss). *)
   let cluster = Scenario.build (Scenario.with_ap_mbps v.Planner.required spec) in
-  let out = Optimizer.solve ~config:planner_config cluster in
-  Alcotest.(check int) "zero queueing-aware misses at the required capacity" 0
-    (Objective.mm1_misses cluster out.Optimizer.decisions);
+  let witness =
+    match v.Planner.witness with
+    | Some w -> w
+    | None -> Alcotest.fail "feasible verdict must carry a witness"
+  in
+  (match Decision.validate cluster witness with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("witness invalid: " ^ e));
+  Alcotest.(check int) "witness has zero queueing-aware misses at the required capacity" 0
+    (Objective.mm1_misses cluster witness);
   Alcotest.(check bool) "used a handful of solves" true
     (v.Planner.solves >= 2 && v.Planner.solves <= 40)
 
@@ -388,9 +397,13 @@ let test_planner_load_boundary () =
   let cluster =
     Online.scale_rates (Scenario.build spec) v.Planner.required
   in
-  let out = Optimizer.solve ~config:planner_config cluster in
-  Alcotest.(check int) "zero queueing-aware misses at the boundary" 0
-    (Objective.mm1_misses cluster out.Optimizer.decisions)
+  let witness =
+    match v.Planner.witness with
+    | Some w -> w
+    | None -> Alcotest.fail "feasible verdict must carry a witness"
+  in
+  Alcotest.(check int) "witness has zero queueing-aware misses at the boundary" 0
+    (Objective.mm1_misses cluster witness)
 
 let test_planner_server_scale_monotone () =
   (* A weaker server fleet needs a larger scale factor. *)
