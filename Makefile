@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-timing examples clean doc fmt fmt-check
+.PHONY: all build test check bench bench-timing examples clean doc fmt fmt-check lint-sa
 
 all: build
 
@@ -11,9 +11,17 @@ test:
 	dune runtest
 
 # The one-shot gate CI runs: full build (including examples and bench
-# executables) plus the whole test suite.
+# executables), the whole test suite, and the repo-wide static-analysis
+# pass (which must be clean).
 check:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) lint-sa
+
+# Determinism & domain-safety static analysis (es_lint, DESIGN.md §11):
+# parses every .ml under lib/ bin/ bench/ and fails on any unsuppressed
+# D1–D5 finding.  Findings also land in lint_findings.jsonl for tooling.
+lint-sa:
+	dune build bin/es_lint.exe
+	dune exec bin/es_lint.exe -- --jsonl lint_findings.jsonl
 
 # Requires odoc (opam install odoc); not part of `check`.
 doc:

@@ -1079,6 +1079,8 @@ let micro () =
     List.map
       (fun test ->
         let results = Benchmark.all cfg [ instance ] test in
+        (* Bechamel hands results back in a hash table; sort by operation
+           name so the printed table order is stable.  es_lint: sorted *)
         Hashtbl.fold
           (fun name raw acc ->
             let est = Analyze.one ols instance raw in
@@ -1088,7 +1090,11 @@ let micro () =
               | _ -> nan
             in
             [ name; fmt_f ~digits:0 nanos; fmt_f ~digits:3 (nanos /. 1e6) ] :: acc)
-          results [])
+          results []
+        |> List.sort (fun r1 r2 ->
+               String.compare
+                 (match r1 with n :: _ -> n | [] -> "")
+                 (match r2 with n :: _ -> n | [] -> "")))
       tests
     |> List.concat
   in

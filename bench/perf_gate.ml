@@ -53,13 +53,13 @@ let float_field name j = Option.bind (J.member name j) J.to_float_opt
 let bool_field name j =
   match J.member name j with Some (J.Bool b) -> Some b | _ -> None
 
-let failures = ref 0
+let failures : string list ref = ref []
 
 let check name ok detail =
   if ok then Printf.printf "perf-gate: PASS %-28s %s\n" name detail
   else begin
     Printf.printf "perf-gate: FAIL %-28s %s\n" name detail;
-    incr failures
+    failures := name :: !failures
   end
 
 (* A current speedup is acceptable when it retains at least half the
@@ -120,8 +120,14 @@ let () =
     (scaling <> [] && List.for_all (fun j -> bool_field "identical" j = Some true) scaling)
     (Printf.sprintf "%d records" (List.length scaling));
 
-  if !failures > 0 then begin
-    Printf.printf "perf-gate: %d check(s) failed\n" !failures;
-    exit 1
-  end
-  else print_endline "perf-gate: all checks passed"
+  (* Name the failed checks in the summary and flush before exiting, so a
+     CI log that truncates at the non-zero exit still shows what failed. *)
+  match List.rev !failures with
+  | [] ->
+      print_endline "perf-gate: all checks passed";
+      flush stdout
+  | failed ->
+      Printf.printf "perf-gate: %d check(s) failed: %s\n" (List.length failed)
+        (String.concat ", " failed);
+      flush stdout;
+      exit 1

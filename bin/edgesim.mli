@@ -1,0 +1,2 @@
+(* The edgesim CLI entry point.  Everything is private: the executable runs
+   through its toplevel cmdliner evaluation, so the interface is empty. *)

@@ -1,0 +1,3 @@
+(* The es_lint CLI entry point (see lib/lint for the analysis itself).
+   Everything is private: the executable runs through its toplevel, so the
+   interface is empty. *)

@@ -14,7 +14,7 @@ let balanced_greedy cluster ~plans =
     *. ((8.0 *. Plan.transfer_bytes plan /. 1e6) +. (Plan.srv_flops plan /. 1e9))
   in
   let order = Array.init nd (fun i -> i) in
-  Array.sort (fun a b -> compare (demand b) (demand a)) order;
+  Array.sort (fun a b -> Float.compare (demand b) (demand a)) order;
   Array.iter
     (fun dev_id ->
       let dev = cluster.Cluster.devices.(dev_id) in

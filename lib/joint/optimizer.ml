@@ -287,7 +287,7 @@ let force_feasible config cluster plans assignment =
     Array.init (Array.length plans) (fun i -> i)
     |> Array.to_list
     |> List.sort (fun a b ->
-           compare
+           Float.compare
              (cluster.Cluster.devices.(b).Cluster.rate *. Plan.srv_flops plans.(b))
              (cluster.Cluster.devices.(a).Cluster.rate *. Plan.srv_flops plans.(a)))
   in

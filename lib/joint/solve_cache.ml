@@ -100,6 +100,8 @@ let store t key output =
     while Hashtbl.length t.table >= t.capacity do
       (* O(n) LRU scan: capacities are tens of entries, eviction is rare. *)
       let victim = ref None in
+      (* Min over last_use ticks, which are unique, so the victim is the
+         same whatever order the table yields entries.  es_lint: sorted *)
       Hashtbl.iter
         (fun k e ->
           match !victim with

@@ -1,0 +1,62 @@
+(* Legacy exceptions, committed as `lint.allow` at the repo root.  One entry
+   per line, `RULE:PATH` (path relative to the repo root, forward slashes);
+   blank lines and `#` comments are ignored.  Entries suppress every finding
+   of RULE in PATH, so they are for whole-file legacy carve-outs — new code
+   should use the inline mechanisms instead. *)
+
+type t = (string * string) list (* (rule id, path), sorted, deduped *)
+
+let empty = []
+
+let norm_rule r = String.trim r
+let norm_path p = String.trim p
+
+let of_entries es =
+  es
+  |> List.map (fun (r, p) -> (norm_rule r, norm_path p))
+  |> List.sort_uniq (fun (r1, p1) (r2, p2) ->
+         match String.compare r1 r2 with 0 -> String.compare p1 p2 | c -> c)
+
+let entries t = t
+
+let parse_line ~file ~line_no line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.index_opt line ':' with
+    | None -> Error (Printf.sprintf "%s:%d: expected RULE:PATH, got %S" file line_no line)
+    | Some i ->
+        let rule = String.sub line 0 i in
+        let path = String.sub line (i + 1) (String.length line - i - 1) in
+        if Rule.of_id rule = None then
+          Error (Printf.sprintf "%s:%d: unknown rule %S" file line_no rule)
+        else if String.trim path = "" then
+          Error (Printf.sprintf "%s:%d: empty path in %S" file line_no line)
+        else Ok (Some (norm_rule rule, norm_path path))
+
+let of_string ~file text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc line_no = function
+    | [] -> Ok (of_entries (List.rev acc))
+    | line :: rest -> (
+        match parse_line ~file ~line_no line with
+        | Error _ as e -> e
+        | Ok None -> go acc (line_no + 1) rest
+        | Ok (Some entry) -> go (entry :: acc) (line_no + 1) rest)
+  in
+  go [] 1 lines
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string ~file:path text
+
+let to_lines t = List.map (fun (rule, path) -> rule ^ ":" ^ path) t
+
+let mem t ~rule_id ~path = List.mem (rule_id, path) t

@@ -1,0 +1,26 @@
+(** The committed legacy-exception file ([lint.allow]): `RULE:PATH` lines
+    that suppress every finding of RULE in the file PATH.  Paths are
+    repo-root-relative with forward slashes; [#] starts a comment. *)
+
+type t
+
+val empty : t
+
+val of_entries : (string * string) list -> t
+(** Build from (rule id, path) pairs; entries are sorted and deduped, so
+    [entries (of_entries e)] is canonical. *)
+
+val entries : t -> (string * string) list
+(** Canonical (sorted, deduped) entry list. *)
+
+val of_string : file:string -> string -> (t, string) result
+(** Parse allow-file text; [file] is used in error messages only. *)
+
+val load : string -> (t, string) result
+(** Read and parse a file. *)
+
+val to_lines : t -> string list
+(** Render back to `RULE:PATH` lines; [of_string] of the joined lines
+    round-trips to an equal [t]. *)
+
+val mem : t -> rule_id:string -> path:string -> bool

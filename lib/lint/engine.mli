@@ -1,0 +1,38 @@
+(** The analysis core: parses [.ml] files with compiler-libs and runs the
+    D1–D5 determinism/domain-safety rules over the parsetree.
+
+    The engine is purely syntactic (no typing pass) and deliberately
+    Hashtbl-free, so its output depends only on the set of input paths —
+    never on discovery or hashing order. *)
+
+type mli_mode =
+  | Mli_by_path  (** D5 applies under [lib/] and [bin/]; bench/tests exempt *)
+  | Mli_always  (** D5 applies to every file (used by the fixture tests) *)
+  | Mli_never
+
+type config = {
+  rules : Rule.t list;  (** enabled rules; {!Rule.Parse_error} is implicit *)
+  allow : Allowlist.t;  (** committed legacy exceptions (rule:path) *)
+  mli_mode : mli_mode;
+  root : string;  (** directory the relative input paths resolve against *)
+}
+
+val default_config : config
+(** All rules, empty allowlist, [Mli_by_path], root ["."]. *)
+
+type result = {
+  findings : Finding.t list;  (** unsuppressed, sorted by {!Finding.compare} *)
+  suppressed : Finding.t list;
+      (** findings disarmed by an [(* es_lint: sorted *)] comment, a valid
+          [[@@es_lint.guarded]] attribute, or an allowlist entry; sorted *)
+}
+
+val lint_one : config -> string -> Finding.t list * Finding.t list
+(** Lint a single root-relative [.ml] path; returns (findings, suppressed)
+    in source order.  Raises [Sys_error] if the file cannot be read. *)
+
+val lint_files : config -> string list -> result
+(** Lint a set of root-relative paths.  Paths are normalized, deduplicated
+    and sorted first and both output lists are sorted, so the result is
+    byte-identical for any permutation or duplication of [paths].  Non-[.ml]
+    paths are ignored. *)

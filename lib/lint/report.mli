@@ -1,0 +1,13 @@
+(** Rendering: report lines, the per-rule summary table and JSONL export.
+    All output is a pure function of the (already sorted) finding lists. *)
+
+val render_findings : Finding.t list -> string
+(** One [file:line:col [rule] message] line per finding. *)
+
+val render_summary : Engine.result -> string
+(** Per-rule table of fired/suppressed counts plus a one-line verdict. *)
+
+val jsonl : Finding.t list -> string
+(** One JSON object per line (see {!Finding.to_jsonl}). *)
+
+val write_jsonl : path:string -> Finding.t list -> unit

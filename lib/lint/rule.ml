@@ -1,0 +1,34 @@
+type t = Parse_error | D1 | D2 | D3 | D4 | D5
+
+let all = [ Parse_error; D1; D2; D3; D4; D5 ]
+
+let id = function
+  | Parse_error -> "parse"
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
+  | D5 -> "D5"
+
+let describe = function
+  | Parse_error -> "file failed to parse"
+  | D1 -> "nondeterminism source (wall clock / global RNG) outside the clock module"
+  | D2 -> "unordered Hashtbl iteration without a downstream-sort suppression"
+  | D3 -> "polymorphic compare in a float-bearing module"
+  | D4 -> "mutable toplevel state without a [@@es_lint.guarded] mutex"
+  | D5 -> "missing sibling .mli interface"
+
+let of_id s =
+  match String.lowercase_ascii (String.trim s) with
+  | "parse" -> Some Parse_error
+  | "d1" -> Some D1
+  | "d2" -> Some D2
+  | "d3" -> Some D3
+  | "d4" -> Some D4
+  | "d5" -> Some D5
+  | _ -> None
+
+(* Rank order = presentation order; Parse_error sorts first so a broken
+   file's findings lead its listing. *)
+let rank = function Parse_error -> 0 | D1 -> 1 | D2 -> 2 | D3 -> 3 | D4 -> 4 | D5 -> 5
+let compare a b = Int.compare (rank a) (rank b)

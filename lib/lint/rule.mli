@@ -1,0 +1,37 @@
+(** Rule identifiers for the es_lint determinism & domain-safety pass.
+
+    - {b D1} nondeterminism sources: [Sys.time], [Unix.gettimeofday]/[time]/
+      [localtime]/[gmtime], [Random.self_init] and every other global-[Random]
+      call ([Random.State] is fine) anywhere except the designated clock
+      module ([lib/obs/obs.ml]) and [bench/].
+    - {b D2} unordered iteration: [Hashtbl.iter]/[fold]/[to_seq]* call sites,
+      unless the line (or the line above) carries an
+      [(* es_lint: sorted *)] comment proving a downstream sort.
+    - {b D3} polymorphic compare: bare [compare] (or [Stdlib.compare]) in a
+      module whose type declarations mention [float] — NaN and representation
+      issues make the polymorphic version a determinism hazard there.
+    - {b D4} mutable toplevel state: module-level [ref]/[Hashtbl.create]/
+      [Buffer.create]/[Queue.create]/[Stack.create] bindings and record
+      literals with mutable fields, unless annotated
+      [[@@es_lint.guarded "<mutex>"]] where [<mutex>] names a [Mutex.t] in
+      the same file (a toplevel binding or a [name.field] path to a
+      [Mutex.t] record field).
+    - {b D5} interface coverage: every [lib/**/*.ml] and [bin/**/*.ml] must
+      have a sibling [.mli].
+    - {b parse} is the pseudo-rule for files the parser rejects. *)
+
+type t = Parse_error | D1 | D2 | D3 | D4 | D5
+
+val all : t list
+(** All rules, in presentation order. *)
+
+val id : t -> string
+(** Stable short id: ["parse"], ["D1"] … ["D5"]. *)
+
+val describe : t -> string
+(** One-line human description, used in the summary table. *)
+
+val of_id : string -> t option
+(** Case-insensitive inverse of {!id}. *)
+
+val compare : t -> t -> int

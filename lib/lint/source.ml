@@ -1,0 +1,27 @@
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains_at text ~pos ~sub =
+  pos + String.length sub <= String.length text
+  && String.sub text pos (String.length sub) = sub
+
+let line_contains line sub =
+  let n = String.length line in
+  let rec go i = i < n && (contains_at line ~pos:i ~sub || go (i + 1)) in
+  go 0
+
+(* The D2 suppression marker.  A plain substring scan (rather than a token
+   stream walk) deliberately also matches the marker inside strings — the
+   false-positive risk is negligible and the scan stays independent of
+   lexer versioning. *)
+let sorted_marker = "es_lint: sorted"
+
+let suppression_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (n, line) -> if line_contains line sorted_marker then Some n else None)
+
+let suppressed_at lines ~line = List.mem line lines || List.mem (line - 1) lines

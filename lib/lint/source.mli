@@ -1,0 +1,14 @@
+(** Raw source-text helpers: file slurping and the line-based
+    [(* es_lint: sorted *)] suppression scan (comments are not part of the
+    parsetree, so D2 suppressions are matched textually). *)
+
+val read_file : string -> string
+(** Whole file contents (binary-safe). *)
+
+val suppression_lines : string -> int list
+(** 1-based line numbers containing the [es_lint: sorted] marker, in
+    ascending order. *)
+
+val suppressed_at : int list -> line:int -> bool
+(** A finding on [line] is suppressed when the marker sits on the same line
+    or on the line directly above it. *)

@@ -16,7 +16,7 @@ type registry = { tbl : (key, instrument) Hashtbl.t; lock : Mutex.t }
 let create () : registry = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
 let normalize_labels labels =
-  List.sort (fun (a, _) (b, _) -> compare a b) labels
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
 
 let get_or_create (reg : registry) name labels make =
   let key = (name, normalize_labels labels) in
@@ -71,12 +71,21 @@ let value_of_instrument = function
 let snapshot reg =
   Mutex.lock reg.lock;
   let samples =
+    (* es_lint: sorted — export order is fixed by the explicit sort below. *)
     Hashtbl.fold
       (fun (name, labels) i acc -> { name; labels; value = value_of_instrument i } :: acc)
       reg.tbl []
   in
   Mutex.unlock reg.lock;
-  List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) samples
+  let cmp_label (k1, v1) (k2, v2) =
+    match String.compare k1 k2 with 0 -> String.compare v1 v2 | c -> c
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.name b.name with
+      | 0 -> List.compare cmp_label a.labels b.labels
+      | c -> c)
+    samples
 
 let find reg ?(labels = []) name =
   Mutex.lock reg.lock;

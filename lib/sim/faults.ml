@@ -131,6 +131,7 @@ let down_at t ~time =
         | Server_up s -> Hashtbl.remove down s
         | _ -> ())
     t;
+  (* es_lint: sorted — the explicit Int.compare sort fixes the order. *)
   Hashtbl.fold (fun s () acc -> s :: acc) down [] |> List.sort Int.compare
 
 let down_intervals t ~horizon_s =
@@ -148,10 +149,16 @@ let down_intervals t ~horizon_s =
           | None -> ())
       | _ -> ())
     t;
+  (* es_lint: sorted — the explicit sort below fixes the order. *)
   Hashtbl.iter
     (fun s from -> if from < horizon_s then intervals := (s, from, horizon_s) :: !intervals)
     open_at;
-  List.sort compare !intervals
+  List.sort
+    (fun (s1, f1, u1) (s2, f2, u2) ->
+      match Int.compare s1 s2 with
+      | 0 -> ( match Float.compare f1 f2 with 0 -> Float.compare u1 u2 | c -> c)
+      | c -> c)
+    !intervals
 
 let spec_syntax =
   "down:S@T[+DUR] | up:S@T | outage:D@T+DUR | degrade:D:F@T+DUR | straggle:S:F@T+DUR \

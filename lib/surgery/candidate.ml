@@ -35,7 +35,7 @@ let pareto plans = Es_util.Pareto.frontier plan_key plans
    duplicating the (expensive) generate + frontier work. *)
 type cache_entry = Building | Ready of Plan.t list
 
-let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 16
+let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 16 [@@es_lint.guarded "cache_lock"]
 let cache_lock = Mutex.create ()
 let cache_cond = Condition.create ()
 

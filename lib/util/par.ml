@@ -23,6 +23,7 @@ let pool =
     started = false;
     stopping = false;
   }
+[@@es_lint.guarded "pool.m"]
 
 (* Marks pool workers, and the caller while it processes chunks, so nested
    parallel calls degrade to sequential instead of deadlocking on the queue. *)

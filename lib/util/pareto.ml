@@ -44,7 +44,7 @@ let skyline ~n ~key_at =
     let rec go i =
       if i = d then 0
       else
-        let c = compare (a.(i) : float) b.(i) in
+        let c = Float.compare a.(i) b.(i) in
         if c <> 0 then c else go (i + 1)
     in
     go 0
@@ -53,7 +53,7 @@ let skyline ~n ~key_at =
   Array.sort
     (fun i j ->
       let c = lex_cmp keys.(i) keys.(j) in
-      if c <> 0 then c else compare i j)
+      if c <> 0 then c else Int.compare i j)
     order;
   let kept_keys = Array.make n [||] in
   let kept_n = ref 0 in

@@ -49,7 +49,7 @@ let percentile xs p =
   if n = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if n = 1 then sorted.(0)
   else begin
     let rank = p /. 100.0 *. float_of_int (n - 1) in
@@ -78,7 +78,7 @@ let cdf_points xs n =
   if Array.length xs = 0 || n <= 0 then []
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let last = Array.length sorted - 1 in
     List.init (n + 1) (fun i ->
         let p = float_of_int i /. float_of_int n in

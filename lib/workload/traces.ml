@@ -1,5 +1,8 @@
 open Es_edge
 
+let event_compare (t1, d1) (t2, d2) =
+  match Float.compare t1 t2 with 0 -> Int.compare d1 d2 | c -> c
+
 let piecewise ~seed ~duration_s ~rate_profile cluster =
   let rng = Es_util.Prng.create seed in
   let events = ref [] in
@@ -19,7 +22,7 @@ let piecewise ~seed ~duration_s ~rate_profile cluster =
       go 0.0)
     cluster.Cluster.devices;
   let arr = Array.of_list !events in
-  Array.sort compare arr;
+  Array.sort event_compare arr;
   arr
 
 let poisson ~seed ~duration_s cluster =
@@ -27,7 +30,7 @@ let poisson ~seed ~duration_s cluster =
 
 let merge traces =
   let arr = Array.concat traces in
-  Array.sort compare arr;
+  Array.sort event_compare arr;
   arr
 
 let save_csv trace ~path =
@@ -70,7 +73,7 @@ let load_csv ~path =
             | Some e -> Error e
             | None ->
                 let arr = Array.of_list !events in
-                Array.sort compare arr;
+                Array.sort event_compare arr;
                 Ok arr)
       in
       result

@@ -1,0 +1,6 @@
+let now () = Sys.time ()
+let wall () = Unix.gettimeofday ()
+let seed () = Random.self_init ()
+let pick n = Random.int n
+let stamp () = Unix.localtime (Unix.time ())
+let ok_state st = Random.State.int st 4

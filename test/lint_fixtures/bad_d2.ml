@@ -1,0 +1,7 @@
+let dump tbl = Hashtbl.iter (fun k v -> print_string (k ^ string_of_int v)) tbl
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+let pairs tbl = Hashtbl.to_seq tbl
+
+(* es_lint: sorted *)
+let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+let also tbl = (* es_lint: sorted *) Hashtbl.iter (fun _ _ -> ()) tbl

@@ -1,0 +1,5 @@
+type sample = { value : float; weight : float }
+
+let cmp (a : sample) (b : sample) = compare a b
+let sort_samples ss = List.sort compare ss
+let ok a b = Float.compare a.value b.value

@@ -1,0 +1,9 @@
+let counter = ref 0
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let buf = Buffer.create 80
+
+type box = { mutable stored : int }
+
+let shared = { stored = 0 }
+
+let orphan = ref 0 [@@es_lint.guarded "no_such_mutex"]

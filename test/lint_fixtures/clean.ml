@@ -1,0 +1,13 @@
+let lock = Mutex.create ()
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16 [@@es_lint.guarded "lock"]
+
+type pool_state = { m : Mutex.t; mutable busy : bool }
+
+let pool = { m = Mutex.create (); busy = false } [@@es_lint.guarded "pool.m"]
+let ticks = Atomic.make 0
+let tls : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+(* es_lint: sorted *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+let cmp (a : int) (b : int) = compare a b
+let pick st n = Random.State.int st n

@@ -1,0 +1,11 @@
+val lock : Mutex.t
+val cache : (string, int) Hashtbl.t
+
+type pool_state = { m : Mutex.t; mutable busy : bool }
+
+val pool : pool_state
+val ticks : int Atomic.t
+val tls : int list ref Domain.DLS.key
+val keys : (int, 'a) Hashtbl.t -> int list
+val cmp : int -> int -> int
+val pick : Random.State.t -> int -> int
