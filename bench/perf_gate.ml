@@ -11,7 +11,20 @@
      - warm_online re-solve speedup must stay within 2x of baseline, and
        its equal-or-better invariant must hold;
      - every solver_scaling record must report identical objectives at
-       jobs=1 and jobs=N (determinism, not performance).
+       jobs=1 and jobs=N (determinism, not performance);
+     - every sharded_scaling record (baseline and current) must be
+       bit-identical across jobs and feasible, and wherever a file holds
+       both a >=1000-device sharded tier and a 100-device monolithic
+       measurement, the sharded solve must be no slower — the headline
+       scaling claim, checked same-machine within one file.  The
+       monolithic reference is the sharded_vs_mono record's t_mono_s when
+       present (100 devices on a comparably provisioned 4-server cluster,
+       like the sharded tiers at ~40 devices/server) and the 2-server
+       solver_scaling tier otherwise;
+     - each sharded_vs_mono record is gated against the baseline record
+       with the same device count: machine-relative speedup within the
+       2x band, and the decomposition's objective give-up bounded
+       (quality_ratio <= 1.25, the bound the test suite enforces).
 
    Usage: perf_gate.exe --baseline BENCH_solver.json --current bench_smoke.json
    Exit 0 on pass, 1 on regression, 2 on usage/parse errors. *)
@@ -119,6 +132,88 @@ let () =
   check "solver_scaling.identical"
     (scaling <> [] && List.for_all (fun j -> bool_field "identical" j = Some true) scaling)
     (Printf.sprintf "%d records" (List.length scaling));
+
+  (* sharded_scaling: determinism + feasibility wherever measured, and the
+     headline same-machine claim — a >=1000-device sharded solve no slower
+     than the 100-device monolithic one — in any file holding both. *)
+  let int_field name j = Option.bind (J.member name j) J.to_int_opt in
+  let sharded_of records =
+    List.filter (fun j -> kind_of j = Some "sharded_scaling") records
+  in
+  List.iter
+    (fun (label, records) ->
+      let sharded = sharded_of records in
+      if sharded <> [] then begin
+        check
+          (Printf.sprintf "sharded_scaling.%s.identical" label)
+          (List.for_all (fun j -> bool_field "identical" j = Some true) sharded)
+          (Printf.sprintf "%d records" (List.length sharded));
+        check
+          (Printf.sprintf "sharded_scaling.%s.feasible" label)
+          (List.for_all (fun j -> bool_field "feasible" j = Some true) sharded)
+          (Printf.sprintf "%d records" (List.length sharded))
+      end;
+      let big_sharded =
+        List.filter (fun j -> match int_field "devices" j with Some d -> d >= 1000 | None -> false) sharded
+      in
+      let record_with kind field =
+        Option.bind
+          (List.find_opt
+             (fun j -> kind_of j = Some kind && int_field "devices" j = Some 100)
+             records)
+          (float_field field)
+      in
+      let mono100_t =
+        match record_with "sharded_vs_mono" "t_mono_s" with
+        | Some t -> Some t
+        | None -> record_with "solver_scaling" "t_jobs1_s"
+      in
+      match (big_sharded, mono100_t) with
+      | [], _ | _, None -> ()
+      | big, Some tm ->
+          List.iter
+            (fun j ->
+              match (float_field "t_jobs1_s" j, int_field "devices" j) with
+              | Some ts, Some d ->
+                  check
+                    (Printf.sprintf "sharded_scaling.%s.%d_vs_mono100" label d)
+                    (ts <= tm)
+                    (Printf.sprintf "sharded@%d %.3fs vs mono@100 %.3fs" d ts tm)
+              | _ ->
+                  check
+                    (Printf.sprintf "sharded_scaling.%s.vs_mono100" label)
+                    false "missing t_jobs1_s field")
+            big)
+    [ ("baseline", baseline); ("current", current) ];
+
+  (* sharded_vs_mono: machine-relative head-to-head speedup, paired by
+     device count, plus the bounded objective give-up. *)
+  List.iter
+    (fun j ->
+      match int_field "devices" j with
+      | None -> check "sharded_vs_mono.devices" false "current record missing devices"
+      | Some d ->
+          let name suffix = Printf.sprintf "sharded_vs_mono.%d.%s" d suffix in
+          let base =
+            List.find_opt
+              (fun b ->
+                kind_of b = Some "sharded_vs_mono" && int_field "devices" b = Some d)
+              baseline
+          in
+          (match base with
+          | None -> ()
+          | Some b ->
+              gate_speedup (name "speedup")
+                ~baseline:(float_field "speedup" b)
+                ~current:(float_field "speedup" j));
+          (match float_field "quality_ratio" j with
+          | Some q ->
+              check (name "quality") (q <= 1.25) (Printf.sprintf "quality_ratio %.3f" q)
+          | None -> check (name "quality") false "missing quality_ratio");
+          check (name "feasible")
+            (bool_field "feasible" j = Some true)
+            "sharded decisions validate")
+    (List.filter (fun j -> kind_of j = Some "sharded_vs_mono") current);
 
   (* Name the failed checks in the summary and flush before exiting, so a
      CI log that truncates at the non-zero exit still shows what failed. *)

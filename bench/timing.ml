@@ -106,6 +106,103 @@ let solver_scaling ~jobs ~repeats n =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* sharded_scaling — Es_scale.solve at sizes beyond monolithic reach   *)
+(* ------------------------------------------------------------------ *)
+
+(* Server count grows with the fleet (~40 devices per server: 250 -> 6,
+   1000 -> 25), matching how a real deployment would be provisioned; the
+   sharded solver's whole point is that per-shard work stays bounded as
+   the fleet grows.  (At 1000 devices over 16 servers the system is simply
+   overloaded — every solver's objective blows up on deadline misses.) *)
+let sharded_servers n = max 2 (n / 40)
+
+let sharded_scaling ~jobs ~repeats n =
+  let open Es_edge in
+  let servers = sharded_servers n in
+  let cluster =
+    Scenario.default |> Scenario.with_n_devices n |> Scenario.with_n_servers servers
+    |> Scenario.build
+  in
+  let solve j =
+    Es_scale.solve ~config:{ Es_scale.default_config with Es_scale.jobs = j } cluster
+  in
+  let out1 = solve 1 in
+  let outn = solve jobs in
+  let identical =
+    Decision.fingerprint out1.Es_scale.decisions
+    = Decision.fingerprint outn.Es_scale.decisions
+  in
+  let feasible =
+    match Decision.validate cluster out1.Es_scale.decisions with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  let t1 = time_best ~repeats (fun () -> solve 1) in
+  let tn = time_best ~repeats (fun () -> solve jobs) in
+  let speedup = t1 /. tn in
+  Printf.printf
+    "sharded_scaling %4d devices / %2d servers  jobs=1 %.3fs  jobs=%d %.3fs  speedup \
+     %.2fx  identical %b  feasible %b\n\
+     %!"
+    n servers t1 jobs tn speedup identical feasible;
+  J.Obj
+    [
+      ("kind", J.String "sharded_scaling");
+      ("devices", J.Int n);
+      ("servers", J.Int servers);
+      ("jobs", J.Int jobs);
+      ("t_jobs1_s", J.Float t1);
+      ("t_jobsN_s", J.Float tn);
+      ("speedup", J.Float speedup);
+      ("objective", J.Float out1.Es_scale.objective);
+      ("sweeps", J.Int out1.Es_scale.sweeps);
+      ("shard_solves", J.Int out1.Es_scale.shard_solves);
+      ("identical", J.Bool identical);
+      ("feasible", J.Bool feasible);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* sharded_vs_mono — both solvers on the same cluster                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Head-to-head on one cluster small enough for the monolithic solver:
+   wall-time speedup plus the objective the decomposition gives up. *)
+let sharded_vs_mono ~repeats n =
+  let open Es_edge in
+  let servers = max 2 (n / 25) in
+  let cluster =
+    Scenario.default |> Scenario.with_n_devices n |> Scenario.with_n_servers servers
+    |> Scenario.build
+  in
+  let mono = Es_joint.Optimizer.solve cluster in
+  let sh = Es_scale.solve cluster in
+  let feasible =
+    match Decision.validate cluster sh.Es_scale.decisions with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  let t_mono = time_best ~repeats (fun () -> Es_joint.Optimizer.solve cluster) in
+  let t_sharded = time_best ~repeats (fun () -> Es_scale.solve cluster) in
+  let speedup = t_mono /. t_sharded in
+  let quality_ratio = sh.Es_scale.objective /. mono.Es_joint.Optimizer.objective in
+  Printf.printf
+    "sharded_vs_mono %4d devices / %2d servers  mono %.3fs  sharded %.3fs  speedup \
+     %.2fx  quality %.3f  feasible %b\n\
+     %!"
+    n servers t_mono t_sharded speedup quality_ratio feasible;
+  J.Obj
+    [
+      ("kind", J.String "sharded_vs_mono");
+      ("devices", J.Int n);
+      ("servers", J.Int servers);
+      ("t_mono_s", J.Float t_mono);
+      ("t_sharded_s", J.Float t_sharded);
+      ("speedup", J.Float speedup);
+      ("quality_ratio", J.Float quality_ratio);
+      ("feasible", J.Bool feasible);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* warm_online — warm-started + cached epoch re-solves vs cold         *)
 (* ------------------------------------------------------------------ *)
 
@@ -244,6 +341,8 @@ let bench_suite ~jobs =
 
 let () =
   let sizes = ref [ 10; 25; 50; 100 ] in
+  let sharded_sizes = ref [] in
+  let vs_mono_sizes = ref [] in
   let jobs = ref 4 in
   let repeats = ref 3 in
   let out_path = ref "BENCH_solver.json" in
@@ -251,16 +350,20 @@ let () =
   let warm = ref false in
   let usage () =
     prerr_endline
-      "usage: timing.exe [--sizes N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online]";
+      "usage: timing.exe [--sizes N,N,..] [--sharded-sizes N,N,..] [--vs-mono N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online]";
     exit 2
   in
+  let parse_sizes into s rest k =
+    match List.map int_of_string_opt (String.split_on_char ',' s) with
+    | ns when List.for_all Option.is_some ns && ns <> [] ->
+        into := List.filter_map Fun.id ns;
+        k rest
+    | _ -> usage ()
+  in
   let rec parse = function
-    | "--sizes" :: s :: rest -> (
-        match List.map int_of_string_opt (String.split_on_char ',' s) with
-        | ns when List.for_all Option.is_some ns && ns <> [] ->
-            sizes := List.filter_map Fun.id ns;
-            parse rest
-        | _ -> usage ())
+    | "--sizes" :: s :: rest -> parse_sizes sizes s rest parse
+    | "--sharded-sizes" :: s :: rest -> parse_sizes sharded_sizes s rest parse
+    | "--vs-mono" :: s :: rest -> parse_sizes vs_mono_sizes s rest parse
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
         | Some j when j >= 0 ->
@@ -306,6 +409,8 @@ let () =
        ]);
   emit (pareto_micro ~repeats:!repeats);
   List.iter (fun n -> emit (solver_scaling ~jobs:!jobs ~repeats:!repeats n)) !sizes;
+  List.iter (fun n -> emit (sharded_scaling ~jobs:!jobs ~repeats:!repeats n)) !sharded_sizes;
+  List.iter (fun n -> emit (sharded_vs_mono ~repeats:!repeats n)) !vs_mono_sizes;
   if !warm then emit (warm_online ~repeats:!repeats);
   if !suite then emit (bench_suite ~jobs:!jobs);
   close_out oc

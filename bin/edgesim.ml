@@ -493,6 +493,141 @@ let sweep_cmd =
 
 (* ---------- online ---------- *)
 
+(* ---------- solve ---------- *)
+
+let sharded_arg =
+  let doc =
+    "Use the sharded hierarchical solver (Es_scale): per-server subproblems under \
+     dual-price coordination, instead of the monolithic optimizer."
+  in
+  Arg.(value & flag & info [ "sharded" ] ~doc)
+
+let shards_max_sweeps_arg =
+  let doc = "Coordination sweeps cap for the sharded solver." in
+  Arg.(value & opt (some int) None & info [ "shards-max-sweeps" ] ~docv:"N" ~doc)
+
+let sharded_config ~jobs ~max_sweeps =
+  let base = Es_scale.default_config in
+  let base = match jobs with Some j -> { base with Es_scale.jobs = j } | None -> base in
+  match max_sweeps with
+  | Some n -> { base with Es_scale.max_sweeps = n }
+  | None -> base
+
+let solve_cmd =
+  let servers =
+    Arg.(
+      value & opt (some int) None
+      & info [ "servers" ] ~docv:"K"
+          ~doc:"Override the number of edge servers (cycles the scenario's server specs).")
+  in
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains for the solve (0 = auto).")
+  in
+  let vs_mono =
+    Arg.(
+      value & flag
+      & info [ "vs-monolithic" ]
+          ~doc:
+            "Also run the monolithic optimizer on the same cluster and fail (exit 1) \
+             when the sharded objective exceeds $(b,--tolerance) of it.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ] ~docv:"EPS"
+          ~doc:"Relative objective slack for $(b,--vs-monolithic) (default 0.25).")
+  in
+  let run scenario devices servers seed ap_mbps jobs sharded max_sweeps vs_mono tolerance =
+    match build_cluster scenario devices seed ap_mbps with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | Ok cluster ->
+        let cluster =
+          match servers with
+          | None -> cluster
+          | Some k ->
+              Scenario.build
+                (Es_workload.Scenarios.by_name scenario
+                |> (match devices with Some n -> Scenario.with_n_devices n | None -> Fun.id)
+                |> (match seed with Some s -> Scenario.with_seed s | None -> Fun.id)
+                |> (match ap_mbps with Some b -> Scenario.with_ap_mbps b | None -> Fun.id)
+                |> Scenario.with_n_servers k)
+        in
+        Printf.printf "cluster: %d devices, %d servers\n" (Cluster.n_devices cluster)
+          (Cluster.n_servers cluster);
+        let fail = ref false in
+        let feasibility label decisions =
+          match Decision.validate cluster decisions with
+          | Ok () -> ()
+          | Error e ->
+              Printf.printf "%s: INFEASIBLE: %s\n" label e;
+              fail := true
+        in
+        if sharded then begin
+          let config = sharded_config ~jobs ~max_sweeps in
+          let out = Es_scale.solve ~config cluster in
+          Printf.printf
+            "sharded:    objective %.6f  (%d sweeps, %d shard solves, %d moves, %.3fs)\n"
+            out.Es_scale.objective out.Es_scale.sweeps out.Es_scale.shard_solves
+            out.Es_scale.moves out.Es_scale.solve_time_s;
+          feasibility "sharded" out.Es_scale.decisions;
+          (* Determinism is part of the sharded solver's contract; check it
+             whenever we are already solving (one extra solve). *)
+          let alt_jobs = match jobs with Some j when j <> 1 -> 1 | _ -> 2 in
+          let alt =
+            Es_scale.solve ~config:{ config with Es_scale.jobs = alt_jobs } cluster
+          in
+          if
+            Decision.fingerprint alt.Es_scale.decisions
+            <> Decision.fingerprint out.Es_scale.decisions
+          then begin
+            Printf.printf "sharded: NOT deterministic across --jobs\n";
+            fail := true
+          end
+          else Printf.printf "sharded:    bit-identical across --jobs\n";
+          if vs_mono then begin
+            let mono_cfg =
+              match jobs with
+              | Some j -> { Es_joint.Optimizer.default_config with jobs = j }
+              | None -> Es_joint.Optimizer.default_config
+            in
+            let mono = Es_joint.Optimizer.solve ~config:mono_cfg cluster in
+            let ratio = out.Es_scale.objective /. mono.Es_joint.Optimizer.objective in
+            Printf.printf "monolithic: objective %.6f  (%.3fs)  sharded/mono %.3f\n"
+              mono.Es_joint.Optimizer.objective mono.Es_joint.Optimizer.solve_time_s
+              ratio;
+            feasibility "monolithic" mono.Es_joint.Optimizer.decisions;
+            if ratio > 1.0 +. tolerance then begin
+              Printf.printf "sharded objective outside tolerance (%.3f > 1+%.2f)\n" ratio
+                tolerance;
+              fail := true
+            end
+          end
+        end
+        else begin
+          let config =
+            match jobs with
+            | Some j -> { Es_joint.Optimizer.default_config with jobs = j }
+            | None -> Es_joint.Optimizer.default_config
+          in
+          let out = Es_joint.Optimizer.solve ~config cluster in
+          Printf.printf "monolithic: objective %.6f  (%d iterations, %.3fs)\n"
+            out.Es_joint.Optimizer.objective out.Es_joint.Optimizer.iterations
+            out.Es_joint.Optimizer.solve_time_s;
+          feasibility "monolithic" out.Es_joint.Optimizer.decisions
+        end;
+        if !fail then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Solve a scenario once (monolithic or sharded) and report the objective")
+    Term.(
+      const run $ scenario_arg $ devices_arg $ servers $ seed_arg $ ap_mbps_arg $ jobs
+      $ sharded_arg $ shards_max_sweeps_arg $ vs_mono $ tolerance)
+
 let online_cmd =
   let burst =
     Arg.(value & opt float 3.0 & info [ "burst" ] ~docv:"FACTOR" ~doc:"Burst load multiplier.")
@@ -512,7 +647,8 @@ let online_cmd =
       & info [ "no-solve-cache" ]
           ~doc:"Disable the (cluster, config)-keyed solve cache for epoch re-solves.")
   in
-  let run scenario devices seed ap_mbps burst epoch warm_start no_solve_cache =
+  let run scenario devices seed ap_mbps burst epoch warm_start no_solve_cache sharded
+      shards_max_sweeps =
     match build_cluster scenario devices seed ap_mbps with
     | Error e ->
         Printf.eprintf "%s\n" e;
@@ -527,8 +663,16 @@ let online_cmd =
         let cache =
           if no_solve_cache then None else Some (Es_joint.Solve_cache.create ())
         in
+        let solver =
+          if sharded then
+            Some
+              (Es_scale.solver
+                 ~config:(sharded_config ~jobs:None ~max_sweeps:shards_max_sweeps)
+                 ?cache ())
+          else None
+        in
         let adaptive =
-          Es_joint.Online.run ~options ?cache ~warm_start ~epoch_s:epoch
+          Es_joint.Online.run ~options ?cache ?solver ~warm_start ~epoch_s:epoch
             ~rate_profile:profile cluster
         in
         let static = Es_joint.Online.run_static ~options ~rate_profile:profile cluster in
@@ -551,7 +695,7 @@ let online_cmd =
   Cmd.v (Cmd.info "online" ~doc:"Online re-optimization under a load burst")
     Term.(
       const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ burst $ epoch
-      $ warm_start $ no_solve_cache)
+      $ warm_start $ no_solve_cache $ sharded_arg $ shards_max_sweeps_arg)
 
 (* ---------- trace ---------- *)
 
@@ -640,4 +784,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ models_cmd; plan_cmd; run_cmd; compare_cmd; sweep_cmd; online_cmd; trace_cmd ]))
+          [ models_cmd; plan_cmd; solve_cmd; run_cmd; compare_cmd; sweep_cmd; online_cmd; trace_cmd ]))

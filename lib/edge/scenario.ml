@@ -79,3 +79,10 @@ let with_seed seed spec = { spec with seed }
 
 let with_ap_mbps mbps spec =
   { spec with servers = List.map (fun (p, _) -> (p, mbps)) spec.servers }
+
+let with_n_servers n spec =
+  if n < 1 then invalid_arg "Scenario.with_n_servers: need at least one server";
+  let base = Array.of_list spec.servers in
+  let k = Array.length base in
+  if k = 0 then invalid_arg "Scenario.with_n_servers: empty server list";
+  { spec with servers = List.init n (fun i -> base.(i mod k)) }

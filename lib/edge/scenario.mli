@@ -28,3 +28,8 @@ val with_n_devices : int -> spec -> spec
 val with_seed : int -> spec -> spec
 val with_ap_mbps : float -> spec -> spec
 (** Override every server's AP capacity. *)
+
+val with_n_servers : int -> spec -> spec
+(** Resize the server fleet to [n] by cycling the spec's server list, so
+    larger deployments keep the same processor/AP mix.  @raise
+    Invalid_argument when [n < 1]. *)

@@ -1,0 +1,67 @@
+(* Sub-cluster extraction for the sharded solver: a shard is a sub-cluster
+   over a subset of devices and servers, renumbered to positions (Cluster.make
+   re-numbers ids), plus the index maps needed to move decisions between the
+   two numberings in both directions. *)
+
+type t = {
+  cluster : Cluster.t;
+  devices : int array;
+  servers : int array;
+  dev_of_orig : int array;
+  srv_of_orig : int array;
+}
+
+let extract parent ~devices ~servers =
+  let nd = Cluster.n_devices parent and ns = Cluster.n_servers parent in
+  let devices = List.sort_uniq Int.compare devices in
+  let servers = List.sort_uniq Int.compare servers in
+  List.iter
+    (fun d ->
+      if d < 0 || d >= nd then
+        invalid_arg (Printf.sprintf "Subcluster.extract: device %d out of range" d))
+    devices;
+  List.iter
+    (fun s ->
+      if s < 0 || s >= ns then
+        invalid_arg (Printf.sprintf "Subcluster.extract: server %d out of range" s))
+    servers;
+  if devices = [] then invalid_arg "Subcluster.extract: no devices";
+  if servers = [] then invalid_arg "Subcluster.extract: no servers";
+  let cluster =
+    Cluster.make
+      ~devices:(List.map (fun d -> parent.Cluster.devices.(d)) devices)
+      ~servers:(List.map (fun s -> parent.Cluster.servers.(s)) servers)
+  in
+  let devices = Array.of_list devices and servers = Array.of_list servers in
+  let dev_of_orig = Array.make nd (-1) and srv_of_orig = Array.make ns (-1) in
+  Array.iteri (fun sub orig -> dev_of_orig.(orig) <- sub) devices;
+  Array.iteri (fun sub orig -> srv_of_orig.(orig) <- sub) servers;
+  { cluster; devices; servers; dev_of_orig; srv_of_orig }
+
+let n_devices t = Array.length t.devices
+
+let restrict t (decisions : Decision.t array) =
+  Array.mapi
+    (fun sub orig ->
+      let d = decisions.(orig) in
+      let server =
+        if d.Decision.server >= 0 && d.Decision.server < Array.length t.srv_of_orig then
+          t.srv_of_orig.(d.Decision.server)
+        else -1
+      in
+      { d with Decision.device = sub; server })
+    t.devices
+
+let lift_into t (sub_decisions : Decision.t array) (into : Decision.t array) =
+  if Array.length sub_decisions <> Array.length t.devices then
+    invalid_arg "Subcluster.lift_into: decision arity mismatch";
+  Array.iteri
+    (fun sub (d : Decision.t) ->
+      let orig = t.devices.(sub) in
+      let server =
+        if d.Decision.server >= 0 && d.Decision.server < Array.length t.servers then
+          t.servers.(d.Decision.server)
+        else d.Decision.server
+      in
+      into.(orig) <- { d with Decision.device = orig; server })
+    sub_decisions

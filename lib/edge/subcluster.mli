@@ -1,0 +1,33 @@
+(** Sub-cluster extraction and renumbering for sharded solving.
+
+    A shard of a cluster is a sub-cluster over a subset of its devices and
+    servers.  {!Cluster.make} re-numbers ids to positions, so an extracted
+    sub-cluster is a first-class input to any solver; this module keeps the
+    index maps to carry decisions between the parent's numbering and the
+    shard's in both directions. *)
+
+type t = {
+  cluster : Cluster.t;  (** the extracted sub-cluster, ids renumbered *)
+  devices : int array;  (** shard device index → parent device id *)
+  servers : int array;  (** shard server index → parent server id *)
+  dev_of_orig : int array;  (** parent device id → shard index, [-1] if absent *)
+  srv_of_orig : int array;  (** parent server id → shard index, [-1] if absent *)
+}
+
+val extract : Cluster.t -> devices:int list -> servers:int list -> t
+(** Indices are de-duplicated and sorted ascending, so the shard's numbering
+    is deterministic in the parent's.  @raise Invalid_argument on an empty
+    or out-of-range subset. *)
+
+val n_devices : t -> int
+
+val restrict : t -> Decision.t array -> Decision.t array
+(** Restrict a parent-numbered decision set (full parent arity) to the
+    shard's numbering — the warm-start seed for a shard re-solve.  A
+    decision pointing at a server outside the shard keeps its plan with
+    server [-1]; the optimizer's warm repair re-points exactly that shape. *)
+
+val lift_into : t -> Decision.t array -> Decision.t array -> unit
+(** [lift_into t sub_decisions into] writes the shard's decisions into a
+    parent-numbered array, remapping device and server indices.
+    @raise Invalid_argument when [sub_decisions] doesn't match the shard. *)

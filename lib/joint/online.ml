@@ -25,8 +25,8 @@ let epochs_of ~epoch_s ~duration_s =
   let rec go acc t = if t >= duration_s then List.rev acc else go (t :: acc) (t +. epoch_s) in
   go [] 0.0
 
-let run ?(options = Es_sim.Runner.default_options) ?config ?cache ?(warm_start = true)
-    ~epoch_s ~rate_profile cluster =
+let run ?(options = Es_sim.Runner.default_options) ?config ?cache ?solver
+    ?(warm_start = true) ~epoch_s ~rate_profile cluster =
   if epoch_s <= 0.0 then invalid_arg "Online.run: non-positive epoch";
   let duration_s = options.Es_sim.Runner.duration_s in
   let arrivals =
@@ -63,9 +63,12 @@ let run ?(options = Es_sim.Runner.default_options) ?config ?cache ?(warm_start =
            decisions); consult the solve cache when a load level recurs. *)
         let warm = if warm_start then !prev else None in
         let out =
-          match cache with
-          | Some sc -> Solve_cache.solve sc ?config ?warm_start:warm scaled
-          | None -> Optimizer.solve ?config ?warm_start:warm scaled
+          match solver with
+          | Some (f : Optimizer.solver) -> f ~warm scaled
+          | None -> (
+              match cache with
+              | Some sc -> Solve_cache.solve sc ?config ?warm_start:warm scaled
+              | None -> Optimizer.solve ?config ?warm_start:warm scaled)
         in
         let cand = out.Optimizer.decisions in
         (* Guard the re-solve: keep the previous decisions when the fresh

@@ -37,6 +37,7 @@ val run :
   ?options:Es_sim.Runner.options ->
   ?config:Optimizer.config ->
   ?cache:Solve_cache.t ->
+  ?solver:Optimizer.solver ->
   ?warm_start:bool ->
   epoch_s:float ->
   rate_profile:(float -> float) ->
@@ -53,7 +54,16 @@ val run :
     diurnal or bursty profiles revisit load levels constantly, and a
     revisited level is then a lookup, not a descent.  The per-epoch guard
     is unchanged: malformed or worsening candidates leave the incumbent in
-    place.  @raise Invalid_argument on non-positive [epoch_s]. *)
+    place.
+
+    [solver] replaces the epoch solve wholesale (e.g. [Es_scale.solver] for
+    the sharded path); it receives the warm incumbent and the scaled
+    cluster.  When given, [config] and [cache] are not consulted by [run]
+    itself — a sharded solver carries its own config and may consult the
+    same cache per shard ([cache_hits] then stays 0 unless the solver was
+    built over this cache).  The guard still applies to its output.
+
+    @raise Invalid_argument on non-positive [epoch_s]. *)
 
 val run_static :
   ?options:Es_sim.Runner.options ->

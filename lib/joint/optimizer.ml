@@ -12,6 +12,7 @@ type config = {
   seed : int;
   max_candidates : int option;
   jobs : int;
+  multi_start : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     seed = 1;
     max_candidates = None;
     jobs = 0;
+    multi_start = true;
   }
 
 type trace_point = {
@@ -41,6 +43,8 @@ type output = {
   trace : trace_point list;
   solve_time_s : float;
 }
+
+type solver = warm:Decision.t array option -> Cluster.t -> output
 
 let stability_margin = 0.95
 
@@ -68,14 +72,16 @@ let plan_stable cluster ~device ~server plan ~bandwidth_bps ~compute_share =
      && rate *. bits /. bw < stability_margin
      && (work = 0.0 || (compute_share > 0.0 && rate *. work /. compute_share < stability_margin)))
 
-(* Per-plan invariants, computed once per device per solve, so the surgery
-   step scores a (plan, grants) pair with a handful of float operations and
-   zero allocation — no Decision record, no Latency.breakdown, no list
-   filtering.  [work] is indexed by server. *)
+(* Per-plan invariants, so the surgery step scores a (plan, grants) pair
+   with a handful of float operations and zero allocation — no Decision
+   record, no Latency.breakdown, no list filtering.  [work] is indexed by
+   server.  Everything here depends only on the device's archetype (model,
+   processor) and the server perf vector — not on its rate, deadline,
+   accuracy floor or link, which are inputs to [best_scored] — so pools are
+   shared process-wide across devices, trajectories and solves. *)
 type scored = {
   plan : Plan.t;
   local : bool;
-  acc_ok : bool;
   mem_ok : bool;
   dev_s : float;
   up_bytes : float;
@@ -93,7 +99,6 @@ let score_candidates cluster ~device candidates =
       {
         plan = p;
         local = Plan.is_device_only p;
-        acc_ok = p.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9;
         mem_ok = Plan.device_mem_bytes p <= dev.Cluster.proc.Processor.mem_bytes;
         dev_s = Plan.device_time dperf p;
         up_bytes = Plan.transfer_bytes p;
@@ -104,6 +109,64 @@ let score_candidates cluster ~device candidates =
       })
     (Array.of_list candidates)
 
+(* Process-wide cache of scored pools.  Building a pool is the solver's
+   dominant per-device cost at scale (per-plan timing over every layer of
+   every Pareto candidate), yet the result is archetype-keyed: devices
+   sharing (model, processor, candidate knobs) against the same server perf
+   vector — and the same device across shard re-solves, trajectories and
+   epochs — share one build.  Same domain-safety posture as
+   [Candidate.cache]: the first caller publishes a [Building] marker and
+   builds outside the lock; racing callers wait on the condition.  Presence
+   or absence of an entry never changes any result, only its cost. *)
+type pool_entry = Pool_building | Pool_ready of scored array
+
+let pool_cache : (string, pool_entry) Hashtbl.t = Hashtbl.create 64
+[@@es_lint.guarded "pool_cache_lock"]
+
+let pool_cache_lock = Mutex.create ()
+let pool_cache_cond = Condition.create ()
+
+(* Entry count is bounded by archetype combinations in practice; the cap is
+   a backstop for adversarial churn (e.g. qcheck sweeping server perf). *)
+let pool_cache_cap = 512
+
+let pool_key ?exits ?max_candidates ?precisions ~widths cluster ~device =
+  let dev = cluster.Cluster.devices.(device) in
+  let h = Es_util.Fnv.create () in
+  let add_perf (p : Es_dnn.Profile.perf) =
+    Es_util.Fnv.add_float h p.Es_dnn.Profile.flops_per_s;
+    Es_util.Fnv.add_float h p.Es_dnn.Profile.mem_bytes_per_s;
+    Es_util.Fnv.add_float h p.Es_dnn.Profile.layer_overhead_s
+  in
+  (* Model identity, as in Candidate's cache key: name + structure. *)
+  Es_util.Fnv.add_string h dev.Cluster.model.Es_dnn.Graph.name;
+  Es_util.Fnv.add_int h (Es_dnn.Graph.n_nodes dev.Cluster.model);
+  Es_util.Fnv.add_float h (Es_dnn.Graph.total_flops dev.Cluster.model);
+  add_perf dev.Cluster.proc.Processor.perf;
+  Es_util.Fnv.add_float h dev.Cluster.proc.Processor.mem_bytes;
+  Array.iter (fun (s : Cluster.server) -> add_perf s.Cluster.sproc.Processor.perf) cluster.Cluster.servers;
+  Es_util.Fnv.add_int h (Cluster.n_servers cluster);
+  List.iter (Es_util.Fnv.add_float h) widths;
+  Es_util.Fnv.add_int h (List.length widths);
+  (match precisions with
+  | None -> Es_util.Fnv.add_int h (-1)
+  | Some ps ->
+      Es_util.Fnv.add_int h (List.length ps);
+      List.iter (fun p -> Es_util.Fnv.add_string h (Precision.name p)) ps);
+  (match exits with
+  | None -> Es_util.Fnv.add_int h (-1)
+  | Some es ->
+      Es_util.Fnv.add_int h (List.length es);
+      List.iter (fun e -> Es_util.Fnv.add_int h (Option.value e ~default:(-2))) es);
+  Es_util.Fnv.add_int h (Option.value max_candidates ~default:(-1));
+  Es_util.Fnv.to_hex h
+
+let clear_pool_cache () =
+  Mutex.lock pool_cache_lock;
+  Hashtbl.reset pool_cache;
+  Condition.broadcast pool_cache_cond;
+  Mutex.unlock pool_cache_lock
+
 (* The surgery step over a scored pool.  Float arithmetic mirrors
    [plan_latency] (Decision clamps + Link.transfer_time + Latency.total, in
    the same operation order) and [plan_stable] exactly, so decisions are
@@ -112,6 +175,7 @@ let score_candidates cluster ~device candidates =
 let best_scored cluster ~device ~server (pool : scored array) ~bandwidth_bps ~compute_share =
   let dev = cluster.Cluster.devices.(device) in
   let rate = dev.Cluster.rate in
+  let floor = dev.Cluster.accuracy_floor -. 1e-9 in
   let peak = dev.Cluster.link.Link.peak_bps in
   let half_rtt = dev.Cluster.link.Link.rtt_s /. 2.0 in
   (* Latency path: Decision.make clamps grants; transfer_time caps at peak. *)
@@ -147,7 +211,7 @@ let best_scored cluster ~device ~server (pool : scored array) ~bandwidth_bps ~co
     let c = pool.(i) in
     let l = latency c in
     let st = stable c in
-    if c.acc_ok then begin
+    if c.plan.Plan.accuracy >= floor then begin
       if !el_any < 0 || l < !el_any_l then begin
         el_any := i;
         el_any_l := l
@@ -175,13 +239,52 @@ let best_scored cluster ~device ~server (pool : scored array) ~bandwidth_bps ~co
   assert (pick >= 0);
   pool.(pick).plan
 
-let device_pool ?exits ?max_candidates ?precisions ~widths cluster ~device =
+let build_pool ?exits ?max_candidates ?precisions ~widths cluster ~device =
   let dev = cluster.Cluster.devices.(device) in
   let candidates = Candidate.pareto_candidates ?exits ?precisions ~widths dev.Cluster.model in
   let candidates =
     match max_candidates with Some k -> Candidate.subsample k candidates | None -> candidates
   in
   score_candidates cluster ~device candidates
+
+let device_pool ?exits ?max_candidates ?precisions ~widths cluster ~device =
+  let key = pool_key ?exits ?max_candidates ?precisions ~widths cluster ~device in
+  let rec await () =
+    match Hashtbl.find_opt pool_cache key with
+    | Some (Pool_ready pool) ->
+        Mutex.unlock pool_cache_lock;
+        pool
+    | Some Pool_building ->
+        Condition.wait pool_cache_cond pool_cache_lock;
+        await ()
+    | None ->
+        Hashtbl.replace pool_cache key Pool_building;
+        Mutex.unlock pool_cache_lock;
+        let pool =
+          try build_pool ?exits ?max_candidates ?precisions ~widths cluster ~device
+          with e ->
+            (* Withdraw the marker so waiters retry rather than hang. *)
+            Mutex.lock pool_cache_lock;
+            Hashtbl.remove pool_cache key;
+            Condition.broadcast pool_cache_cond;
+            Mutex.unlock pool_cache_lock;
+            raise e
+        in
+        Mutex.lock pool_cache_lock;
+        (if Hashtbl.length pool_cache >= pool_cache_cap then begin
+           (* Backstop flush, as in Candidate.cache: dropping a [Pool_building]
+              marker is safe — its builder re-publishes on completion, and
+              woken waiters finding no entry become builders themselves. *)
+           Hashtbl.reset pool_cache;
+           Condition.broadcast pool_cache_cond
+         end);
+        Hashtbl.replace pool_cache key (Pool_ready pool);
+        Condition.broadcast pool_cache_cond;
+        Mutex.unlock pool_cache_lock;
+        pool
+  in
+  Mutex.lock pool_cache_lock;
+  await ()
 
 let best_plan_for_grants ?exits ?max_candidates ?precisions ~widths cluster ~device ~server
     ~bandwidth_bps ~compute_share =
@@ -535,16 +638,45 @@ let trajectory_candidates ~allocator cluster (out : output) =
   | Some ds -> [ ds ]
   | None -> []
 
+(* Below this many devices a descent trajectory is too fine-grained for the
+   domain pool: dispatch and stop-the-world GC synchronization cost more
+   than the overlap buys (BENCH_solver.json's solver_scaling rows measured
+   speedup ≈ 0.4 on small solves).  The multi-start fan-out then runs
+   sequentially — and likewise whenever jobs auto-sizing says the machine
+   has one usable core, where domains cannot add throughput at any size.
+   Decisions are bit-identical either way (determinism contract), so this
+   only moves time. *)
+let par_fanout_min_devices = 32
+
+let fanout_jobs config cluster =
+  if Es_util.Par.default_jobs () = 1 || Cluster.n_devices cluster < par_fanout_min_devices then 1
+  else config.jobs
+
 let solve ?(config = default_config) ?metrics ?spans ?warm_start cluster =
   let t0 = Es_obs.Obs.wall_clock () in
   let warm_init = Option.bind warm_start (warm_seed config cluster) in
+  if not config.multi_start then begin
+    (* Single-trajectory mode for callers that already provide diversity
+       elsewhere (the sharded solver runs many shard solves per sweep):
+       descend once, warm when an incumbent is given, cold otherwise.  The
+       warm-never-worse-than-cold guarantee of the multi-start merge does
+       not apply here — the caller owns that guard. *)
+    let out =
+      match warm_init with
+      | Some init -> solve_one ~config ?metrics ?spans ~init cluster
+      | None -> solve_one ~config ?metrics ?spans cluster
+    in
+    set_final_gauges metrics ~objective:out.objective ~solve_time_s:out.solve_time_s;
+    out
+  end
+  else
   match (config.allocator, warm_init) with
   | alloc, Some init when alloc <> Policy.Minmax_alloc ->
       (* Ablation allocators keep their single cold trajectory, plus the
          warm one; the better landing point wins, cold first on ties. *)
       let spans = Option.map Es_obs.Span.locked_sink spans in
       let cold, warm =
-        Es_util.Par.both ~jobs:config.jobs
+        Es_util.Par.both ~jobs:(fanout_jobs config cluster)
           (fun () -> solve_one ~config ?metrics ?spans cluster)
           (fun () -> solve_one ~config ?metrics ?spans ~init cluster)
       in
@@ -576,7 +708,7 @@ let solve ?(config = default_config) ?metrics ?spans ?warm_start cluster =
          decisions are bit-identical for every [jobs]. *)
       let spans = Option.map Es_obs.Span.locked_sink spans in
       let outs =
-        Es_util.Par.parallel_map ~jobs:config.jobs
+        Es_util.Par.parallel_map ~jobs:(fanout_jobs config cluster)
           (fun f -> f ())
           [
             (fun () -> solve_one ~config ?metrics ?spans cluster);
@@ -618,7 +750,7 @@ let solve ?(config = default_config) ?metrics ?spans ?warm_start cluster =
        [optimizer/iterations] counter accumulates both trajectories. *)
     let spans = Option.map Es_obs.Span.locked_sink spans in
     let primary, alt =
-      Es_util.Par.both ~jobs:config.jobs
+      Es_util.Par.both ~jobs:(fanout_jobs config cluster)
         (fun () -> solve_one ~config ?metrics ?spans cluster)
         (fun () ->
           solve_one ~config:{ config with allocator = Policy.Equal } ?metrics ?spans cluster)

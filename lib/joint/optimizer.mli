@@ -38,7 +38,21 @@ type config = {
       (** domains for the multi-start fan-out: [1] sequential, [0] (the
           default) auto-sizes from {!Es_util.Par.default_jobs}.  Decisions
           and objective are bit-identical for every [jobs] value — the
-          trajectories are deterministic and independent *)
+          trajectories are deterministic and independent.  Regardless of
+          [jobs], the fan-out runs sequentially when the solve is too
+          fine-grained to win ({!par_fanout_min_devices}) or when jobs
+          auto-sizing reports a single usable core — dispatch overhead then
+          exceeds the overlap (the fine-grain loss measured in
+          [BENCH_solver.json]); only timing changes, never decisions *)
+  multi_start : bool;
+      (** [true] (the default): the full multi-start portfolio — primary
+          trajectory, equal-share alternate, warm trajectory when an
+          incumbent is given, merged best-first.  [false]: exactly one
+          descent trajectory (warm when an incumbent is given, cold
+          otherwise) — the cheap mode for callers that already supply
+          diversity across many solves, e.g. {!Es_scale}'s per-shard
+          subproblems; the warm-never-worse-than-cold merge guarantee does
+          not apply in this mode *)
 }
 
 val default_config : config
@@ -96,6 +110,22 @@ val solve :
     under parallel multi-start the sink is serialized internally.
 
     @raise Invalid_argument on an empty cluster. *)
+
+type solver = warm:Es_edge.Decision.t array option -> Es_edge.Cluster.t -> output
+(** The shape of a drop-in replacement for {!solve} as used by the epoch
+    and recovery drivers ({!Online.run}, {!Recover}): given an optional
+    incumbent and a cluster, produce a full decision set.  Implemented by
+    the sharded solver ([Es_scale.solver]). *)
+
+val par_fanout_min_devices : int
+(** Device-count threshold below which the multi-start fan-out is
+    sequential regardless of [jobs] (see the [jobs] field). *)
+
+val clear_pool_cache : unit -> unit
+(** Drop the process-wide scored-candidate pools (archetype-keyed: model ×
+    device processor × server perf vector × candidate knobs).  The cache
+    never changes results, only solve cost; exposed for benchmarks that
+    need cold-start timings. *)
 
 val best_allocation :
   ?allocator:Es_alloc.Policy.allocator ->

@@ -3,6 +3,7 @@ open Es_edge
 type t = {
   cluster : Cluster.t;
   config : Optimizer.config;
+  solver : Optimizer.solver option;
   baseline : Decision.t array;
   fallbacks : Decision.t array array;
 }
@@ -46,7 +47,7 @@ let local_decisions cluster =
       Decision.make ~device:dev.Cluster.dev_id ~server:0 ~plan ())
     cluster.Cluster.devices
 
-let solve_without ?(config = Optimizer.default_config) ?warm_start cluster ~failed =
+let solve_without ?(config = Optimizer.default_config) ?solver ?warm_start cluster ~failed =
   let ns = Cluster.n_servers cluster in
   List.iter
     (fun s ->
@@ -80,7 +81,11 @@ let solve_without ?(config = Optimizer.default_config) ?warm_start cluster ~fail
              { d with Decision.server = s' }))
         warm_start
     in
-    let out = Optimizer.solve ~config ?warm_start residual in
+    let out =
+      match solver with
+      | Some (f : Optimizer.solver) -> f ~warm:warm_start residual
+      | None -> Optimizer.solve ~config ?warm_start residual
+    in
     Array.map
       (fun (d : Decision.t) ->
         if Decision.offloads d then { d with Decision.server = orig_of_new.(d.Decision.server) }
@@ -88,7 +93,7 @@ let solve_without ?(config = Optimizer.default_config) ?warm_start cluster ~fail
       out.Optimizer.decisions
   end
 
-let precompute ?(config = Optimizer.default_config) ?(jobs = 0) ?baseline cluster =
+let precompute ?(config = Optimizer.default_config) ?solver ?(jobs = 0) ?baseline cluster =
   let ns = Cluster.n_servers cluster in
   (* The healthy-cluster baseline seeds every failure domain: losing one
      server perturbs only that server's devices, so the survivors' plans
@@ -96,14 +101,17 @@ let precompute ?(config = Optimizer.default_config) ?(jobs = 0) ?baseline cluste
   let baseline =
     match baseline with
     | Some ds when Array.length ds = Cluster.n_devices cluster -> ds
-    | Some _ | None -> (Optimizer.solve ~config cluster).Optimizer.decisions
+    | Some _ | None -> (
+        match solver with
+        | Some (f : Optimizer.solver) -> (f ~warm:None cluster).Optimizer.decisions
+        | None -> (Optimizer.solve ~config cluster).Optimizer.decisions)
   in
   let fallbacks =
     Es_util.Par.parallel_map_array ~jobs
-      (fun s -> solve_without ~config ~warm_start:baseline cluster ~failed:[ s ])
+      (fun s -> solve_without ~config ?solver ~warm_start:baseline cluster ~failed:[ s ])
       (Array.init ns Fun.id)
   in
-  { cluster; config; baseline; fallbacks }
+  { cluster; config; solver; baseline; fallbacks }
 
 let baseline t = t.baseline
 
@@ -116,7 +124,7 @@ let decisions_for t ~decisions down =
   match down with
   | [] -> decisions
   | [ s ] -> t.fallbacks.(s)
-  | many -> solve_without ~config:t.config ~warm_start:t.baseline t.cluster ~failed:many
+  | many -> solve_without ~config:t.config ?solver:t.solver ~warm_start:t.baseline t.cluster ~failed:many
 
 let schedule_for_faults t ?(detect_s = 1.0) ~decisions faults =
   if detect_s < 0.0 then invalid_arg "Recover.schedule_for_faults: negative detect_s";

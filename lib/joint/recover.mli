@@ -27,6 +27,7 @@ val local_decisions : Es_edge.Cluster.t -> Es_edge.Decision.t array
 
 val solve_without :
   ?config:Optimizer.config ->
+  ?solver:Optimizer.solver ->
   ?warm_start:Es_edge.Decision.t array ->
   Es_edge.Cluster.t ->
   failed:int list ->
@@ -40,11 +41,14 @@ val solve_without :
     healthy-cluster solution) seeds the residual solve: decisions on
     surviving servers are re-indexed, decisions on failed servers keep
     their plan but are marked for reassignment by the optimizer's
-    warm-start repair.
+    warm-start repair.  [solver] replaces the residual {!Optimizer.solve}
+    (e.g. [Es_scale.solver] at fleet scale); it receives the re-indexed
+    warm incumbent and the residual cluster.
     @raise Invalid_argument on an out-of-range server index. *)
 
 val precompute :
   ?config:Optimizer.config ->
+  ?solver:Optimizer.solver ->
   ?jobs:int ->
   ?baseline:Es_edge.Decision.t array ->
   Es_edge.Cluster.t ->
@@ -57,7 +61,9 @@ val precompute :
     ignored if its arity doesn't match the cluster): losing one server
     perturbs only that server's devices, so the survivors' incumbent is a
     near-optimal seed and every fallback is equal-or-better than a cold
-    residual solve. *)
+    residual solve.  [solver] is used for the baseline solve and every
+    failure-domain re-solve, and is remembered for the multi-failure
+    re-solves of {!schedule_for_faults}. *)
 
 val baseline : t -> Es_edge.Decision.t array
 (** The healthy-cluster decisions the fallback table was seeded from. *)

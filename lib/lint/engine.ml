@@ -7,7 +7,9 @@
    Known syntactic approximations (documented in DESIGN.md §11): module
    aliases (`module H = Hashtbl`) hide D2 sites; D3 triggers on any bare
    [compare] in a file whose type declarations mention [float]; D4 sees only
-   directly-initialized module-level bindings. *)
+   directly-initialized module-level bindings, and its record check is
+   name-based per file — a field declared [Atomic.t] anywhere in the file
+   exempts that name even where another type declares it plain mutable. *)
 
 open Parsetree
 
@@ -65,6 +67,7 @@ let pos_of (loc : Location.t) =
 type ctx = {
   mutable float_bearing : bool;  (* a type declaration mentions float *)
   mutable mutable_fields : string list;  (* record fields declared mutable *)
+  mutable atomic_fields : string list;  (* record fields of type _ Atomic.t *)
   mutable mutex_fields : string list;  (* record fields of type Mutex.t *)
   mutable top_values : string list;  (* module-level value names *)
   mutable top_mutexes : string list;  (* module-level `let m = Mutex.create ()` *)
@@ -86,10 +89,20 @@ let is_mutex_type ty =
   | Ptyp_constr ({ txt; _ }, _) -> flatten txt = [ "Mutex"; "t" ]
   | _ -> false
 
+(* An [Atomic.t] field is already domain-safe state: a record of atomics
+   needs no mutex, so D4 must not count such fields as guard-needing —
+   even when an unrelated type in the file declares a plain-mutable field
+   of the same name (the record check below is name-based). *)
+let is_atomic_type ty =
+  match ty.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) -> flatten txt = [ "Atomic"; "t" ]
+  | _ -> false
+
 let scan_type_decl ctx (td : type_declaration) =
   let scan_label (ld : label_declaration) =
     if core_type_mentions_float ld.pld_type then ctx.float_bearing <- true;
     if ld.pld_mutable = Mutable then ctx.mutable_fields <- ld.pld_name.txt :: ctx.mutable_fields;
+    if is_atomic_type ld.pld_type then ctx.atomic_fields <- ld.pld_name.txt :: ctx.atomic_fields;
     if is_mutex_type ld.pld_type then ctx.mutex_fields <- ld.pld_name.txt :: ctx.mutex_fields
   in
   let scan_constructor (cd : constructor_declaration) =
@@ -128,7 +141,14 @@ and walk_toplevel_me f me =
 
 let collect_ctx str =
   let ctx =
-    { float_bearing = false; mutable_fields = []; mutex_fields = []; top_values = []; top_mutexes = [] }
+    {
+      float_bearing = false;
+      mutable_fields = [];
+      atomic_fields = [];
+      mutex_fields = [];
+      top_values = [];
+      top_mutexes = [];
+    }
   in
   let it =
     {
@@ -192,12 +212,13 @@ let mutable_init ctx e =
       | [ "Stack"; "create" ] -> Some "Stack.t"
       | _ -> None)
   | Pexp_record (fields, _) ->
+      let counts n = List.mem n ctx.mutable_fields && not (List.mem n ctx.atomic_fields) in
       if
         List.exists
           (fun (({ txt; _ } : Longident.t Location.loc), _) ->
             match txt with
-            | Longident.Lident n -> List.mem n ctx.mutable_fields
-            | _ -> List.mem (Longident.last txt) ctx.mutable_fields)
+            | Longident.Lident n -> counts n
+            | _ -> counts (Longident.last txt))
           fields
       then Some "record with mutable fields"
       else None

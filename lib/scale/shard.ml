@@ -1,0 +1,34 @@
+open Es_edge
+
+(* One server's subproblem: the sub-cluster of its assigned devices over
+   that single server.  Extraction order is the parent's device order, so
+   shard numbering — and therefore every shard solve — is deterministic in
+   (cluster, assignment). *)
+
+type t = { server : int; part : Subcluster.t }
+
+let make cluster ~assignment ~server =
+  let nd = Cluster.n_devices cluster in
+  let ns = Cluster.n_servers cluster in
+  if server < 0 || server >= ns then
+    invalid_arg (Printf.sprintf "Shard.make: server %d out of range" server);
+  if Array.length assignment <> nd then invalid_arg "Shard.make: assignment arity mismatch";
+  let devices = ref [] in
+  for i = nd - 1 downto 0 do
+    if assignment.(i) = server then devices := i :: !devices
+  done;
+  match !devices with
+  | [] -> None
+  | devices -> Some { server; part = Subcluster.extract cluster ~devices ~servers:[ server ] }
+
+let n_devices t = Subcluster.n_devices t.part
+
+let solve ~config ?cache ?warm t =
+  let warm_start = Option.map (Subcluster.restrict t.part) warm in
+  let sub = t.part.Subcluster.cluster in
+  match cache with
+  | Some sc -> Es_joint.Solve_cache.solve sc ~config ?warm_start sub
+  | None -> Es_joint.Optimizer.solve ~config ?warm_start sub
+
+let lift_into t (out : Es_joint.Optimizer.output) into =
+  Subcluster.lift_into t.part out.Es_joint.Optimizer.decisions into

@@ -1,0 +1,39 @@
+(** One server's subproblem in the sharded decomposition.
+
+    A shard is the sub-cluster of the devices currently assigned to one
+    server, over that single server.  With the assignment fixed by the
+    coordination layer ({!Es_scale}), each shard's (surgery plan, bandwidth,
+    compute-share) subproblem is independent of every other shard's, so
+    shards solve in parallel as whole-{!Es_joint.Optimizer.solve} tasks —
+    work coarse enough for the {!Es_util.Par} domain pool to win. *)
+
+type t = {
+  server : int;  (** parent server id this shard solves for *)
+  part : Es_edge.Subcluster.t;  (** its devices + that single server *)
+}
+
+val make : Es_edge.Cluster.t -> assignment:int array -> server:int -> t option
+(** The shard of [server] under [assignment] (device i belongs to server
+    [assignment.(i)]); [None] when no device is assigned to it.  Shard
+    device order is parent device order, so the shard — and any solve of it
+    — is a deterministic function of (cluster, assignment).
+    @raise Invalid_argument on arity mismatch or out-of-range server. *)
+
+val n_devices : t -> int
+
+val solve :
+  config:Es_joint.Optimizer.config ->
+  ?cache:Es_joint.Solve_cache.t ->
+  ?warm:Es_edge.Decision.t array ->
+  t ->
+  Es_joint.Optimizer.output
+(** Solve the shard's subproblem.  [warm] is an incumbent in the {e parent}
+    numbering (full parent arity); it is restricted to the shard — a device
+    whose incumbent server lies outside the shard keeps its plan and is
+    repaired by the optimizer's warm-start machinery.  [cache] memoizes by
+    the shard sub-cluster's fingerprint, so re-solving an untouched shard
+    (same devices, same rates) is a lookup.  Output decisions are in shard
+    numbering; lift with {!lift_into}. *)
+
+val lift_into : t -> Es_joint.Optimizer.output -> Es_edge.Decision.t array -> unit
+(** Write a shard solve's decisions into a parent-numbered array. *)

@@ -1,0 +1,8 @@
+type live = { hits : int Atomic.t; misses : int Atomic.t }
+type scratch = { mutable hits : int; mutable pending : int }
+
+let live_counters = { hits = Atomic.make 0; misses = Atomic.make 0 }
+let scratchpad = { hits = 0; pending = 0 }
+
+let bump () = scratchpad.pending <- scratchpad.pending + 1
+let observe () = Atomic.incr live_counters.hits

@@ -74,6 +74,13 @@ let test_d4 () =
   Alcotest.(check bool) "bad guard names the missing mutex" true
     (contains ~sub:"no_such_mutex" orphan.msg && contains ~sub:"no Mutex.t" orphan.msg)
 
+let test_d4_atomic_fields () =
+  (* A record whose fields are Atomic.t is lock-free domain-safe state: no
+     D4, even when another type in the file declares the same field name
+     plain mutable.  Fields without an Atomic.t declaration still fire. *)
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D4 ] ()) [ "atomic_d4.ml" ] in
+  check_rule_lines "only the plain-mutable literal fires" [ ("D4", 5) ] r.findings
+
 let test_d5 () =
   let r =
     Engine.lint_files (cfg ~rules:[ Rule.D5 ] ~mli:Engine.Mli_always ()) [ "d5_missing.ml"; "clean.ml" ]
@@ -177,6 +184,7 @@ let () =
           Alcotest.test_case "D3 polymorphic compare" `Quick test_d3;
           Alcotest.test_case "D3 needs float declarations" `Quick test_d3_needs_float_types;
           Alcotest.test_case "D4 mutable toplevel state" `Quick test_d4;
+          Alcotest.test_case "D4 Atomic.t record fields exempt" `Quick test_d4_atomic_fields;
           Alcotest.test_case "D5 mli coverage" `Quick test_d5;
           Alcotest.test_case "parse error" `Quick test_parse_error;
           Alcotest.test_case "clean fixture is clean" `Quick test_clean_fixture;
