@@ -215,6 +215,35 @@ let () =
             "sharded decisions validate")
     (List.filter (fun j -> kind_of j = Some "sharded_vs_mono") current);
 
+  (* million_request: the serving-engine arm.  The calendar-vs-heap
+     events/s ratio is machine-relative; it also shrinks with [n] (the heap
+     pays log n), so a CI smoke at a smaller n than the committed baseline
+     leans on the 2x band — the gate still catches the failure it exists
+     for, the calendar collapsing to heap speed.  The correctness bits must
+     simply hold: both backends process the same event count, produce
+     byte-equal end-to-end reports, and every generated request is
+     accounted for. *)
+  (match find_kind "million_request" current with
+  | None -> ()
+  | Some cur ->
+      gate_speedup "million_request.engine_speedup"
+        ~baseline:
+          (Option.bind (find_kind "million_request" baseline)
+             (float_field "engine_speedup"))
+        ~current:(float_field "engine_speedup" cur);
+      List.iter
+        (fun field ->
+          check
+            (Printf.sprintf "million_request.%s" field)
+            (bool_field field cur = Some true)
+            (match bool_field field cur with
+            | Some b -> Printf.sprintf "%b" b
+            | None -> "current record/field missing"))
+        [ "identical"; "reports_match"; "conservation" ];
+      (match float_field "calendar_events_per_s" cur with
+      | Some eps -> check "million_request.events_per_s" (eps > 0.0) (Printf.sprintf "%.0f ev/s" eps)
+      | None -> check "million_request.events_per_s" false "current record/field missing"));
+
   (* Name the failed checks in the summary and flush before exiting, so a
      CI log that truncates at the non-zero exit still shows what failed. *)
   match List.rev !failures with

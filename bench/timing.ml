@@ -288,6 +288,131 @@ let warm_online ~repeats =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* million_request — serving-engine throughput (events/s)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements of the same question — how fast does the discrete-event
+   core move — at two levels:
+
+   1. Raw engine: [n] time-sorted arrival times pre-generated OUTSIDE the
+      timed region (the RNG is shared overhead that would otherwise dilute
+      the backend ratio), all scheduled up front — exactly how Runner
+      pre-schedules a trace — so the pending population starts at n, then
+      drained; each arrival schedules one short-delay follow-up through a
+      shared zero-capture closure (2n events total, no per-event closure
+      allocation inside the timed loop).  This is the regime that separates
+      the backends: against an ~n-deep queue the heap pays a full O(log n)
+      sift per op while the calendar appends sorted pushes in O(1) at the
+      tail of the current bucket and pops in O(1).
+
+   2. End-to-end: a Heavy.population smart-city fleet (n/100 devices) under
+      a flash-crowd trace through Runner.run with streaming metrics, once
+      per backend.  Checks the two backends produce byte-equal reports
+      (end-to-end equivalence) and that conservation holds, and records
+      sustained runner events/s. *)
+let million_request ~repeats n =
+  let total_events n = 2 * n in
+  let times =
+    let rng = Es_util.Prng.create 42 in
+    let a = Array.init n (fun _ -> Es_util.Prng.float_in rng 0.0 3600.0) in
+    Array.sort Float.compare a;
+    a
+  in
+  let run_engine backend () =
+    let engine = Es_sim.Engine.create ~backend () in
+    let noop () = () in
+    let hop () = Es_sim.Engine.schedule engine 0.001 noop in
+    Array.iter (fun t -> Es_sim.Engine.schedule_at engine t hop) times;
+    Es_sim.Engine.run engine;
+    (Es_sim.Engine.stats engine).Es_sim.Engine.events_processed
+  in
+  let heap_events = run_engine Es_sim.Engine.Heap () in
+  let cal_events = run_engine Es_sim.Engine.Calendar () in
+  let identical = heap_events = cal_events && cal_events = total_events n in
+  let t_heap = time_best ~repeats (fun () -> run_engine Es_sim.Engine.Heap ()) in
+  let t_cal = time_best ~repeats (fun () -> run_engine Es_sim.Engine.Calendar ()) in
+  let heap_eps = float_of_int heap_events /. t_heap in
+  let cal_eps = float_of_int cal_events /. t_cal in
+  let engine_speedup = t_heap /. t_cal in
+  Printf.printf
+    "million_request %d events  heap %.3fs (%.0f ev/s)  calendar %.3fs (%.0f ev/s)  \
+     speedup %.2fx  identical %b\n\
+     %!"
+    (total_events n) t_heap heap_eps t_cal cal_eps engine_speedup identical;
+  let devices = max 200 (n / 100) in
+  let cluster =
+    Es_workload.Heavy.population ~devices Es_workload.Scenarios.smart_city
+  in
+  let rate_sum =
+    Array.fold_left
+      (fun acc (d : Es_edge.Cluster.device) -> acc +. d.Es_edge.Cluster.rate)
+      0.0 cluster.Es_edge.Cluster.devices
+  in
+  let duration = float_of_int n /. rate_sum in
+  let profile = Es_workload.Heavy.profile_by_name ~duration_s:duration "flash" in
+  let trace = Es_workload.Heavy.trace ~seed:42 ~duration_s:duration ~profile cluster in
+  let decisions = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve cluster in
+  let run_sim backend =
+    let stats = ref None in
+    let options =
+      {
+        Es_sim.Runner.default_options with
+        duration_s = duration;
+        warmup_s = 0.0;
+        streaming = true;
+        engine = backend;
+      }
+    in
+    let t0 = wall () in
+    let report =
+      Es_sim.Runner.run ~options ~arrivals:trace
+        ~on_stats:(fun s -> stats := Some s)
+        cluster decisions
+    in
+    let dt = wall () -. t0 in
+    (report, Option.get !stats, dt)
+  in
+  let heap_report, heap_stats, heap_t = run_sim Es_sim.Engine.Heap in
+  let cal_report, cal_stats, cal_t = run_sim Es_sim.Engine.Calendar in
+  let reports_match = heap_report = cal_report in
+  let conservation =
+    cal_report.Es_sim.Metrics.total_generated
+    = cal_report.Es_sim.Metrics.total_completed + cal_report.Es_sim.Metrics.total_dropped
+      + cal_report.Es_sim.Metrics.total_timed_out
+  in
+  let runner_heap_eps = float_of_int heap_stats.Es_sim.Engine.events_processed /. heap_t in
+  let runner_cal_eps = float_of_int cal_stats.Es_sim.Engine.events_processed /. cal_t in
+  let runner_speedup = heap_t /. cal_t in
+  Printf.printf
+    "million_request %d devices / %d reqs  runner heap %.2fs (%.0f ev/s)  calendar %.2fs \
+     (%.0f ev/s)  speedup %.2fx  max_pending %d  reports_match %b  conservation %b\n\
+     %!"
+    devices cal_report.Es_sim.Metrics.total_generated heap_t runner_heap_eps cal_t
+    runner_cal_eps runner_speedup cal_stats.Es_sim.Engine.max_pending reports_match
+    conservation;
+  J.Obj
+    [
+      ("kind", J.String "million_request");
+      ("n", J.Int n);
+      ("engine_events", J.Int cal_events);
+      ("t_heap_s", J.Float t_heap);
+      ("t_calendar_s", J.Float t_cal);
+      ("heap_events_per_s", J.Float heap_eps);
+      ("calendar_events_per_s", J.Float cal_eps);
+      ("engine_speedup", J.Float engine_speedup);
+      ("identical", J.Bool identical);
+      ("devices", J.Int devices);
+      ("requests", J.Int cal_report.Es_sim.Metrics.total_generated);
+      ("runner_events", J.Int cal_stats.Es_sim.Engine.events_processed);
+      ("runner_max_pending", J.Int cal_stats.Es_sim.Engine.max_pending);
+      ("runner_heap_events_per_s", J.Float runner_heap_eps);
+      ("runner_calendar_events_per_s", J.Float runner_cal_eps);
+      ("runner_speedup", J.Float runner_speedup);
+      ("reports_match", J.Bool reports_match);
+      ("conservation", J.Bool conservation);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* bench_suite — the parallelized sweep experiments end to end         *)
 (* ------------------------------------------------------------------ *)
 
@@ -348,9 +473,10 @@ let () =
   let out_path = ref "BENCH_solver.json" in
   let suite = ref false in
   let warm = ref false in
+  let million = ref 0 in
   let usage () =
     prerr_endline
-      "usage: timing.exe [--sizes N,N,..] [--sharded-sizes N,N,..] [--vs-mono N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online]";
+      "usage: timing.exe [--sizes N,N,..] [--sharded-sizes N,N,..] [--vs-mono N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online] [--million-request N]";
     exit 2
   in
   let parse_sizes into s rest k =
@@ -385,6 +511,12 @@ let () =
     | "--warm-online" :: rest ->
         warm := true;
         parse rest
+    | "--million-request" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some m when m >= 1 ->
+            million := m;
+            parse rest
+        | _ -> usage ())
     | [] -> ()
     | _ -> usage ()
   in
@@ -412,5 +544,6 @@ let () =
   List.iter (fun n -> emit (sharded_scaling ~jobs:!jobs ~repeats:!repeats n)) !sharded_sizes;
   List.iter (fun n -> emit (sharded_vs_mono ~repeats:!repeats n)) !vs_mono_sizes;
   if !warm then emit (warm_online ~repeats:!repeats);
+  if !million >= 1 then emit (million_request ~repeats:!repeats !million);
   if !suite then emit (bench_suite ~jobs:!jobs);
   close_out oc

@@ -92,7 +92,7 @@ let with_obs ~metrics_out ~trace_out ~no_obs body =
       | _ -> ());
       result)
 
-let build_cluster scenario devices seed ap_mbps =
+let build_spec scenario devices seed ap_mbps =
   match Es_workload.Scenarios.by_name scenario with
   | exception Not_found ->
       Error (Printf.sprintf "unknown scenario %S (try: %s)" scenario
@@ -101,7 +101,10 @@ let build_cluster scenario devices seed ap_mbps =
       let spec = match devices with Some n -> Scenario.with_n_devices n spec | None -> spec in
       let spec = match seed with Some s -> Scenario.with_seed s spec | None -> spec in
       let spec = match ap_mbps with Some b -> Scenario.with_ap_mbps b spec | None -> spec in
-      Ok (Scenario.build spec)
+      Ok spec
+
+let build_cluster scenario devices seed ap_mbps =
+  Result.map Scenario.build (build_spec scenario devices seed ap_mbps)
 
 let policy_by_name name =
   List.find_opt
@@ -267,13 +270,91 @@ let run_cmd =
       & opt (enum [ ("none", `None); ("local", `Local); ("resolve", `Resolve) ]) `None
       & info [ "fallback" ] ~docv:"MODE" ~doc)
   in
+  let heavy_devices =
+    let doc =
+      "Replace the scenario's device list with a $(docv)-strong heavy-traffic population \
+       stamped from a few archetypes (servers scale with it); arrivals come from an explicit \
+       non-stationary trace instead of per-device Poisson draws."
+    in
+    Arg.(value & opt (some int) None & info [ "heavy-devices" ] ~docv:"N" ~doc)
+  in
+  let heavy_archetypes =
+    let doc = "Number of device archetypes the heavy population is stamped from." in
+    Arg.(value & opt int 4 & info [ "heavy-archetypes" ] ~docv:"K" ~doc)
+  in
+  let load_profile =
+    let doc =
+      Printf.sprintf "Load shape modulating every device's arrival rate over the run: %s."
+        (String.concat ", " Es_workload.Heavy.profile_names)
+    in
+    Arg.(value & opt (some string) None & info [ "load-profile" ] ~docv:"NAME" ~doc)
+  in
+  let streaming =
+    let doc =
+      "Stream metrics incrementally (constant memory: pooled moments + a histogram sketch \
+       instead of per-request samples) and print engine throughput and request-conservation \
+       lines after the run."
+    in
+    Arg.(value & flag & info [ "streaming" ] ~doc)
+  in
   let run scenario devices seed ap_mbps duration policy verbose faults retries timeout_factor
-      fallback metrics_out trace_out no_obs =
-    match build_cluster scenario devices seed ap_mbps with
+      fallback heavy_devices heavy_archetypes load_profile streaming metrics_out trace_out
+      no_obs =
+    let heavy_setup =
+      (* Heavy population and/or explicit profiled arrivals; [None] leaves
+         the classic path (and its golden output) untouched. *)
+      match build_spec scenario devices seed ap_mbps with
+      | Error e -> Error e
+      | Ok spec -> (
+          let profile_r =
+            match load_profile with
+            | None -> Ok (Es_workload.Profiles.constant 1.0)
+            | Some name -> (
+                match Es_workload.Heavy.profile_by_name ~duration_s:duration name with
+                | p -> Ok p
+                | exception Not_found ->
+                    Error
+                      (Printf.sprintf "unknown --load-profile %S (try: %s)" name
+                         (String.concat ", " Es_workload.Heavy.profile_names)))
+          in
+          match profile_r with
+          | Error e -> Error e
+          | Ok profile -> (
+              match heavy_devices with
+              | Some n when n < 1 -> Error "--heavy-devices must be >= 1"
+              | Some _ when heavy_archetypes < 1 -> Error "--heavy-archetypes must be >= 1"
+              | Some n ->
+                  let cluster =
+                    Es_workload.Heavy.population ~k:heavy_archetypes ~devices:n spec
+                  in
+                  let trace =
+                    Es_workload.Heavy.trace ~seed:spec.Scenario.seed ~duration_s:duration
+                      ~profile cluster
+                  in
+                  Ok (Some (cluster, Some trace))
+              | None -> (
+                  match load_profile with
+                  | None -> Ok None
+                  | Some _ ->
+                      let cluster = Scenario.build spec in
+                      let trace =
+                        Es_workload.Heavy.trace ~seed:spec.Scenario.seed ~duration_s:duration
+                          ~profile cluster
+                      in
+                      Ok (Some (cluster, Some trace)))))
+    in
+    let cluster_r =
+      match heavy_setup with
+      | Error e -> Error e
+      | Ok (Some (cluster, trace)) -> Ok (cluster, trace)
+      | Ok None ->
+          Result.map (fun c -> (c, None)) (build_cluster scenario devices seed ap_mbps)
+    in
+    match cluster_r with
     | Error e ->
         Printf.eprintf "%s\n" e;
         1
-    | Ok cluster -> (
+    | Ok (cluster, arrivals) -> (
         match policy_by_name policy with
         | None ->
             Printf.eprintf "unknown policy %S (try: %s)\n" policy
@@ -307,7 +388,12 @@ let run_cmd =
                 Printf.eprintf "bad --faults: %s\n" e;
                 1
             | Ok fault_schedule ->
-                Format.printf "%a" Cluster.pp_summary cluster;
+                (* A heavy population would print thousands of per-device
+                   lines; summarize it instead. *)
+                if heavy_devices <> None then
+                  Printf.printf "cluster: %d devices (%d archetypes), %d servers\n"
+                    (Cluster.n_devices cluster) heavy_archetypes (Cluster.n_servers cluster)
+                else Format.printf "%a" Cluster.pp_summary cluster;
                 if not (Es_sim.Faults.is_empty fault_schedule) then
                   Format.printf "fault schedule:@.%a@?" Es_sim.Faults.pp fault_schedule;
                 let decisions = p.Es_baselines.Baselines.solve cluster in
@@ -348,19 +434,49 @@ let run_cmd =
                     duration_s = duration;
                     faults = fault_schedule;
                     resilience;
+                    streaming;
                   }
                 in
+                let engine_stats = ref None in
+                let t0 = Es_obs.Obs.wall_clock () in
                 let report =
                   with_obs ~metrics_out ~trace_out ~no_obs (fun ~metrics ~spans ->
-                      Es_sim.Runner.run ~options ?metrics ?spans ~reconfigure cluster decisions)
+                      Es_sim.Runner.run ~options ?metrics ?spans ~reconfigure ?arrivals
+                        ~on_stats:(fun s -> engine_stats := Some s)
+                        cluster decisions)
                 in
+                let wall_s = Es_obs.Obs.wall_clock () -. t0 in
                 print_report p.Es_baselines.Baselines.name report;
-                0))
+                if streaming then begin
+                  (match !engine_stats with
+                  | Some (s : Es_sim.Engine.stats) ->
+                      Printf.printf
+                        "engine: %d events in %.2fs wall (%.0f events/s), max pending %d\n"
+                        s.Es_sim.Engine.events_processed wall_s
+                        (float_of_int s.Es_sim.Engine.events_processed /. Float.max 1e-9 wall_s)
+                        s.Es_sim.Engine.max_pending
+                  | None -> ());
+                  let g = report.Es_sim.Metrics.total_generated in
+                  let c = report.Es_sim.Metrics.total_completed in
+                  let d = report.Es_sim.Metrics.total_dropped in
+                  let t = report.Es_sim.Metrics.total_timed_out in
+                  if g = c + d + t then begin
+                    Printf.printf "conservation OK: %d = %d + %d + %d\n" g c d t;
+                    0
+                  end
+                  else begin
+                    Printf.printf "conservation VIOLATED: %d generated vs %d + %d + %d\n" g c
+                      d t;
+                    1
+                  end
+                end
+                else 0))
   in
   Cmd.v (Cmd.info "run" ~doc:"Solve and simulate one policy on a scenario")
     Term.(
       const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ duration_arg $ policy
-      $ verbose $ faults $ retries $ timeout_factor $ fallback $ metrics_out_arg $ trace_out_arg
+      $ verbose $ faults $ retries $ timeout_factor $ fallback $ heavy_devices
+      $ heavy_archetypes $ load_profile $ streaming $ metrics_out_arg $ trace_out_arg
       $ no_obs_arg)
 
 (* ---------- compare ---------- *)

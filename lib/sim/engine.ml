@@ -1,27 +1,79 @@
-type t = { mutable clock : float; events : (unit -> unit) Es_util.Heap.t }
+type backend = Heap | Calendar
 
-let create () = { clock = 0.0; events = Es_util.Heap.create () }
+type queue =
+  | Q_heap of (unit -> unit) Es_util.Heap.t
+  | Q_cal of (unit -> unit) Es_util.Calendar_queue.t
+
+type t = {
+  mutable clock : float;
+  q : queue;
+  mutable events_processed : int;
+  mutable max_pending : int;
+}
+
+type stats = { events_processed : int; max_pending : int; pending : int }
+
+let create ?(backend = Calendar) () =
+  let q =
+    match backend with
+    | Heap -> Q_heap (Es_util.Heap.create ())
+    | Calendar -> Q_cal (Es_util.Calendar_queue.create ())
+  in
+  { clock = 0.0; q; events_processed = 0; max_pending = 0 }
 
 let now t = t.clock
 
+let pending t =
+  match t.q with
+  | Q_heap h -> Es_util.Heap.length h
+  | Q_cal c -> Es_util.Calendar_queue.length c
+
+let push t time f =
+  let n =
+    match t.q with
+    | Q_heap h ->
+        Es_util.Heap.push h time f;
+        Es_util.Heap.length h
+    | Q_cal c ->
+        Es_util.Calendar_queue.push c time f;
+        Es_util.Calendar_queue.length c
+  in
+  if n > t.max_pending then t.max_pending <- n
+
 let schedule t delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Es_util.Heap.push t.events (t.clock +. delay) f
+  push t (t.clock +. delay) f
 
-let schedule_at t time f = Es_util.Heap.push t.events (Float.max time t.clock) f
+let schedule_at t time f = push t (Float.max time t.clock) f
 
+(* The backend dispatch is hoisted out of the drain loop: inside it each
+   event is exactly one queue pop (the calendar resumes its bucket scan
+   where the previous pop stopped, so a run of same-timestamp events
+   drains at the head of one bucket; the heap peeks before popping), the
+   clock update and the callback. *)
 let run ?(until = infinity) t =
   let continue = ref true in
-  while !continue do
-    match Es_util.Heap.peek t.events with
-    | None -> continue := false
-    | Some (time, _) when time > until ->
-        t.clock <- until;
-        continue := false
-    | Some _ ->
-        let time, f = Es_util.Heap.pop_exn t.events in
-        t.clock <- time;
-        f ()
-  done
+  (match t.q with
+  | Q_cal c ->
+      while !continue do
+        match Es_util.Calendar_queue.pop_before c until with
+        | Some (time, f) ->
+            t.clock <- time;
+            t.events_processed <- t.events_processed + 1;
+            f ()
+        | None -> continue := false
+      done
+  | Q_heap h ->
+      while !continue do
+        match Es_util.Heap.peek h with
+        | Some (time, _) when time <= until ->
+            let time, f = Es_util.Heap.pop_exn h in
+            t.clock <- time;
+            t.events_processed <- t.events_processed + 1;
+            f ()
+        | _ -> continue := false
+      done);
+  if pending t > 0 then t.clock <- until
 
-let pending t = Es_util.Heap.length t.events
+let stats (t : t) : stats =
+  { events_processed = t.events_processed; max_pending = t.max_pending; pending = pending t }

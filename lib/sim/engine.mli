@@ -1,11 +1,21 @@
 (** Discrete-event simulation core: a clock and a time-ordered event list.
 
-    Events scheduled for the same instant fire in scheduling order (the
-    underlying heap is stabilized), so runs are fully deterministic. *)
+    Events scheduled for the same instant fire in scheduling order (both
+    queue backends are stabilized with sequence numbers), so runs are fully
+    deterministic — and identical across backends, a property the test
+    suite pins by running the same schedules on both. *)
 
 type t
 
-val create : unit -> t
+type backend =
+  | Heap  (** binary heap — O(log n) per op; kept as the reference oracle *)
+  | Calendar
+      (** calendar queue ({!Es_util.Calendar_queue}) — O(1) amortized per
+          op, the default; the win over the heap grows with the pending
+          population (pre-scheduled arrival traces, heavy traffic) *)
+
+val create : ?backend:backend -> unit -> t
+(** [backend] defaults to [Calendar]. *)
 
 val now : t -> float
 
@@ -14,11 +24,24 @@ val schedule : t -> float -> (unit -> unit) -> unit
     @raise Invalid_argument on negative delay. *)
 
 val schedule_at : t -> float -> (unit -> unit) -> unit
-(** Absolute-time variant; clamps to the current time if in the past. *)
+(** Absolute-time variant; clamps to the current time if in the past.
+    @raise Invalid_argument on a NaN or infinite time (the calendar
+    backend buckets by finite timestamps). *)
 
 val run : ?until:float -> t -> unit
 (** Drain events until the list is empty or the clock passes [until]
     (events scheduled beyond the horizon stay unexecuted but the clock stops
-    at [until]). *)
+    at [until]).  One queue operation per event: no separate peek-then-pop
+    rescan per timestamp. *)
 
 val pending : t -> int
+
+type stats = {
+  events_processed : int;  (** events popped and fired so far *)
+  max_pending : int;  (** high-water mark of the future-event list *)
+  pending : int;  (** events still queued *)
+}
+
+val stats : t -> stats
+(** Cheap counters for throughput accounting (events/s) and obs gauges;
+    reading them does not disturb the queue. *)

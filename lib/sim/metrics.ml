@@ -36,18 +36,28 @@ type dev_acc = {
   mutable timed_out : int;
   mutable hits : int;
   stats : Es_util.Stats.t;
-  mutable rev_samples : float list;
+  mutable rev_samples : float list;  (* exact mode only *)
 }
+
+(* One entry per resolved request, newest first (exact mode only).
+   Completions carry their latency; drops and timeouts carry [nan] — the
+   marker that keeps a single log where two parallel lists
+   ([rev_events]/[rev_hits]) used to duplicate every completion. *)
+type outcome_ev = { at : float; lat : float; hit : bool }
 
 type collector = {
   devs : dev_acc array;
   window_start : float;
   window_end : float;
-  mutable rev_events : (float * float * bool) list;
-  mutable rev_hits : (float * bool) list;
+  streaming : bool;
+  pooled : Es_util.Stats.t;  (* streaming: exact count/mean/sum of latencies *)
+  sketch : Es_obs.Histogram.t;  (* streaming: fixed-size quantile sketch *)
+  mutable rev_log : outcome_ev list;
+  mutable n_logged : int;
+  mutable n_completions : int;
 }
 
-let create_collector ~n_devices ~window_start ~window_end =
+let create_collector ?(streaming = false) ~n_devices ~window_start ~window_end () =
   {
     devs =
       Array.init n_devices (fun _ ->
@@ -63,8 +73,12 @@ let create_collector ~n_devices ~window_start ~window_end =
           });
     window_start;
     window_end;
-    rev_events = [];
-    rev_hits = [];
+    streaming;
+    pooled = Es_util.Stats.create ();
+    sketch = Es_obs.Histogram.create ();
+    rev_log = [];
+    n_logged = 0;
+    n_completions = 0;
   }
 
 let in_window c t = t >= c.window_start && t <= c.window_end
@@ -75,11 +89,18 @@ let on_arrival c ~device ~now =
     d.generated <- d.generated + 1
   end
 
+let log_outcome c ~at ~lat ~hit =
+  if not c.streaming then begin
+    c.rev_log <- { at; lat; hit } :: c.rev_log;
+    c.n_logged <- c.n_logged + 1;
+    if not (Float.is_nan lat) then c.n_completions <- c.n_completions + 1
+  end
+
 let on_drop c ~device ~now =
   if in_window c now then begin
     let d = c.devs.(device) in
     d.dropped <- d.dropped + 1;
-    c.rev_hits <- (now, false) :: c.rev_hits
+    log_outcome c ~at:now ~lat:nan ~hit:false
   end
 
 let on_timeout c ~device ~arrival =
@@ -89,7 +110,7 @@ let on_timeout c ~device ~arrival =
   if in_window c arrival then begin
     let d = c.devs.(device) in
     d.timed_out <- d.timed_out + 1;
-    c.rev_hits <- (arrival, false) :: c.rev_hits
+    log_outcome c ~at:arrival ~lat:nan ~hit:false
   end
 
 let on_completion c ?(degraded = false) ~device ~arrival ~now ~deadline () =
@@ -102,9 +123,34 @@ let on_completion c ?(degraded = false) ~device ~arrival ~now ~deadline () =
     let hit = latency <= deadline +. 1e-12 in
     if hit then d.hits <- d.hits + 1;
     Es_util.Stats.add d.stats latency;
-    d.rev_samples <- latency :: d.rev_samples;
-    c.rev_events <- (now, latency, hit) :: c.rev_events;
-    c.rev_hits <- (now, hit) :: c.rev_hits
+    if c.streaming then begin
+      (* O(1) per request: Welford accumulator + fixed-size histogram
+         instead of sample lists. *)
+      Es_util.Stats.add c.pooled latency;
+      Es_obs.Histogram.observe c.sketch latency
+    end
+    else begin
+      d.rev_samples <- latency :: d.rev_samples;
+      log_outcome c ~at:now ~lat:latency ~hit
+    end
+  end
+
+(* Reversed list -> array in a single backward-fill pass (the length is
+   tracked by the counters, so no List.rev / List.length prewalk).
+   Streaming collectors keep no sample lists, so their per-device and
+   pooled raw-sample arrays are empty by construction. *)
+let samples_of c d =
+  let n = if c.streaming then 0 else d.completed in
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n 0.0 in
+    let i = ref (n - 1) in
+    List.iter
+      (fun s ->
+        a.(!i) <- s;
+        decr i)
+      d.rev_samples;
+    a
   end
 
 let finalize c ~server_busy ~duration =
@@ -119,7 +165,7 @@ let finalize c ~server_busy ~duration =
           timed_out = d.timed_out;
           deadline_hits = d.hits;
           latency = d.stats;
-          samples = Array.of_list (List.rev d.rev_samples);
+          samples = samples_of c d;
         })
       c.devs
   in
@@ -136,14 +182,39 @@ let finalize c ~server_busy ~duration =
   let dsr =
     if total_generated = 0 then 1.0 else float_of_int hits /. float_of_int total_generated
   in
-  let pct p = if Array.length latencies = 0 then nan else Es_util.Stats.percentile latencies p in
+  let mean, pct =
+    if c.streaming then
+      ( (if Es_util.Stats.count c.pooled = 0 then nan else Es_util.Stats.mean c.pooled),
+        fun p ->
+          if Es_obs.Histogram.count c.sketch = 0 then nan
+          else Es_obs.Histogram.quantile c.sketch p )
+    else
+      ( Es_util.Stats.mean_of latencies,
+        fun p ->
+          if Array.length latencies = 0 then nan else Es_util.Stats.percentile latencies p )
+  in
   let window = Float.max 1e-9 (Float.min c.window_end duration -. c.window_start) in
-  let events_rev = c.rev_events in
+  (* Both outcome arrays are filled from one walk of the single log:
+     [events] gets the completions (chronological completion order),
+     [event_hits] every resolution. *)
+  let events = Array.make c.n_completions (0.0, 0.0) in
+  let event_hits = Array.make c.n_logged (0.0, false) in
+  let i = ref (c.n_completions - 1) in
+  let j = ref (c.n_logged - 1) in
+  List.iter
+    (fun e ->
+      event_hits.(!j) <- (e.at, e.hit);
+      decr j;
+      if not (Float.is_nan e.lat) then begin
+        events.(!i) <- (e.at, e.lat);
+        decr i
+      end)
+    c.rev_log;
   {
     per_device;
     latencies;
     dsr;
-    mean_latency_s = Es_util.Stats.mean_of latencies;
+    mean_latency_s = mean;
     p50_s = pct 50.0;
     p95_s = pct 95.0;
     p99_s = pct 99.0;
@@ -154,8 +225,8 @@ let finalize c ~server_busy ~duration =
     total_timed_out;
     server_utilization = Array.map (fun b -> b /. window) server_busy;
     measured_duration_s = window;
-    events = Array.of_list (List.rev_map (fun (now, lat, _) -> (now, lat)) events_rev);
-    event_hits = Array.of_list (List.rev c.rev_hits);
+    events;
+    event_hits;
   }
 
 let pp_report fmt r =

@@ -43,7 +43,25 @@ type report = {
 
 type collector
 
-val create_collector : n_devices:int -> window_start:float -> window_end:float -> collector
+val create_collector :
+  ?streaming:bool -> n_devices:int -> window_start:float -> window_end:float -> unit -> collector
+(** [streaming] (default [false]) selects O(1)-per-request accumulation:
+    latency samples feed a pooled Welford accumulator plus a fixed-size
+    log-bucketed histogram sketch ({!Es_obs.Histogram}, default geometry)
+    instead of per-request lists, so memory stays constant however many
+    requests the run generates.
+
+    Tolerance contract of a streaming report versus the exact collector on
+    the same run — pinned by the test suite:
+    - all counts ([total_*], per-device counters, [deadline_hits]) and
+      therefore [dsr] are {b exactly} equal;
+    - [mean_latency_s] agrees to float rounding (Welford vs. pooled-array
+      summation order);
+    - [p50_s]/[p95_s]/[p99_s] agree within one sketch bucket, i.e. a
+      relative error bounded by the bucket growth factor (≈ ±4.5%);
+    - the raw-sample fields are empty ([samples], [latencies], [events],
+      [event_hits] are [[||]]) — consumers that need them (plot exports)
+      must use the exact collector. *)
 
 val on_arrival : collector -> device:int -> now:float -> unit
 val on_drop : collector -> device:int -> now:float -> unit

@@ -23,6 +23,8 @@ type options = {
   batching : batching option;
   faults : Faults.t;
   resilience : resilience option;
+  streaming : bool;
+  engine : Engine.backend;
 }
 
 let default_options =
@@ -36,6 +38,8 @@ let default_options =
     batching = None;
     faults = Faults.empty;
     resilience = None;
+    streaming = false;
+    engine = Engine.Calendar;
   }
 
 type dev_stations = {
@@ -60,6 +64,17 @@ and s_server = 3
 and s_downlink = 4
 
 and s_downlink_prop = 5
+
+(* Per-request state is packed into one int per request: outcome in bits
+   0–2, the fallback-started flag in bit 3, the retry attempt count in the
+   bits above.  Outcome 0 is "in flight". *)
+let o_completed = 1
+
+and o_degraded = 2
+
+and o_dropped = 3
+
+and o_timed_out = 4
 
 (* Bad plans used to be masked by clamping speeds to a tiny positive value;
    now they fail loudly at the boundary.  A decision that leaves a stage
@@ -108,7 +123,7 @@ let fallback_work_of (dev : Cluster.device) =
   Plan.device_time perf best
 
 let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
-    ?(work_scale = fun ~device:_ _ -> 1.0) cluster decisions =
+    ?(work_scale = fun ~device:_ _ -> 1.0) ?on_stats cluster decisions =
   let nd = Cluster.n_devices cluster and ns = Cluster.n_servers cluster in
   if Array.length decisions <> nd then invalid_arg "Runner.run: decisions size mismatch";
   Array.iteri (check_decision ~ns) decisions;
@@ -116,7 +131,7 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
   (match Faults.validate ~n_devices:nd ~n_servers:ns options.faults with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runner.run: bad fault schedule: " ^ msg));
-  let engine = Engine.create () in
+  let engine = Engine.create ~backend:options.engine () in
   let tracer =
     match spans with
     | None -> Es_obs.Span.null
@@ -162,8 +177,8 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
   let link_up = Array.make nd true in
   let link_factor = Array.make nd 1.0 in
   let collector =
-    Metrics.create_collector ~n_devices:nd ~window_start:options.warmup_s
-      ~window_end:options.duration_s
+    Metrics.create_collector ~streaming:options.streaming ~n_devices:nd
+      ~window_start:options.warmup_s ~window_end:options.duration_s ()
   in
   (* Metric handles are resolved once up front; with [metrics = None] every
      note_* is a constant no-op closure, so the uninstrumented hot path pays
@@ -315,147 +330,194 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
     end
   in
   let tracing = Es_obs.Span.enabled tracer in
-  let process dev_id arrival =
-    let d = current.(dev_id) in
-    let dev = cluster.Cluster.devices.(dev_id) in
-    let st = stations.(dev_id) in
-    let plan = d.Decision.plan in
-    let scale = work_scale ~device:dev_id scale_rng *. jitter () in
-    (* One trace per request: a root "request" span whose child segments
-       tile [arrival, completion] exactly — the chain below submits each
-       stage synchronously at the previous stage's completion, so segment
-       durations sum to the end-to-end latency.  Under resilience a request
-       can have several racing continuations (a retry, the fallback, a late
-       original completion); [resolved] makes the first outcome the only
-       one that touches metrics and finishes the root span. *)
-    let root =
-      Es_obs.Span.start tracer
-        ~attrs:
-          [
-            ("device", Es_obs.Json.Int dev_id); ("server", Es_obs.Json.Int d.Decision.server);
-          ]
-        "request"
+  (* Flat per-request state, indexed by request id: parallel growable
+     arrays instead of a closure full of refs per request, so steady-state
+     simulation allocates O(1) per request.  [req_span] is only grown (and
+     only read) when tracing — the untraced hot path never touches it. *)
+  let n_req = ref 0 in
+  let req_state = ref [||] in
+  let req_arrival = ref [||] in
+  let req_scale = ref [||] in
+  let req_dev = ref [||] in
+  let req_dec : Decision.t array ref = ref [||] in
+  let req_span = ref [||] in
+  let no_span = Es_obs.Span.start Es_obs.Span.null "unused" in
+  let initial_cap =
+    let expected =
+      match arrivals with
+      | Some trace -> Array.length trace
+      | None ->
+          let rate_sum =
+            Array.fold_left
+              (fun acc (d : Cluster.device) -> acc +. d.Cluster.rate)
+              0.0 cluster.Cluster.devices
+          in
+          int_of_float (1.5 *. rate_sum *. options.duration_s)
     in
-    let resolved = ref false in
-    let complete () =
-      if not !resolved then begin
-        resolved := true;
-        let now = Engine.now engine in
-        note_completion ~arrival ~degraded:false (now -. arrival);
+    min (1 lsl 22) (max 64 expected)
+  in
+  (* [fill_dec] seeds the decision array on first growth (there is no
+     synthesizable dummy [Decision.t]); afterwards existing slot 0 works. *)
+  let ensure_cap fill_dec =
+    let cap = Array.length !req_state in
+    if !n_req >= cap then begin
+      let ncap = if cap = 0 then initial_cap else 2 * cap in
+      let grow a fill =
+        let b = Array.make ncap fill in
+        Array.blit !a 0 b 0 cap;
+        a := b
+      in
+      grow req_state 0;
+      grow req_arrival 0.0;
+      grow req_scale 1.0;
+      grow req_dev 0;
+      grow req_dec fill_dec;
+      if tracing then grow req_span no_span
+    end
+  in
+  let resolved rid = (!req_state).(rid) land 7 <> 0 in
+  let set_outcome rid o = (!req_state).(rid) <- (!req_state).(rid) lor o in
+  let fallback_started rid = (!req_state).(rid) land 8 <> 0 in
+  let set_fallback rid = (!req_state).(rid) <- (!req_state).(rid) lor 8 in
+  let attempts rid = (!req_state).(rid) lsr 4 in
+  let incr_attempts rid = (!req_state).(rid) <- (!req_state).(rid) + 16 in
+  (* Under resilience a request can have several racing continuations (a
+     retry, the fallback, a late original completion); the outcome bits
+     make the first one the only one that touches metrics and finishes the
+     request's root span. *)
+  let complete rid =
+    if not (resolved rid) then begin
+      set_outcome rid o_completed;
+      let now = Engine.now engine in
+      let arrival = (!req_arrival).(rid) in
+      let dev_id = (!req_dev).(rid) in
+      note_completion ~arrival ~degraded:false (now -. arrival);
+      if tracing then
         Es_obs.Span.finish tracer
           ~attrs:
             [
               ("outcome", Es_obs.Json.String "completed");
               ("latency_s", Es_obs.Json.Float (now -. arrival));
             ]
-          root;
-        Metrics.on_completion collector ~device:dev_id ~arrival ~now
-          ~deadline:dev.Cluster.deadline ()
-      end
-    in
-    let complete_degraded () =
-      if not !resolved then begin
-        resolved := true;
-        let now = Engine.now engine in
-        note_completion ~arrival ~degraded:true (now -. arrival);
+          (!req_span).(rid);
+      Metrics.on_completion collector ~device:dev_id ~arrival ~now
+        ~deadline:cluster.Cluster.devices.(dev_id).Cluster.deadline ()
+    end
+  in
+  let complete_degraded rid =
+    if not (resolved rid) then begin
+      set_outcome rid o_degraded;
+      let now = Engine.now engine in
+      let arrival = (!req_arrival).(rid) in
+      let dev_id = (!req_dev).(rid) in
+      note_completion ~arrival ~degraded:true (now -. arrival);
+      if tracing then
         Es_obs.Span.finish tracer
           ~attrs:
             [
               ("outcome", Es_obs.Json.String "completed_degraded");
               ("latency_s", Es_obs.Json.Float (now -. arrival));
             ]
-          root;
-        Metrics.on_completion collector ~degraded:true ~device:dev_id ~arrival ~now
-          ~deadline:dev.Cluster.deadline ()
-      end
-    in
-    let drop stage =
-      if not !resolved then begin
-        resolved := true;
-        let now = Engine.now engine in
-        note_drop stage now;
+          (!req_span).(rid);
+      Metrics.on_completion collector ~degraded:true ~device:dev_id ~arrival ~now
+        ~deadline:cluster.Cluster.devices.(dev_id).Cluster.deadline ()
+    end
+  in
+  let drop rid stage =
+    if not (resolved rid) then begin
+      set_outcome rid o_dropped;
+      let now = Engine.now engine in
+      note_drop stage now;
+      if tracing then
         Es_obs.Span.finish tracer
           ~attrs:
             [
               ("outcome", Es_obs.Json.String "dropped");
               ("stage", Es_obs.Json.String stage_names.(stage));
             ]
-          root;
-        Metrics.on_drop collector ~device:dev_id ~now
-      end
-    in
-    let timed_out () =
-      if not !resolved then begin
-        resolved := true;
-        note_timeout arrival;
+          (!req_span).(rid);
+      Metrics.on_drop collector ~device:(!req_dev).(rid) ~now
+    end
+  in
+  let timed_out rid =
+    if not (resolved rid) then begin
+      set_outcome rid o_timed_out;
+      let arrival = (!req_arrival).(rid) in
+      note_timeout arrival;
+      if tracing then
         Es_obs.Span.finish tracer
           ~attrs:[ ("outcome", Es_obs.Json.String "timed_out") ]
-          root;
-        Metrics.on_timeout collector ~device:dev_id ~arrival
-      end
-    in
-    let attempts = ref 0 in
-    let fallback_started = ref false in
-    let start_fallback () =
-      match fallback_work with
-      | Some works when (not !resolved) && not !fallback_started ->
-          fallback_started := true;
-          let sp = Es_obs.Span.start tracer ~parent:root "fallback" in
+          (!req_span).(rid);
+      Metrics.on_timeout collector ~device:(!req_dev).(rid) ~arrival
+    end
+  in
+  let start_fallback rid =
+    match fallback_work with
+    | Some works when (not (resolved rid)) && not (fallback_started rid) ->
+        set_fallback rid;
+        let dev_id = (!req_dev).(rid) in
+        let st = stations.(dev_id) in
+        let work = works.(dev_id) *. (!req_scale).(rid) in
+        if tracing then begin
+          let sp = Es_obs.Span.start tracer ~parent:(!req_span).(rid) "fallback" in
           let submitted = Engine.now engine in
           let on_start =
-            if tracing then
-              Some
-                (fun () ->
-                  Es_obs.Span.set_attr sp "queue_s"
-                    (Es_obs.Json.Float (Engine.now engine -. submitted)))
-            else None
+            Some
+              (fun () ->
+                Es_obs.Span.set_attr sp "queue_s"
+                  (Es_obs.Json.Float (Engine.now engine -. submitted)))
           in
           let ok =
-            Station.submit st.cpu ?on_start ~work:(works.(dev_id) *. scale) (fun () ->
+            Station.submit st.cpu ?on_start ~work (fun () ->
                 Es_obs.Span.finish tracer sp;
-                complete_degraded ())
+                complete_degraded rid)
           in
           note_queue st.cpu;
           if not ok then begin
             Es_obs.Span.finish tracer ~attrs:[ ("outcome", Es_obs.Json.String "dropped") ] sp;
-            drop s_device
+            drop rid s_device
           end
-      | _ -> ()
-    in
-    (* Failure of an attempt at [stage]: retry with exponential backoff from
-       the failed phase, then fall back locally, then drop.  Without a
-       resilience policy the request is simply dropped (pre-fault
-       behavior). *)
-    let rec fail stage restart =
-      if not !resolved then
-        match options.resilience with
-        | None -> drop stage
-        | Some r ->
-            incr attempts;
-            if !attempts <= r.max_retries then begin
-              let backoff = r.backoff_base_s *. (2.0 ** float_of_int (!attempts - 1)) in
-              Engine.schedule engine backoff (fun () -> if not !resolved then restart ())
-            end
-            else if r.local_fallback then start_fallback ()
-            else drop stage
-    (* A traced station hop: the segment span opens at submission; queueing
-       time (submission → service start) is recorded as an attribute so the
-       span decomposes further without breaking the tiling.  [restart] is
-       the phase to re-enter if this hop is rejected or evicted. *)
-    and submit stage station ~work ~restart k =
-      let sp = Es_obs.Span.start tracer ~parent:root stage_names.(stage) in
+        end
+        else begin
+          let ok = Station.submit st.cpu ~work (fun () -> complete_degraded rid) in
+          note_queue st.cpu;
+          if not ok then drop rid s_device
+        end
+    | _ -> ()
+  in
+  (* Failure of an attempt at [stage]: retry with exponential backoff from
+     the failed phase, then fall back locally, then drop.  Without a
+     resilience policy the request is simply dropped (pre-fault
+     behavior).  [restart] is the phase to re-enter, keyed by request id. *)
+  let fail rid stage (restart : int -> unit) =
+    if not (resolved rid) then
+      match options.resilience with
+      | None -> drop rid stage
+      | Some r ->
+          incr_attempts rid;
+          if attempts rid <= r.max_retries then begin
+            let backoff = r.backoff_base_s *. (2.0 ** float_of_int (attempts rid - 1)) in
+            Engine.schedule engine backoff (fun () -> if not (resolved rid) then restart rid)
+          end
+          else if r.local_fallback then start_fallback rid
+          else drop rid stage
+  in
+  (* A traced station hop: the segment span opens at submission; queueing
+     time (submission → service start) is recorded as an attribute so the
+     span decomposes further without breaking the tiling. *)
+  let submit rid stage station ~work ~restart k =
+    if tracing then begin
+      let sp = Es_obs.Span.start tracer ~parent:(!req_span).(rid) stage_names.(stage) in
       let submitted = Engine.now engine in
       let on_start =
-        if tracing then
-          Some
-            (fun () ->
-              Es_obs.Span.set_attr sp "queue_s"
-                (Es_obs.Json.Float (Engine.now engine -. submitted)))
-        else None
+        Some
+          (fun () ->
+            Es_obs.Span.set_attr sp "queue_s"
+              (Es_obs.Json.Float (Engine.now engine -. submitted)))
       in
       let on_evict () =
         Es_obs.Span.finish tracer ~attrs:[ ("outcome", Es_obs.Json.String "evicted") ] sp;
-        fail stage restart
+        fail rid stage restart
       in
       let ok =
         Station.submit station ?on_start ~on_evict ~work (fun () ->
@@ -465,82 +527,141 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
       in
       note_queue station;
       if not ok then begin
-        Es_obs.Span.finish tracer
-          ~attrs:[ ("outcome", Es_obs.Json.String "dropped") ]
-          sp;
-        fail stage restart
+        Es_obs.Span.finish tracer ~attrs:[ ("outcome", Es_obs.Json.String "dropped") ] sp;
+        fail rid stage restart
       end
-    in
-    (* Propagation legs get their own child spans so the segments still tile
-       the request's full lifetime. *)
-    let propagate stage delay k =
-      let sp = Es_obs.Span.start tracer ~parent:root stage_names.(stage) in
+    end
+    else begin
+      let submitted = Engine.now engine in
+      let on_evict () = fail rid stage restart in
+      let ok =
+        Station.submit station ~on_evict ~work (fun () ->
+            note_segment stage (Engine.now engine -. submitted);
+            k ())
+      in
+      note_queue station;
+      if not ok then fail rid stage restart
+    end
+  in
+  (* Propagation legs get their own child spans so the segments still tile
+     the request's full lifetime. *)
+  let propagate rid stage delay k =
+    if tracing then begin
+      let sp = Es_obs.Span.start tracer ~parent:(!req_span).(rid) stage_names.(stage) in
       Engine.schedule engine delay (fun () ->
           note_segment stage delay;
           Es_obs.Span.finish tracer sp;
           k ())
+    end
+    else
+      Engine.schedule engine delay (fun () ->
+          note_segment stage delay;
+          k ())
+  in
+  let rec attempt_device rid =
+    let dev_id = (!req_dev).(rid) in
+    let d = (!req_dec).(rid) in
+    let dev = cluster.Cluster.devices.(dev_id) in
+    let dev_work =
+      Plan.device_time dev.Cluster.proc.Processor.perf d.Decision.plan *. (!req_scale).(rid)
     in
-    note_arrival arrival;
-    Metrics.on_arrival collector ~device:dev_id ~now:arrival;
-    let rec attempt_device () =
-      let dev_work = Plan.device_time dev.Cluster.proc.Processor.perf plan *. scale in
-      submit s_device st.cpu ~work:dev_work ~restart:attempt_device (fun () ->
-          if not (Decision.offloads d) then complete () else attempt_offload ())
-    and attempt_offload () =
-      if not link_up.(dev_id) then fail s_uplink attempt_offload
-      else begin
-        let link = dev.Cluster.link in
-        let half_rtt = link.Link.rtt_s /. 2.0 in
-        let up_bits = 8.0 *. Plan.transfer_bytes plan *. fade_factor link in
-        submit s_uplink st.up ~work:up_bits ~restart:attempt_offload (fun () ->
-            propagate s_uplink_prop half_rtt (fun () ->
-                if not server_up.(d.Decision.server) then fail s_server attempt_offload
-                else begin
-                  let srv = cluster.Cluster.servers.(d.Decision.server) in
-                  let work_s =
-                    Plan.server_time srv.Cluster.sproc.Processor.perf plan *. scale
-                  in
-                  let after_server () =
-                    if not link_up.(dev_id) then fail s_downlink attempt_offload
-                    else begin
-                      let down_bits = 8.0 *. Plan.result_bytes plan *. fade_factor link in
-                      submit s_downlink st.down ~work:down_bits ~restart:attempt_offload
-                        (fun () -> propagate s_downlink_prop half_rtt complete)
-                    end
-                  in
-                  match options.batching with
-                  | Some _ ->
-                      (* One batched accelerator per server; shares ignored.
-                         The "server" segment span covers queue + batch wait +
-                         service, measured around the batcher.  Batchers have
-                         no eviction path: faults only gate admission here. *)
-                      let sp = Es_obs.Span.start tracer ~parent:root "server" in
+    submit rid s_device stations.(dev_id).cpu ~work:dev_work ~restart:attempt_device (fun () ->
+        if not (Decision.offloads d) then complete rid else attempt_offload rid)
+  and attempt_offload rid =
+    let dev_id = (!req_dev).(rid) in
+    let d = (!req_dec).(rid) in
+    let dev = cluster.Cluster.devices.(dev_id) in
+    let st = stations.(dev_id) in
+    let plan = d.Decision.plan in
+    if not link_up.(dev_id) then fail rid s_uplink attempt_offload
+    else begin
+      let link = dev.Cluster.link in
+      let half_rtt = link.Link.rtt_s /. 2.0 in
+      let up_bits = 8.0 *. Plan.transfer_bytes plan *. fade_factor link in
+      submit rid s_uplink st.up ~work:up_bits ~restart:attempt_offload (fun () ->
+          propagate rid s_uplink_prop half_rtt (fun () ->
+              if not server_up.(d.Decision.server) then fail rid s_server attempt_offload
+              else begin
+                let srv = cluster.Cluster.servers.(d.Decision.server) in
+                let work_s =
+                  Plan.server_time srv.Cluster.sproc.Processor.perf plan *. (!req_scale).(rid)
+                in
+                let after_server () =
+                  if not link_up.(dev_id) then fail rid s_downlink attempt_offload
+                  else begin
+                    let down_bits = 8.0 *. Plan.result_bytes plan *. fade_factor link in
+                    submit rid s_downlink st.down ~work:down_bits ~restart:attempt_offload
+                      (fun () -> propagate rid s_downlink_prop half_rtt (fun () -> complete rid))
+                  end
+                in
+                match options.batching with
+                | Some _ ->
+                    (* One batched accelerator per server; shares ignored.
+                       The "server" segment span covers queue + batch wait +
+                       service, measured around the batcher.  Batchers have
+                       no eviction path: faults only gate admission here. *)
+                    if tracing then begin
+                      let sp = Es_obs.Span.start tracer ~parent:(!req_span).(rid) "server" in
                       let submitted = Engine.now engine in
                       Batcher.submit batchers.(d.Decision.server) ~work:work_s (fun () ->
                           note_segment s_server (Engine.now engine -. submitted);
                           Es_obs.Span.finish tracer sp;
                           after_server ())
-                  | None ->
-                      let record_busy =
-                        let share = Station.speed st.srv in
-                        fun () ->
-                          server_busy.(d.Decision.server) <-
-                            server_busy.(d.Decision.server) +. (work_s /. Float.max share 1e-9)
-                      in
-                      submit s_server st.srv ~work:work_s ~restart:attempt_offload (fun () ->
-                          record_busy ();
+                    end
+                    else begin
+                      let submitted = Engine.now engine in
+                      Batcher.submit batchers.(d.Decision.server) ~work:work_s (fun () ->
+                          note_segment s_server (Engine.now engine -. submitted);
                           after_server ())
-                end))
-      end
-    in
+                    end
+                | None ->
+                    let record_busy =
+                      let share = Station.speed st.srv in
+                      fun () ->
+                        server_busy.(d.Decision.server) <-
+                          server_busy.(d.Decision.server) +. (work_s /. Float.max share 1e-9)
+                    in
+                    submit rid s_server st.srv ~work:work_s ~restart:attempt_offload (fun () ->
+                        record_busy ();
+                        after_server ())
+              end))
+    end
+  in
+  let process dev_id arrival =
+    let d = current.(dev_id) in
+    let dev = cluster.Cluster.devices.(dev_id) in
+    let scale = work_scale ~device:dev_id scale_rng *. jitter () in
+    let rid = !n_req in
+    ensure_cap d;
+    incr n_req;
+    (!req_state).(rid) <- 0;
+    (!req_arrival).(rid) <- arrival;
+    (!req_scale).(rid) <- scale;
+    (!req_dev).(rid) <- dev_id;
+    (!req_dec).(rid) <- d;
+    (* One trace per request: a root "request" span whose child segments
+       tile [arrival, completion] exactly — each stage is submitted
+       synchronously at the previous stage's completion, so segment
+       durations sum to the end-to-end latency. *)
+    if tracing then
+      (!req_span).(rid) <-
+        Es_obs.Span.start tracer
+          ~attrs:
+            [
+              ("device", Es_obs.Json.Int dev_id);
+              ("server", Es_obs.Json.Int d.Decision.server);
+            ]
+          "request";
+    note_arrival arrival;
+    Metrics.on_arrival collector ~device:dev_id ~now:arrival;
     (match options.resilience with
     | Some r when r.timeout_factor > 0.0 ->
         Engine.schedule engine (r.timeout_factor *. dev.Cluster.deadline) (fun () ->
-            if not !resolved then
-              if r.local_fallback && not !fallback_started then start_fallback ()
-              else if not !fallback_started then timed_out ())
+            if not (resolved rid) then
+              if r.local_fallback && not (fallback_started rid) then start_fallback rid
+              else if not (fallback_started rid) then timed_out rid)
     | _ -> ());
-    attempt_device ()
+    attempt_device rid
   in
   (match arrivals with
   | Some trace ->
@@ -577,5 +698,13 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
   | Some _ ->
       Array.iteri (fun s b -> server_busy.(s) <- Batcher.busy_time b) batchers);
   let report = Metrics.finalize collector ~server_busy ~duration:options.duration_s in
-  Option.iter (fun reg -> Metrics.record_to reg report) metrics;
+  let estats = Engine.stats engine in
+  Option.iter
+    (fun reg ->
+      Metrics.record_to reg report;
+      let set name v = Es_obs.Metric.set (Es_obs.Metric.gauge reg name) v in
+      set "engine/events_processed" (float_of_int estats.Engine.events_processed);
+      set "engine/max_pending" (float_of_int estats.Engine.max_pending))
+    metrics;
+  Option.iter (fun f -> f estats) on_stats;
   report

@@ -69,6 +69,14 @@ type options = {
   resilience : resilience option;
       (** per-request retry/timeout/fallback policy (default [None]:
           requests hit by a fault are dropped, as are capacity rejections) *)
+  streaming : bool;
+      (** collect metrics with O(1)-per-request sketches instead of raw
+          sample lists (default [false]); see
+          {!Metrics.create_collector} for the accuracy contract and which
+          report fields come back empty *)
+  engine : Engine.backend;
+      (** event-queue backend (default {!Engine.Calendar}); {!Engine.Heap}
+          is the reference oracle — both produce identical runs *)
 }
 
 val default_options : options
@@ -88,6 +96,7 @@ val run :
   ?arrivals:(float * int) array ->
   ?reconfigure:(float * Es_edge.Decision.t array) list ->
   ?work_scale:(device:int -> Es_util.Prng.t -> float) ->
+  ?on_stats:(Engine.stats -> unit) ->
   Es_edge.Cluster.t ->
   Es_edge.Decision.t array ->
   Metrics.report
@@ -109,6 +118,11 @@ val run :
       measurement window (matching the report), [queue_depth{station}]
       gauges, plus the end-of-run [report/…] gauges via
       {!Metrics.record_to}.
+    - [on_stats]: called once after the run drains with the engine's
+      {!Engine.stats} (events processed, queue high-water mark) — the
+      basis of events/s accounting.  With [metrics] set the same numbers
+      also land in [engine/events_processed] / [engine/max_pending]
+      gauges.
     - [spans]: per-request traces in *simulated* time — a ["request"] root
       span per request whose child segments ({!stages}) tile
       [arrival, completion] exactly, each with a [queue_s] attribute

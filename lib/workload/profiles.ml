@@ -14,3 +14,11 @@ let square_wave ~period_s ~high ~low t =
 
 let ramp ~until_s ~peak t =
   if t >= until_s then peak else 1.0 +. ((peak -. 1.0) *. t /. until_s)
+
+let flash_crowd ~at_s ~rise_s ~decay_s ~factor t =
+  if t < at_s then 1.0
+  else if t < at_s +. rise_s then
+    1.0 +. ((factor -. 1.0) *. (t -. at_s) /. Float.max 1e-9 rise_s)
+  else 1.0 +. ((factor -. 1.0) *. exp (-.(t -. at_s -. rise_s) /. Float.max 1e-9 decay_s))
+
+let product f g t = f t *. g t

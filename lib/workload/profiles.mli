@@ -18,3 +18,12 @@ val square_wave : period_s:float -> high:float -> low:float -> t
 
 val ramp : until_s:float -> peak:float -> t
 (** Linear climb from 1.0 to [peak] over [0, until_s], flat after. *)
+
+val flash_crowd : at_s:float -> rise_s:float -> decay_s:float -> factor:float -> t
+(** 1.0 until [at_s], a linear surge to [factor] over [rise_s], then an
+    exponential relaxation back toward 1.0 with time constant [decay_s] —
+    the asymmetric spike of a real flash crowd, unlike the rectangular
+    {!step_burst}. *)
+
+val product : t -> t -> t
+(** Pointwise product, e.g. a diurnal baseline carrying a flash crowd. *)

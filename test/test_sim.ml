@@ -46,6 +46,54 @@ let test_engine_nested_scheduling () =
   Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
     (fun () -> Es_sim.Engine.schedule e (-1.0) (fun () -> ()))
 
+(* Both backends must process the same program identically: same callback
+   order (including ties and events scheduled from inside a pop at the
+   current instant — the PR-3 fault-before-reconfig ordering relies on
+   this), same clock trajectory, same stats. *)
+let test_engine_backends_equivalent () =
+  let run backend =
+    let e = Es_sim.Engine.create ~backend () in
+    let log = ref [] in
+    let note tag = log := (tag, Es_sim.Engine.now e) :: !log in
+    for i = 1 to 5 do
+      Es_sim.Engine.schedule e 1.0 (fun () ->
+          note i;
+          (* schedule-during-pop: a same-instant event joins the tie run
+             being drained, and a far-future jump stresses the calendar's
+             direct-search fallback *)
+          Es_sim.Engine.schedule e 0.0 (fun () -> note (10 + i));
+          if i = 3 then Es_sim.Engine.schedule e 1e6 (fun () -> note 99))
+    done;
+    Es_sim.Engine.run e;
+    (List.rev !log, Es_sim.Engine.stats e)
+  in
+  let log_h, st_h = run Es_sim.Engine.Heap in
+  let log_c, st_c = run Es_sim.Engine.Calendar in
+  Alcotest.(check bool) "same event log" true (log_h = log_c);
+  Alcotest.(check int) "same event count" st_h.Es_sim.Engine.events_processed
+    st_c.Es_sim.Engine.events_processed;
+  Alcotest.(check int) "same max pending" st_h.Es_sim.Engine.max_pending
+    st_c.Es_sim.Engine.max_pending;
+  Alcotest.(check int) "both drained" st_h.Es_sim.Engine.pending
+    st_c.Es_sim.Engine.pending
+
+let test_engine_stats () =
+  let e = Es_sim.Engine.create () in
+  let st0 = Es_sim.Engine.stats e in
+  Alcotest.(check int) "no events yet" 0 st0.Es_sim.Engine.events_processed;
+  Alcotest.(check int) "nothing pending" 0 st0.Es_sim.Engine.pending;
+  for i = 1 to 3 do
+    Es_sim.Engine.schedule e (float_of_int i) (fun () -> ())
+  done;
+  let st1 = Es_sim.Engine.stats e in
+  Alcotest.(check int) "pending counts pushes" 3 st1.Es_sim.Engine.pending;
+  Alcotest.(check int) "max_pending high-water" 3 st1.Es_sim.Engine.max_pending;
+  Es_sim.Engine.run e;
+  let st2 = Es_sim.Engine.stats e in
+  Alcotest.(check int) "all processed" 3 st2.Es_sim.Engine.events_processed;
+  Alcotest.(check int) "drained" 0 st2.Es_sim.Engine.pending;
+  Alcotest.(check int) "high-water sticks" 3 st2.Es_sim.Engine.max_pending
+
 (* ---------- Station ---------- *)
 
 let test_station_fifo_service () =
@@ -437,6 +485,55 @@ let test_runner_rejects_invalid_decisions () =
   | `Raised -> ()
   | `No_raise -> Alcotest.fail "invalid reconfiguration accepted"
 
+(* The two engine backends must be indistinguishable through the full
+   simulator: identical reports, field for field, float for float. *)
+let test_runner_backend_reports_equal () =
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve c in
+  let run engine =
+    Es_sim.Runner.run ~options:{ Es_sim.Runner.default_options with engine } c ds
+  in
+  let rh = run Es_sim.Engine.Heap and rc = run Es_sim.Engine.Calendar in
+  Alcotest.(check bool) "reports structurally equal" true (rh = rc)
+
+(* Streaming metrics trade raw samples for constant memory; the contract
+   (metrics.mli) is exact counts/DSR, float-rounding-level mean, and
+   quantiles within one sketch bucket (~4.5% in value). *)
+let test_runner_streaming_tolerance () =
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve c in
+  let exact = Es_sim.Runner.run c ds in
+  let stream =
+    Es_sim.Runner.run
+      ~options:{ Es_sim.Runner.default_options with streaming = true }
+      c ds
+  in
+  Alcotest.(check int) "generated exact" exact.Es_sim.Metrics.total_generated
+    stream.Es_sim.Metrics.total_generated;
+  Alcotest.(check int) "completed exact" exact.Es_sim.Metrics.total_completed
+    stream.Es_sim.Metrics.total_completed;
+  Alcotest.(check int) "dropped exact" exact.Es_sim.Metrics.total_dropped
+    stream.Es_sim.Metrics.total_dropped;
+  Alcotest.(check int) "timed out exact" exact.Es_sim.Metrics.total_timed_out
+    stream.Es_sim.Metrics.total_timed_out;
+  Alcotest.(check (float 1e-12)) "dsr exact" exact.Es_sim.Metrics.dsr
+    stream.Es_sim.Metrics.dsr;
+  let rel a b = abs_float (a -. b) /. Float.max 1e-9 (abs_float a) in
+  Alcotest.(check bool) "mean within float rounding" true
+    (rel exact.Es_sim.Metrics.mean_latency_s stream.Es_sim.Metrics.mean_latency_s < 1e-6);
+  List.iter
+    (fun (name, ex, st) ->
+      Alcotest.(check bool) (name ^ " within sketch tolerance") true (rel ex st < 0.1))
+    [
+      ("p50", exact.Es_sim.Metrics.p50_s, stream.Es_sim.Metrics.p50_s);
+      ("p95", exact.Es_sim.Metrics.p95_s, stream.Es_sim.Metrics.p95_s);
+      ("p99", exact.Es_sim.Metrics.p99_s, stream.Es_sim.Metrics.p99_s);
+    ];
+  Alcotest.(check int) "no pooled samples retained" 0
+    (Array.length stream.Es_sim.Metrics.latencies);
+  Alcotest.(check int) "no event log retained" 0
+    (Array.length stream.Es_sim.Metrics.events)
+
 (* ---------- Faults and resilience ---------- *)
 
 let crashed_options ?resilience ?(crash_at = 20.0) ?for_s () =
@@ -609,6 +706,8 @@ let () =
           Alcotest.test_case "tie FIFO" `Quick test_engine_same_time_fifo;
           Alcotest.test_case "until" `Quick test_engine_until;
           Alcotest.test_case "nested + errors" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "backend equivalence" `Quick test_engine_backends_equivalent;
+          Alcotest.test_case "stats" `Quick test_engine_stats;
           prop_engine_time_monotone;
         ] );
       ( "station",
@@ -646,6 +745,9 @@ let () =
           Alcotest.test_case "zero-grant drain" `Quick test_runner_reconfigure_zero_grant_drain;
           Alcotest.test_case "rejects invalid decisions" `Quick
             test_runner_rejects_invalid_decisions;
+          Alcotest.test_case "backend report equality" `Quick
+            test_runner_backend_reports_equal;
+          Alcotest.test_case "streaming tolerance" `Quick test_runner_streaming_tolerance;
         ] );
       ( "faults",
         [

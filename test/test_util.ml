@@ -267,6 +267,109 @@ let heap_interleaved =
         ops;
       !ok)
 
+(* ---------- Calendar_queue ---------- *)
+
+let test_cq_fifo_ties () =
+  let c = Calendar_queue.create () in
+  Calendar_queue.push c 1.0 "first";
+  Calendar_queue.push c 1.0 "second";
+  Calendar_queue.push c 1.0 "third";
+  Alcotest.(check string) "tie order 1" "first" (snd (Calendar_queue.pop_exn c));
+  Alcotest.(check string) "tie order 2" "second" (snd (Calendar_queue.pop_exn c));
+  Alcotest.(check string) "tie order 3" "third" (snd (Calendar_queue.pop_exn c))
+
+let test_cq_empty () =
+  let c : int Calendar_queue.t = Calendar_queue.create () in
+  Alcotest.(check bool) "is_empty" true (Calendar_queue.is_empty c);
+  Alcotest.(check bool) "pop None" true (Calendar_queue.pop c = None);
+  Alcotest.check_raises "pop_exn raises"
+    (Invalid_argument "Calendar_queue.pop_exn: empty") (fun () ->
+      ignore (Calendar_queue.pop_exn c))
+
+let test_cq_push_validation () =
+  let c = Calendar_queue.create () in
+  let expect p =
+    Alcotest.check_raises "rejected"
+      (Invalid_argument "Calendar_queue.push: priority must be finite and >= 0")
+      (fun () -> Calendar_queue.push c p ())
+  in
+  expect (-1.0);
+  expect nan;
+  expect infinity;
+  Alcotest.(check int) "nothing entered" 0 (Calendar_queue.length c)
+
+let test_cq_pop_before () =
+  let c = Calendar_queue.create () in
+  Calendar_queue.push c 5.0 "a";
+  Calendar_queue.push c 10.0 "b";
+  Alcotest.(check bool) "nothing due" true (Calendar_queue.pop_before c 4.0 = None);
+  Alcotest.(check int) "still pending" 2 (Calendar_queue.length c);
+  Alcotest.(check bool) "due at horizon" true
+    (Calendar_queue.pop_before c 5.0 = Some (5.0, "a"));
+  Alcotest.(check bool) "rest" true (Calendar_queue.pop_before c infinity = Some (10.0, "b"))
+
+let test_cq_clear () =
+  let c = Calendar_queue.create () in
+  Calendar_queue.push c 1.0 ();
+  Calendar_queue.clear c;
+  Alcotest.(check int) "cleared" 0 (Calendar_queue.length c);
+  Calendar_queue.push c 2.0 ();
+  Alcotest.(check bool) "usable after clear" true (Calendar_queue.pop c = Some (2.0, ()))
+
+(* Heap-oracle interpreter: one op program applied to both queues must
+   behave identically, including FIFO order within a tie (the payload is a
+   per-push stamp).  Push flavors cover the calendar's hard cases — runs of
+   discrete tied timestamps, spread-out values, and far-future jumps that
+   force the fruitless-lap direct search; pops cover both plain [pop] and
+   bounded [pop_before]. *)
+let cq_program =
+  QCheck.(list (pair (int_range 0 5) (int_range 0 1000)))
+
+let cq_apply_op (h, c, stamp, ok) (op, raw) =
+  match op with
+  | 0 | 1 | 2 ->
+      let prio =
+        match op with
+        | 0 -> float_of_int (raw mod 4) (* tie-heavy *)
+        | 1 -> float_of_int raw *. 0.1 (* spread *)
+        | _ -> 1e9 +. float_of_int raw (* far-future jump *)
+      in
+      incr stamp;
+      Heap.push h prio !stamp;
+      Calendar_queue.push c prio !stamp
+  | 3 | 4 -> if Heap.pop h <> Calendar_queue.pop c then ok := false
+  | _ ->
+      let horizon = float_of_int (raw mod 12) in
+      let from_heap =
+        match Heap.peek h with
+        | Some (p, _) when p <= horizon -> Some (Heap.pop_exn h)
+        | _ -> None
+      in
+      if from_heap <> Calendar_queue.pop_before c horizon then ok := false
+
+let cq_matches_heap =
+  qtest ~count:500 "calendar queue matches heap oracle on op programs" cq_program
+    (fun program ->
+      let h = Heap.create () and c = Calendar_queue.create () in
+      let stamp = ref 0 and ok = ref true in
+      List.iter (fun op -> cq_apply_op (h, c, stamp, ok) op) program;
+      !ok
+      && Calendar_queue.length c = Heap.length h
+      && Calendar_queue.to_sorted_list c = Heap.to_sorted_list h)
+
+let cq_drain_matches_heap =
+  qtest ~count:200 "full drain equals heap order after arbitrary pushes"
+    QCheck.(list (pair (int_range 0 2) (int_range 0 1000)))
+    (fun pushes ->
+      let h = Heap.create () and c = Calendar_queue.create () in
+      let stamp = ref 0 and ok = ref true in
+      List.iter (fun (flavor, raw) -> cq_apply_op (h, c, stamp, ok) (flavor, raw)) pushes;
+      let rec drain () =
+        let a = Heap.pop h and b = Calendar_queue.pop c in
+        if a <> b then false else match a with None -> true | Some _ -> drain ()
+      in
+      !ok && drain ())
+
 (* ---------- Maxflow ---------- *)
 
 let test_maxflow_diamond () =
@@ -515,6 +618,16 @@ let () =
           Alcotest.test_case "clear" `Quick test_heap_clear;
           heap_pops_sorted;
           heap_interleaved;
+        ] );
+      ( "calendar_queue",
+        [
+          Alcotest.test_case "FIFO ties" `Quick test_cq_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_cq_empty;
+          Alcotest.test_case "push validation" `Quick test_cq_push_validation;
+          Alcotest.test_case "pop_before" `Quick test_cq_pop_before;
+          Alcotest.test_case "clear" `Quick test_cq_clear;
+          cq_matches_heap;
+          cq_drain_matches_heap;
         ] );
       ( "maxflow",
         [
