@@ -244,6 +244,35 @@ let () =
       | Some eps -> check "million_request.events_per_s" (eps > 0.0) (Printf.sprintf "%.0f ev/s" eps)
       | None -> check "million_request.events_per_s" false "current record/field missing"));
 
+  (* overload: the protection arm's checks are absolute (within-record, on
+     the current machine), so no baseline pairing is needed — protection
+     must lift admitted DSR >= 2x over the unprotected run without losing
+     useful completions, the armed-but-lax run must be byte-identical to
+     the unprotected one, and its wall-time overhead must sit inside the
+     2x noise band. *)
+  (match find_kind "overload" current with
+  | None -> ()
+  | Some cur ->
+      (match float_field "protection_dsr_ratio" cur with
+      | Some r ->
+          check "overload.protection_dsr_ratio" (r >= 2.0)
+            (Printf.sprintf "admitted-DSR ratio %.2fx (floor 2.0x)" r)
+      | None -> check "overload.protection_dsr_ratio" false "current record/field missing");
+      (match float_field "overhead_ratio" cur with
+      | Some r ->
+          check "overload.overhead_ratio" (r <= 2.0)
+            (Printf.sprintf "armed-but-lax overhead %.2fx (ceiling 2.0x)" r)
+      | None -> check "overload.overhead_ratio" false "current record/field missing");
+      List.iter
+        (fun field ->
+          check
+            (Printf.sprintf "overload.%s" field)
+            (bool_field field cur = Some true)
+            (match bool_field field cur with
+            | Some b -> Printf.sprintf "%b" b
+            | None -> "current record/field missing"))
+        [ "no_fewer_hits"; "off_identical"; "conservation" ]);
+
   (* Name the failed checks in the summary and flush before exiting, so a
      CI log that truncates at the non-zero exit still shows what failed. *)
   match List.rev !failures with

@@ -413,6 +413,122 @@ let million_request ~repeats n =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* overload — flash crowd at 3x capacity, protected vs unprotected     *)
+(* ------------------------------------------------------------------ *)
+
+(* The overload-protection acceptance experiment.  A smart-city heavy
+   population under the sustained "overload" profile (3x nominal from the
+   quarter mark onward) runs three ways:
+
+   - unprotected: every request admitted, queues grow without bound;
+   - protected: admission + breakers + brownout + capacity-derived token
+     buckets, all at defaults — hopeless requests shed at arrival;
+   - armed-but-lax: every mechanism on with unreachable thresholds — the
+     per-arrival gate code runs but never fires, so comparing its wall
+     time against the unprotected run prices the shed path at parity,
+     and its report must be byte-identical (arming costs nothing).
+
+   Gated downstream: protection lifts admitted DSR >= 2x over the
+   unprotected DSR without losing useful completions (deadline hits), and
+   the disabled/lax overhead stays within the 2x noise band. *)
+let overload_protection ~repeats n =
+  let devices = max 200 (n / 100) in
+  let cluster = Es_workload.Heavy.population ~devices Es_workload.Scenarios.smart_city in
+  let rate_sum =
+    Array.fold_left
+      (fun acc (d : Es_edge.Cluster.device) -> acc +. d.Es_edge.Cluster.rate)
+      0.0 cluster.Es_edge.Cluster.devices
+  in
+  let duration = float_of_int n /. rate_sum in
+  let profile = Es_workload.Heavy.profile_by_name ~duration_s:duration "overload" in
+  let trace = Es_workload.Heavy.trace ~seed:42 ~duration_s:duration ~profile cluster in
+  let decisions = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve cluster in
+  let protections =
+    {
+      Es_sim.Overload.admission = Some Es_sim.Overload.default_admission;
+      breaker = Some Es_sim.Overload.default_breaker;
+      brownout = Some Es_sim.Overload.default_brownout;
+      rate_limit = Some Es_sim.Overload.default_rate_limit;
+    }
+  in
+  let lax =
+    {
+      Es_sim.Overload.admission = Some { Es_sim.Overload.slack = 1e9 };
+      breaker = Some Es_sim.Overload.default_breaker;
+      brownout =
+        Some
+          {
+            Es_sim.Overload.default_brownout with
+            Es_sim.Overload.high_watermark = max_int / 2;
+            low_watermark = 0;
+          };
+      rate_limit = Some { Es_sim.Overload.rate_per_server = 1e12; burst = 1e9 };
+    }
+  in
+  let run overload () =
+    let options =
+      {
+        Es_sim.Runner.default_options with
+        duration_s = duration;
+        warmup_s = 0.0;
+        streaming = true;
+        overload;
+      }
+    in
+    Es_sim.Runner.run ~options ~arrivals:trace cluster decisions
+  in
+  let r_off = run Es_sim.Overload.off () in
+  let r_on = run protections () in
+  let r_lax = run lax () in
+  let t_off = time_best ~repeats (fun () -> ignore (run Es_sim.Overload.off ())) in
+  let t_on = time_best ~repeats (fun () -> ignore (run protections ())) in
+  let t_lax = time_best ~repeats (fun () -> ignore (run lax ())) in
+  let hits (r : Es_sim.Metrics.report) =
+    Array.fold_left
+      (fun acc (d : Es_sim.Metrics.device_stats) -> acc + d.Es_sim.Metrics.deadline_hits)
+      0 r.Es_sim.Metrics.per_device
+  in
+  let hits_off = hits r_off and hits_on = hits r_on in
+  let dsr_ratio = r_on.Es_sim.Metrics.dsr_admitted /. Float.max 1e-9 r_off.Es_sim.Metrics.dsr in
+  let no_fewer_hits = hits_on >= hits_off in
+  let off_identical = r_lax = r_off in
+  let overhead_ratio = t_lax /. Float.max 1e-9 t_off in
+  let conservation =
+    r_on.Es_sim.Metrics.total_generated
+    = r_on.Es_sim.Metrics.total_completed + r_on.Es_sim.Metrics.total_dropped
+      + r_on.Es_sim.Metrics.total_timed_out + r_on.Es_sim.Metrics.total_shed
+  in
+  Printf.printf
+    "overload        %d devices / %d reqs  unprotected DSR %.1f%% (%d hits)  protected \
+     admitted DSR %.1f%% (%d hits, %d shed)  ratio %.2fx  overhead %.2fx  off_identical %b\n\
+     %!"
+    devices r_off.Es_sim.Metrics.total_generated
+    (100.0 *. r_off.Es_sim.Metrics.dsr)
+    hits_off
+    (100.0 *. r_on.Es_sim.Metrics.dsr_admitted)
+    hits_on r_on.Es_sim.Metrics.total_shed dsr_ratio overhead_ratio off_identical;
+  J.Obj
+    [
+      ("kind", J.String "overload");
+      ("n", J.Int n);
+      ("devices", J.Int devices);
+      ("requests", J.Int r_off.Es_sim.Metrics.total_generated);
+      ("dsr_unprotected", J.Float r_off.Es_sim.Metrics.dsr);
+      ("dsr_admitted_protected", J.Float r_on.Es_sim.Metrics.dsr_admitted);
+      ("protection_dsr_ratio", J.Float dsr_ratio);
+      ("hits_unprotected", J.Int hits_off);
+      ("hits_protected", J.Int hits_on);
+      ("no_fewer_hits", J.Bool no_fewer_hits);
+      ("shed", J.Int r_on.Es_sim.Metrics.total_shed);
+      ("t_unprotected_s", J.Float t_off);
+      ("t_protected_s", J.Float t_on);
+      ("t_armed_lax_s", J.Float t_lax);
+      ("overhead_ratio", J.Float overhead_ratio);
+      ("off_identical", J.Bool off_identical);
+      ("conservation", J.Bool conservation);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* bench_suite — the parallelized sweep experiments end to end         *)
 (* ------------------------------------------------------------------ *)
 
@@ -474,9 +590,10 @@ let () =
   let suite = ref false in
   let warm = ref false in
   let million = ref 0 in
+  let overload = ref 0 in
   let usage () =
     prerr_endline
-      "usage: timing.exe [--sizes N,N,..] [--sharded-sizes N,N,..] [--vs-mono N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online] [--million-request N]";
+      "usage: timing.exe [--sizes N,N,..] [--sharded-sizes N,N,..] [--vs-mono N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online] [--million-request N] [--overload N]";
     exit 2
   in
   let parse_sizes into s rest k =
@@ -517,6 +634,12 @@ let () =
             million := m;
             parse rest
         | _ -> usage ())
+    | "--overload" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some m when m >= 1 ->
+            overload := m;
+            parse rest
+        | _ -> usage ())
     | [] -> ()
     | _ -> usage ()
   in
@@ -545,5 +668,6 @@ let () =
   List.iter (fun n -> emit (sharded_vs_mono ~repeats:!repeats n)) !vs_mono_sizes;
   if !warm then emit (warm_online ~repeats:!repeats);
   if !million >= 1 then emit (million_request ~repeats:!repeats !million);
+  if !overload >= 1 then emit (overload_protection ~repeats:!repeats !overload);
   if !suite then emit (bench_suite ~jobs:!jobs);
   close_out oc

@@ -210,6 +210,82 @@ let plan_cmd =
 
 (* ---------- run ---------- *)
 
+(* Colon-separated overload flag specs ("32:0.5:5:3"); empty or missing
+   fields fall back to the Overload defaults, so bare [--breaker] works. *)
+let overload_policy ~admission ~breaker ~brownout ~shed =
+  let fields s = if s = "" then [||] else Array.of_list (String.split_on_char ':' s) in
+  let fget a i = if i < Array.length a && a.(i) <> "" then Some a.(i) else None in
+  let ffloat ~flag a i ~default =
+    match fget a i with
+    | None -> default
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "--%s: bad field %S (want a number)" flag s))
+  in
+  let fint ~flag a i ~default =
+    match fget a i with
+    | None -> default
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "--%s: bad field %S (want an integer)" flag s))
+  in
+  try
+    let admission =
+      Option.map
+        (fun s ->
+          let a = fields s in
+          let d = Es_sim.Overload.default_admission in
+          { Es_sim.Overload.slack = ffloat ~flag:"admission" a 0 ~default:d.Es_sim.Overload.slack })
+        admission
+    in
+    let breaker =
+      Option.map
+        (fun s ->
+          let a = fields s in
+          let d = Es_sim.Overload.default_breaker in
+          {
+            d with
+            Es_sim.Overload.window = fint ~flag:"breaker" a 0 ~default:d.Es_sim.Overload.window;
+            failure_rate = ffloat ~flag:"breaker" a 1 ~default:d.Es_sim.Overload.failure_rate;
+            cooldown_s = ffloat ~flag:"breaker" a 2 ~default:d.Es_sim.Overload.cooldown_s;
+            half_open_probes =
+              fint ~flag:"breaker" a 3 ~default:d.Es_sim.Overload.half_open_probes;
+          })
+        breaker
+    in
+    let brownout =
+      Option.map
+        (fun s ->
+          let a = fields s in
+          let d = Es_sim.Overload.default_brownout in
+          {
+            d with
+            Es_sim.Overload.high_watermark =
+              fint ~flag:"brownout" a 0 ~default:d.Es_sim.Overload.high_watermark;
+            low_watermark = fint ~flag:"brownout" a 1 ~default:d.Es_sim.Overload.low_watermark;
+            check_every_s = ffloat ~flag:"brownout" a 2 ~default:d.Es_sim.Overload.check_every_s;
+          })
+        brownout
+    in
+    let rate_limit =
+      Option.map
+        (fun s ->
+          let a = fields s in
+          let d = Es_sim.Overload.default_rate_limit in
+          {
+            Es_sim.Overload.rate_per_server =
+              ffloat ~flag:"shed" a 0 ~default:d.Es_sim.Overload.rate_per_server;
+            burst = ffloat ~flag:"shed" a 1 ~default:d.Es_sim.Overload.burst;
+          })
+        shed
+    in
+    let policy = { Es_sim.Overload.admission; breaker; brownout; rate_limit } in
+    Es_sim.Overload.validate policy;
+    Ok policy
+  with Failure e | Invalid_argument e -> Error e
+
 let print_report name (r : Es_sim.Metrics.report) =
   (* Mirrors Metrics.pp_report's coverage: totals incl. drops, pooled
      quantiles, and per-server utilization — the same fields the JSONL
@@ -219,9 +295,12 @@ let print_report name (r : Es_sim.Metrics.report) =
     (if r.Es_sim.Metrics.total_degraded > 0 then
        Printf.sprintf ", %d degraded" r.Es_sim.Metrics.total_degraded
      else "")
+    ^ (if r.Es_sim.Metrics.total_timed_out > 0 then
+         Printf.sprintf ", %d timed out" r.Es_sim.Metrics.total_timed_out
+       else "")
     ^
-    if r.Es_sim.Metrics.total_timed_out > 0 then
-      Printf.sprintf ", %d timed out" r.Es_sim.Metrics.total_timed_out
+    if r.Es_sim.Metrics.total_shed > 0 then
+      Printf.sprintf ", %d shed" r.Es_sim.Metrics.total_shed
     else ""
   in
   Printf.printf
@@ -297,9 +376,49 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "streaming" ] ~doc)
   in
+  let admission =
+    let doc =
+      "Deadline-aware admission control: shed a request at arrival when its backlog-based \
+       completion estimate exceeds $(docv) x the latency budget (bare flag: slack 1.0)."
+    in
+    Arg.(value & opt ~vopt:(Some "") (some string) None & info [ "admission" ] ~docv:"SLACK" ~doc)
+  in
+  let breaker =
+    let doc =
+      "Per-server circuit breakers: trip on a rolling failure-rate window, reroute offloads \
+       to the local plan while open, half-open probes re-close. Spec \
+       $(b,WINDOW:FAILRATE:COOLDOWN:PROBES); empty fields (or a bare flag) use the defaults \
+       32:0.5:5:3."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "breaker" ] ~docv:"W:F:C:P" ~doc)
+  in
+  let brownout =
+    let doc =
+      "Brownout plan degradation: above $(b,HIGH) queued jobs on a server its incoming \
+       devices switch to their fastest local-only plans, restoring at or below $(b,LOW). \
+       Spec $(b,HIGH:LOW[:PERIOD]); bare flag uses the defaults 32:8:0.5."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "brownout" ] ~docv:"HIGH:LOW" ~doc)
+  in
+  let shed =
+    let doc =
+      "Per-server token-bucket rate limiting: shed offloads arriving beyond \
+       $(b,RATE[:BURST]) requests/s per server. Rate 0 (the bare-flag default) derives the \
+       rate from each server's granted service capacity, tracking reconfigurations and \
+       straggler faults."
+    in
+    Arg.(
+      value & opt ~vopt:(Some "") (some string) None & info [ "shed" ] ~docv:"RATE:BURST" ~doc)
+  in
   let run scenario devices seed ap_mbps duration policy verbose faults retries timeout_factor
-      fallback heavy_devices heavy_archetypes load_profile streaming metrics_out trace_out
-      no_obs =
+      fallback admission breaker brownout shed heavy_devices heavy_archetypes load_profile
+      streaming metrics_out trace_out no_obs =
     let heavy_setup =
       (* Heavy population and/or explicit profiled arrivals; [None] leaves
          the classic path (and its golden output) untouched. *)
@@ -387,7 +506,12 @@ let run_cmd =
             | Error e ->
                 Printf.eprintf "bad --faults: %s\n" e;
                 1
-            | Ok fault_schedule ->
+            | Ok fault_schedule -> (
+            match overload_policy ~admission ~breaker ~brownout ~shed with
+            | Error e ->
+                Printf.eprintf "bad overload flags: %s\n" e;
+                1
+            | Ok overload ->
                 (* A heavy population would print thousands of per-device
                    lines; summarize it instead. *)
                 if heavy_devices <> None then
@@ -435,6 +559,7 @@ let run_cmd =
                     faults = fault_schedule;
                     resilience;
                     streaming;
+                    overload;
                   }
                 in
                 let engine_stats = ref None in
@@ -460,24 +585,33 @@ let run_cmd =
                   let c = report.Es_sim.Metrics.total_completed in
                   let d = report.Es_sim.Metrics.total_dropped in
                   let t = report.Es_sim.Metrics.total_timed_out in
-                  if g = c + d + t then begin
-                    Printf.printf "conservation OK: %d = %d + %d + %d\n" g c d t;
+                  let s = report.Es_sim.Metrics.total_shed in
+                  Printf.printf
+                    "outcomes: %d completed (%d degraded) + %d dropped + %d timed out + %d \
+                     shed = %d generated\n"
+                    c report.Es_sim.Metrics.total_degraded d t s (c + d + t + s);
+                  if s > 0 then
+                    Printf.printf "admitted DSR %.1f%% over %d admitted\n"
+                      (100.0 *. report.Es_sim.Metrics.dsr_admitted)
+                      (g - s);
+                  if g = c + d + t + s then begin
+                    Printf.printf "conservation OK: %d = %d + %d + %d + %d\n" g c d t s;
                     0
                   end
                   else begin
-                    Printf.printf "conservation VIOLATED: %d generated vs %d + %d + %d\n" g c
-                      d t;
+                    Printf.printf "conservation VIOLATED: %d generated vs %d + %d + %d + %d\n"
+                      g c d t s;
                     1
                   end
                 end
-                else 0))
+                else 0)))
   in
   Cmd.v (Cmd.info "run" ~doc:"Solve and simulate one policy on a scenario")
     Term.(
       const run $ scenario_arg $ devices_arg $ seed_arg $ ap_mbps_arg $ duration_arg $ policy
-      $ verbose $ faults $ retries $ timeout_factor $ fallback $ heavy_devices
-      $ heavy_archetypes $ load_profile $ streaming $ metrics_out_arg $ trace_out_arg
-      $ no_obs_arg)
+      $ verbose $ faults $ retries $ timeout_factor $ fallback $ admission $ breaker
+      $ brownout $ shed $ heavy_devices $ heavy_archetypes $ load_profile $ streaming
+      $ metrics_out_arg $ trace_out_arg $ no_obs_arg)
 
 (* ---------- compare ---------- *)
 

@@ -7,6 +7,56 @@ type outcome = {
   rejected : int list;
 }
 
+module Token_bucket = struct
+  type t = {
+    mutable rate : float;
+    burst : float;
+    mutable tokens : float;
+    mutable last : float;
+  }
+
+  let create ?initial ~rate ~burst () =
+    if not (Float.is_finite rate) || rate < 0.0 then
+      invalid_arg "Token_bucket.create: rate must be finite and >= 0";
+    if not (Float.is_finite burst) || burst <= 0.0 then
+      invalid_arg "Token_bucket.create: burst must be finite and > 0";
+    let initial = match initial with Some i -> Float.min i burst | None -> burst in
+    if not (Float.is_finite initial) || initial < 0.0 then
+      invalid_arg "Token_bucket.create: initial must be finite and >= 0";
+    { rate; burst; tokens = initial; last = 0.0 }
+
+  (* Lazy refill: tokens accrue as a pure function of elapsed time, so the
+     bucket is deterministic under any sampling pattern and costs nothing
+     between requests.  Time must not go backwards (simulated clocks do
+     not). *)
+  let refill t ~now =
+    if now > t.last then begin
+      t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+      t.last <- now
+    end
+
+  let tokens t ~now =
+    refill t ~now;
+    t.tokens
+
+  let try_take ?(cost = 1.0) t ~now =
+    refill t ~now;
+    if t.tokens +. 1e-12 >= cost then begin
+      t.tokens <- t.tokens -. cost;
+      true
+    end
+    else false
+
+  let set_rate t ~now rate =
+    if not (Float.is_finite rate) || rate < 0.0 then
+      invalid_arg "Token_bucket.set_rate: rate must be finite and >= 0";
+    refill t ~now;
+    t.rate <- rate
+
+  let rate t = t.rate
+  let burst t = t.burst
+end
+
 let load_density cluster ~assignment plan dev_id =
   let dev = cluster.Cluster.devices.(dev_id) in
   let srv = cluster.Cluster.servers.(assignment.(dev_id)) in

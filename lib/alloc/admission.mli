@@ -16,6 +16,37 @@ type outcome = {
   rejected : int list;  (** device ids forced local, eviction order *)
 }
 
+(** Deterministic token bucket for per-request rate limiting.
+
+    Tokens refill lazily as a pure function of the clock handed in by the
+    caller (the simulator passes simulated time), so behavior is
+    bit-identical under any sampling pattern and the bucket never schedules
+    anything itself.  The serving runner keeps one bucket per server and —
+    when the configured rate is 0 — re-derives the refill rate from the
+    server's aggregate granted service capacity on every reconfiguration,
+    which is what makes the limiter utilization-aware. *)
+module Token_bucket : sig
+  type t
+
+  val create : ?initial:float -> rate:float -> burst:float -> unit -> t
+  (** [create ~rate ~burst ()] starts full (or at [initial] tokens,
+      clamped to [burst]).  [rate] is tokens/second.
+      @raise Invalid_argument on negative or non-finite parameters. *)
+
+  val try_take : ?cost:float -> t -> now:float -> bool
+  (** Refill to [now], then atomically take [cost] (default 1) tokens;
+      [false] leaves the bucket unchanged apart from the refill. *)
+
+  val tokens : t -> now:float -> float
+  (** Balance after refilling to [now]. *)
+
+  val set_rate : t -> now:float -> float -> unit
+  (** Refill at the old rate up to [now], then switch rates. *)
+
+  val rate : t -> float
+  val burst : t -> float
+end
+
 type criterion =
   [ `Stable  (** stop once every queue is stable (no unbounded backlog) *)
   | `Deadlines

@@ -10,42 +10,10 @@ type t = {
 
 (* All-local decisions: per device, the fastest device-only plan meeting its
    accuracy floor, or failing that the fastest device-only plan outright —
-   when no server is left, degraded answers beat dropped requests. *)
-let local_decisions cluster =
-  Array.map
-    (fun (dev : Cluster.device) ->
-      let perf = dev.Cluster.proc.Es_edge.Processor.perf in
-      let locals =
-        List.filter Es_surgery.Plan.is_device_only
-          (Es_surgery.Candidate.pareto_candidates dev.Cluster.model)
-      in
-      let fastest plans =
-        match plans with
-        | [] -> None
-        | p :: rest ->
-            Some
-              (List.fold_left
-                 (fun acc q ->
-                   if Es_surgery.Plan.device_time perf q < Es_surgery.Plan.device_time perf acc
-                   then q
-                   else acc)
-                 p rest)
-      in
-      let meeting_floor =
-        List.filter
-          (fun p -> p.Es_surgery.Plan.accuracy >= dev.Cluster.accuracy_floor -. 1e-9)
-          locals
-      in
-      let plan =
-        match fastest meeting_floor with
-        | Some p -> p
-        | None -> (
-            match fastest locals with
-            | Some p -> p
-            | None -> Es_surgery.Plan.device_only dev.Cluster.model)
-      in
-      Decision.make ~device:dev.Cluster.dev_id ~server:0 ~plan ())
-    cluster.Cluster.devices
+   when no server is left, degraded answers beat dropped requests.  The
+   selection lives in [Es_sim.Overload] so the runner's breaker/brownout
+   reroutes and this recovery path degrade to the same plans. *)
+let local_decisions = Es_sim.Overload.local_decisions
 
 let solve_without ?(config = Optimizer.default_config) ?solver ?warm_start cluster ~failed =
   let ns = Cluster.n_servers cluster in

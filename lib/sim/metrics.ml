@@ -4,6 +4,7 @@ type device_stats = {
   degraded : int;
   dropped : int;
   timed_out : int;
+  shed : int;
   deadline_hits : int;
   latency : Es_util.Stats.t;
   samples : float array;
@@ -13,6 +14,7 @@ type report = {
   per_device : device_stats array;
   latencies : float array;
   dsr : float;
+  dsr_admitted : float;
   mean_latency_s : float;
   p50_s : float;
   p95_s : float;
@@ -22,6 +24,7 @@ type report = {
   total_degraded : int;
   total_dropped : int;
   total_timed_out : int;
+  total_shed : int;
   server_utilization : float array;
   measured_duration_s : float;
   events : (float * float) array;
@@ -34,6 +37,7 @@ type dev_acc = {
   mutable degraded : int;
   mutable dropped : int;
   mutable timed_out : int;
+  mutable shed : int;
   mutable hits : int;
   stats : Es_util.Stats.t;
   mutable rev_samples : float list;  (* exact mode only *)
@@ -67,6 +71,7 @@ let create_collector ?(streaming = false) ~n_devices ~window_start ~window_end (
             degraded = 0;
             dropped = 0;
             timed_out = 0;
+            shed = 0;
             hits = 0;
             stats = Es_util.Stats.create ();
             rev_samples = [];
@@ -100,6 +105,15 @@ let on_drop c ~device ~now =
   if in_window c now then begin
     let d = c.devs.(device) in
     d.dropped <- d.dropped + 1;
+    log_outcome c ~at:now ~lat:nan ~hit:false
+  end
+
+let on_shed c ~device ~now =
+  (* Sheds happen at arrival, so [now] doubles as the arrival time; the
+     outcome joins the event_hits timeline as a miss at that instant. *)
+  if in_window c now then begin
+    let d = c.devs.(device) in
+    d.shed <- d.shed + 1;
     log_outcome c ~at:now ~lat:nan ~hit:false
   end
 
@@ -163,6 +177,7 @@ let finalize c ~server_busy ~duration =
           degraded = d.degraded;
           dropped = d.dropped;
           timed_out = d.timed_out;
+          shed = d.shed;
           deadline_hits = d.hits;
           latency = d.stats;
           samples = samples_of c d;
@@ -178,9 +193,14 @@ let finalize c ~server_busy ~duration =
   let total_degraded = total (fun d -> d.degraded) in
   let total_dropped = total (fun d -> d.dropped) in
   let total_timed_out = total (fun d -> d.timed_out) in
+  let total_shed = total (fun d -> d.shed) in
   let hits = total (fun d -> d.deadline_hits) in
   let dsr =
     if total_generated = 0 then 1.0 else float_of_int hits /. float_of_int total_generated
+  in
+  let admitted = total_generated - total_shed in
+  let dsr_admitted =
+    if admitted = 0 then 1.0 else float_of_int hits /. float_of_int admitted
   in
   let mean, pct =
     if c.streaming then
@@ -214,6 +234,7 @@ let finalize c ~server_busy ~duration =
     per_device;
     latencies;
     dsr;
+    dsr_admitted;
     mean_latency_s = mean;
     p50_s = pct 50.0;
     p95_s = pct 95.0;
@@ -223,6 +244,7 @@ let finalize c ~server_busy ~duration =
     total_degraded;
     total_dropped;
     total_timed_out;
+    total_shed;
     server_utilization = Array.map (fun b -> b /. window) server_busy;
     measured_duration_s = window;
     events;
@@ -243,6 +265,9 @@ let pp_report fmt r =
   if r.total_degraded > 0 || r.total_timed_out > 0 then
     Format.fprintf fmt "resilience: %d degraded completions, %d timed out@." r.total_degraded
       r.total_timed_out;
+  if r.total_shed > 0 then
+    Format.fprintf fmt "overload: %d shed | admitted DSR %.1f%%@." r.total_shed
+      (100.0 *. r.dsr_admitted);
   Array.iteri
     (fun s u -> Format.fprintf fmt "  server %d: utilization %.2f@." s u)
     r.server_utilization
@@ -257,7 +282,9 @@ let report_to_json (r : report) =
       ("degraded", Int r.total_degraded);
       ("dropped", Int r.total_dropped);
       ("timed_out", Int r.total_timed_out);
+      ("shed", Int r.total_shed);
       ("dsr", Float r.dsr);
+      ("dsr_admitted", Float r.dsr_admitted);
       ("mean_latency_s", Float r.mean_latency_s);
       ("p50_s", Float r.p50_s);
       ("p95_s", Float r.p95_s);
@@ -278,6 +305,7 @@ let report_to_json (r : report) =
                       ("degraded", Int d.degraded);
                       ("dropped", Int d.dropped);
                       ("timed_out", Int d.timed_out);
+                      ("shed", Int d.shed);
                       ("deadline_hits", Int d.deadline_hits);
                       ("mean_latency_s", Float (Es_util.Stats.mean d.latency));
                     ])
@@ -287,6 +315,7 @@ let report_to_json (r : report) =
 let record_to reg (r : report) =
   let set name v = Es_obs.Metric.set (Es_obs.Metric.gauge reg name) v in
   set "report/dsr" r.dsr;
+  set "report/dsr_admitted" r.dsr_admitted;
   set "report/mean_latency_s" r.mean_latency_s;
   set "report/p50_s" r.p50_s;
   set "report/p95_s" r.p95_s;
@@ -296,6 +325,7 @@ let record_to reg (r : report) =
   set "report/dropped" (float_of_int r.total_dropped);
   set "report/degraded" (float_of_int r.total_degraded);
   set "report/timed_out" (float_of_int r.total_timed_out);
+  set "report/shed" (float_of_int r.total_shed);
   set "report/measured_duration_s" r.measured_duration_s;
   Array.iteri
     (fun s u ->

@@ -8,6 +8,10 @@ type device_stats = {
           [completed]) *)
   dropped : int;  (** rejected at a full queue, or lost to a fault *)
   timed_out : int;  (** expired before completing (resilience timeout) *)
+  shed : int;
+      (** refused at arrival by overload protection (admission estimate,
+          open breaker with shedding, or rate limit) — never entered a
+          queue *)
   deadline_hits : int;
   latency : Es_util.Stats.t;  (** end-to-end latency of completed requests *)
   samples : float array;  (** raw latency samples, completion order *)
@@ -18,8 +22,12 @@ type report = {
   latencies : float array;  (** all completed-request latencies pooled *)
   dsr : float;
       (** deadline-satisfaction ratio: hits / generated — requests that
-          never completed (still queued at the horizon, dropped, or timed
-          out) count as misses *)
+          never completed (still queued at the horizon, dropped, timed
+          out, or shed) count as misses *)
+  dsr_admitted : float;
+      (** hits / (generated − shed): deadline satisfaction over the
+          requests the system actually accepted.  Equal to [dsr] when
+          nothing was shed; 1.0 when everything was. *)
   mean_latency_s : float;
   p50_s : float;
   p95_s : float;
@@ -29,6 +37,7 @@ type report = {
   total_degraded : int;
   total_dropped : int;
   total_timed_out : int;
+  total_shed : int;
   server_utilization : float array;  (** busy fraction per server *)
   measured_duration_s : float;
   events : (float * float) array;
@@ -37,8 +46,8 @@ type report = {
   event_hits : (float * bool) array;
       (** pooled (resolution time, deadline hit?) pairs over every request
           outcome — completions at completion time, drops at drop time,
-          timeouts at arrival time — so recovery-timeline plots see the
-          damage window, not just the surviving completions *)
+          timeouts and sheds at arrival time — so recovery-timeline plots
+          see the damage window, not just the surviving completions *)
 }
 
 type collector
@@ -65,6 +74,11 @@ val create_collector :
 
 val on_arrival : collector -> device:int -> now:float -> unit
 val on_drop : collector -> device:int -> now:float -> unit
+
+val on_shed : collector -> device:int -> now:float -> unit
+(** A request refused at arrival by overload protection.  [now] is its
+    arrival time, so the conservation law extends to
+    generated = completed + dropped + timed out + shed. *)
 
 val on_timeout : collector -> device:int -> arrival:float -> unit
 (** A request that expired without completing; attributed to its arrival
@@ -93,8 +107,9 @@ val pp_report : Format.formatter -> report -> unit
 (** Totals (generated/completed/dropped), DSR, pooled latency quantiles,
     then one line of utilization per server — the same fields, same
     grouping, as the JSONL export.  A resilience line (degraded/timed-out
-    counts) appears only when those counts are non-zero, so fault-free
-    output is unchanged from pre-fault builds. *)
+    counts) and an overload line (shed count, admitted DSR) appear only
+    when those counts are non-zero, so fault-free unprotected output is
+    unchanged from pre-fault builds. *)
 
 val report_to_json : report -> Es_obs.Json.t
 (** One [kind="report"] JSON object: totals, quantiles, per-server

@@ -25,6 +25,7 @@ type options = {
   resilience : resilience option;
   streaming : bool;
   engine : Engine.backend;
+  overload : Overload.policy;
 }
 
 let default_options =
@@ -40,6 +41,7 @@ let default_options =
     resilience = None;
     streaming = false;
     engine = Engine.Calendar;
+    overload = Overload.off;
   }
 
 type dev_stations = {
@@ -75,6 +77,8 @@ and o_degraded = 2
 and o_dropped = 3
 
 and o_timed_out = 4
+
+and o_shed = 5
 
 (* Bad plans used to be masked by clamping speeds to a tiny positive value;
    now they fail loudly at the boundary.  A decision that leaves a stage
@@ -128,6 +132,7 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
   if Array.length decisions <> nd then invalid_arg "Runner.run: decisions size mismatch";
   Array.iteri (check_decision ~ns) decisions;
   Option.iter check_resilience options.resilience;
+  Overload.validate options.overload;
   (match Faults.validate ~n_devices:nd ~n_servers:ns options.faults with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runner.run: bad fault schedule: " ^ msg));
@@ -176,6 +181,26 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
   let server_factor = Array.make ns 1.0 in
   let link_up = Array.make nd true in
   let link_factor = Array.make nd 1.0 in
+  (* Overload-protection state.  With [options.overload = Overload.off]
+     (the default) every array below is empty or untouched, every gate in
+     [process] short-circuits on [overload_on], and the run is
+     bit-identical to a build without overload protection — no extra
+     events, no extra RNG draws. *)
+  let ov = options.overload in
+  let overload_on = not (Overload.is_off ov) in
+  let protect_local =
+    (* device-only reroute targets for open breakers and brownout swaps *)
+    match (ov.Overload.breaker, ov.Overload.brownout) with
+    | None, None -> [||]
+    | _ -> Overload.local_decisions cluster
+  in
+  let brownout_plan =
+    match ov.Overload.brownout with
+    | Some { Overload.mode = Overload.Min_server; _ } ->
+        Array.map Overload.min_server_plan cluster.Cluster.devices
+    | _ -> [||]
+  in
+  let brownout_active = Array.make ns false in
   let collector =
     Metrics.create_collector ~streaming:options.streaming ~n_devices:nd
       ~window_start:options.warmup_s ~window_end:options.duration_s ()
@@ -187,13 +212,14 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
      Per-stage handles live in arrays indexed by stage id — the per-event
      path does no list or string lookups. *)
   let in_window t = t >= options.warmup_s && t <= options.duration_s in
-  let note_arrival, note_completion, note_drop, note_segment, note_timeout =
+  let note_arrival, note_completion, note_drop, note_segment, note_timeout, note_shed =
     match metrics with
     | None ->
         ( (fun _ -> ()),
           (fun ~arrival:_ ~degraded:_ _ -> ()),
           (fun _ _ -> ()),
           (fun _ _ -> ()),
+          (fun _ -> ()),
           fun _ -> () )
     | Some reg ->
         let generated = Es_obs.Metric.counter reg "requests_generated" in
@@ -211,6 +237,7 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
         in
         let degraded_c = Es_obs.Metric.counter reg "requests_completed_degraded" in
         let timed_out_c = Es_obs.Metric.counter reg "requests_timed_out" in
+        let shed_c = Es_obs.Metric.counter reg "requests_shed" in
         ( (fun now -> if in_window now then Es_obs.Metric.inc generated),
           (fun ~arrival ~degraded l ->
             if in_window arrival then begin
@@ -220,7 +247,8 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
             end),
           (fun stage now -> if in_window now then Es_obs.Metric.inc drop_c.(stage)),
           (fun stage dt -> Es_obs.Histogram.observe seg_h.(stage) dt),
-          fun arrival -> if in_window arrival then Es_obs.Metric.inc timed_out_c )
+          (fun arrival -> if in_window arrival then Es_obs.Metric.inc timed_out_c),
+          fun now -> if in_window now then Es_obs.Metric.inc shed_c )
   in
   let note_queue =
     match metrics with
@@ -240,6 +268,81 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
           | Some g -> Es_obs.Metric.set g (float_of_int (Station.queue_length st))
           | None -> ()
   in
+  (* Per-server circuit breakers.  State transitions export a gauge
+     (Closed 0 / Half_open 1 / Open 2) when a registry is attached;
+     overload gauges/counters are created only when the corresponding
+     mechanism is on, so unprotected runs' metric registries are
+     unchanged. *)
+  let breakers =
+    match ov.Overload.breaker with
+    | None -> [||]
+    | Some cfg ->
+        let gauge_of =
+          match metrics with
+          | None -> fun _ -> fun _ -> ()
+          | Some reg ->
+              fun s ->
+                let g =
+                  Es_obs.Metric.gauge reg
+                    ~labels:[ ("server", string_of_int s) ]
+                    "overload/breaker_state"
+                in
+                fun st -> Es_obs.Metric.set g (float_of_int (Overload.Breaker.state_code st))
+        in
+        Array.init ns (fun s -> Overload.Breaker.create ~on_transition:(gauge_of s) cfg)
+  in
+  (* Per-server token buckets.  A configured rate of 0 derives the refill
+     rate from the server's aggregate granted service capacity
+     (Σ share / service-time over its offloaders), re-derived on every
+     reconfiguration and straggler fault — the utilization-aware mode. *)
+  let refresh_bucket_rates = ref (fun () -> ()) in
+  let buckets =
+    match ov.Overload.rate_limit with
+    | None -> [||]
+    | Some rl ->
+        let bks =
+          Array.init ns (fun _ ->
+              Es_alloc.Admission.Token_bucket.create ~rate:rl.Overload.rate_per_server
+                ~burst:rl.Overload.burst ())
+        in
+        if rl.Overload.rate_per_server <= 0.0 then begin
+          let refresh () =
+            let now = Engine.now engine in
+            let cap = Array.make ns 0.0 in
+            Array.iteri
+              (fun _ (d : Decision.t) ->
+                if Decision.offloads d && d.Decision.compute_share > 0.0 then begin
+                  let srv = cluster.Cluster.servers.(d.Decision.server) in
+                  let w = Plan.server_time srv.Cluster.sproc.Processor.perf d.Decision.plan in
+                  if w > 0.0 then
+                    cap.(d.Decision.server) <-
+                      cap.(d.Decision.server)
+                      +. d.Decision.compute_share
+                         /. (w *. server_factor.(d.Decision.server))
+                end)
+              current;
+            Array.iteri
+              (fun s b -> Es_alloc.Admission.Token_bucket.set_rate b ~now cap.(s))
+              bks
+          in
+          refresh ();
+          refresh_bucket_rates := refresh
+        end;
+        bks
+  in
+  let brownout_gauge, note_brownout_switch =
+    match (ov.Overload.brownout, metrics) with
+    | Some _, Some reg ->
+        let g =
+          Array.init ns (fun s ->
+              Es_obs.Metric.gauge reg
+                ~labels:[ ("server", string_of_int s) ]
+                "overload/brownout_active")
+        in
+        let c = Es_obs.Metric.counter reg "overload/brownout_switches" in
+        ((fun s v -> Es_obs.Metric.set g.(s) v), fun () -> Es_obs.Metric.inc c)
+    | _ -> ((fun _ _ -> ()), fun () -> ())
+  in
   let apply_decisions ds =
     Array.iteri
       (fun i (d : Decision.t) ->
@@ -255,7 +358,8 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
         if d.Decision.compute_share > 0.0 then
           Station.set_speed st.srv
             (d.Decision.compute_share /. server_factor.(d.Decision.server)))
-      ds
+      ds;
+    !refresh_bucket_rates ()
   in
   let apply_fault = function
     | Faults.Server_down s ->
@@ -291,7 +395,8 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
             if Decision.offloads dec && dec.Decision.server = s
                && dec.Decision.compute_share > 0.0
             then Station.set_speed st.srv (dec.Decision.compute_share /. f))
-          stations
+          stations;
+        !refresh_bucket_rates ()
   in
   (* Fault events are scheduled before reconfigurations and arrivals, so at
      an equal timestamp the fault applies first — a recovery schedule firing
@@ -309,6 +414,42 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
           Array.iteri (check_decision ~ns) ds;
           Engine.schedule_at engine t (fun () -> apply_decisions ds))
         changes);
+  (* Brownout watermark controller: a periodic sweep (simulated time) of
+     per-server backlog with hysteresis — engage at the high watermark,
+     release at the low one.  Scheduled only when brownout is configured,
+     so the default event stream is untouched. *)
+  (match ov.Overload.brownout with
+  | None -> ()
+  | Some b ->
+      let backlog = Array.make ns 0 in
+      let rec tick t =
+        if t <= options.duration_s then
+          Engine.schedule_at engine t (fun () ->
+              Array.fill backlog 0 ns 0;
+              Array.iteri
+                (fun i st ->
+                  let d = current.(i) in
+                  if Decision.offloads d then
+                    backlog.(d.Decision.server) <-
+                      backlog.(d.Decision.server) + Station.queue_length st.srv)
+                stations;
+              for s = 0 to ns - 1 do
+                if (not brownout_active.(s)) && backlog.(s) >= b.Overload.high_watermark
+                then begin
+                  brownout_active.(s) <- true;
+                  note_brownout_switch ();
+                  brownout_gauge s 1.0
+                end
+                else if brownout_active.(s) && backlog.(s) <= b.Overload.low_watermark
+                then begin
+                  brownout_active.(s) <- false;
+                  note_brownout_switch ();
+                  brownout_gauge s 0.0
+                end
+              done;
+              tick (t +. b.Overload.check_every_s))
+      in
+      tick b.Overload.check_every_s);
   let fallback_work =
     match options.resilience with
     | Some r when r.local_fallback -> Some (Array.map fallback_work_of cluster.Cluster.devices)
@@ -381,12 +522,24 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
   let set_fallback rid = (!req_state).(rid) <- (!req_state).(rid) lor 8 in
   let attempts rid = (!req_state).(rid) lsr 4 in
   let incr_attempts rid = (!req_state).(rid) <- (!req_state).(rid) + 16 in
+  (* Feed the server's breaker from this request's offload-path outcomes:
+     a server-stage completion closes in success, a server-stage failure or
+     a timeout in failure.  No-op without breakers or for device-only
+     requests. *)
+  let breaker_note rid ok =
+    if Array.length breakers > 0 then begin
+      let d = (!req_dec).(rid) in
+      if Decision.offloads d then
+        Overload.Breaker.record breakers.(d.Decision.server) ~now:(Engine.now engine) ~ok
+    end
+  in
   (* Under resilience a request can have several racing continuations (a
      retry, the fallback, a late original completion); the outcome bits
      make the first one the only one that touches metrics and finishes the
      request's root span. *)
   let complete rid =
     if not (resolved rid) then begin
+      breaker_note rid true;
       set_outcome rid o_completed;
       let now = Engine.now engine in
       let arrival = (!req_arrival).(rid) in
@@ -441,6 +594,7 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
   in
   let timed_out rid =
     if not (resolved rid) then begin
+      breaker_note rid false;
       set_outcome rid o_timed_out;
       let arrival = (!req_arrival).(rid) in
       note_timeout arrival;
@@ -449,6 +603,20 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
           ~attrs:[ ("outcome", Es_obs.Json.String "timed_out") ]
           (!req_span).(rid);
       Metrics.on_timeout collector ~device:(!req_dev).(rid) ~arrival
+    end
+  in
+  (* Exactly-once shed: overload protection refused the request at arrival,
+     before it entered any queue. *)
+  let shed rid =
+    if not (resolved rid) then begin
+      set_outcome rid o_shed;
+      let now = Engine.now engine in
+      note_shed now;
+      if tracing then
+        Es_obs.Span.finish tracer
+          ~attrs:[ ("outcome", Es_obs.Json.String "shed") ]
+          (!req_span).(rid);
+      Metrics.on_shed collector ~device:(!req_dev).(rid) ~now
     end
   in
   let start_fallback rid =
@@ -490,7 +658,8 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
      resilience policy the request is simply dropped (pre-fault
      behavior).  [restart] is the phase to re-enter, keyed by request id. *)
   let fail rid stage (restart : int -> unit) =
-    if not (resolved rid) then
+    if not (resolved rid) then begin
+      if stage = s_server then breaker_note rid false;
       match options.resilience with
       | None -> drop rid stage
       | Some r ->
@@ -501,6 +670,7 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
           end
           else if r.local_fallback then start_fallback rid
           else drop rid stage
+    end
   in
   (* A traced station hop: the segment span opens at submission; queueing
      time (submission → service start) is recorded as an attribute so the
@@ -627,10 +797,107 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
               end))
     end
   in
+  (* A lower bound on this request's completion delay given the current
+     per-station backlog: stage k's finish is max(own pipeline, stage k's
+     backlog clearing) plus its service time.  Stations are dedicated per
+     device and FIFO, so the bound is tight when one stage dominates; it
+     ignores wireless fading (no RNG draws) and, under batching, the
+     shared batcher's queue (only the service time is charged).  A request
+     shed on this estimate provably cannot meet its budget. *)
+  let estimate_completion dev_id (d : Decision.t) scale =
+    let dev = cluster.Cluster.devices.(dev_id) in
+    let st = stations.(dev_id) in
+    let dev_work =
+      Plan.device_time dev.Cluster.proc.Processor.perf d.Decision.plan *. scale
+    in
+    let f0 = Station.eta st.cpu ~work:dev_work in
+    if not (Decision.offloads d) then f0
+    else begin
+      let link = dev.Cluster.link in
+      let half_rtt = link.Link.rtt_s /. 2.0 in
+      let plan = d.Decision.plan in
+      let up_bits = 8.0 *. Plan.transfer_bytes plan in
+      let down_bits = 8.0 *. Plan.result_bytes plan in
+      let srv = cluster.Cluster.servers.(d.Decision.server) in
+      let work_s = Plan.server_time srv.Cluster.sproc.Processor.perf plan *. scale in
+      let f1 = Float.max f0 (Station.backlog_eta st.up) +. (up_bits /. Station.speed st.up) in
+      let f2 = f1 +. half_rtt in
+      let f3 =
+        match options.batching with
+        | Some _ -> f2 +. work_s
+        | None -> Float.max f2 (Station.backlog_eta st.srv) +. (work_s /. Station.speed st.srv)
+      in
+      let f4 =
+        Float.max f3 (Station.backlog_eta st.down) +. (down_bits /. Station.speed st.down)
+      in
+      f4 +. half_rtt
+    end
+  in
+  (* The latency budget admission sheds against: the request's effective
+     give-up point — timeout_factor × deadline when a timeout is armed, the
+     bare deadline otherwise. *)
+  let budget_factor =
+    match options.resilience with
+    | Some r when r.timeout_factor > 0.0 -> r.timeout_factor
+    | _ -> 1.0
+  in
   let process dev_id arrival =
     let d = current.(dev_id) in
     let dev = cluster.Cluster.devices.(dev_id) in
     let scale = work_scale ~device:dev_id scale_rng *. jitter () in
+    (* Overload gates, in order: brownout plan swap, breaker, deadline-aware
+       admission, rate limit.  All skipped (one branch) when the policy is
+       off. *)
+    let d, shed_now =
+      if not overload_on then (d, false)
+      else begin
+        let d =
+          if Decision.offloads d && brownout_active.(d.Decision.server) then begin
+            match ov.Overload.brownout with
+            | Some { Overload.mode = Overload.Local_only; _ } -> protect_local.(dev_id)
+            | Some { Overload.mode = Overload.Min_server; _ } -> (
+                match brownout_plan.(dev_id) with
+                | Some p
+                  when d.Decision.compute_share > 0.0 || Plan.srv_flops p <= 0.0 ->
+                    { d with Decision.plan = p }
+                | _ -> protect_local.(dev_id))
+            | None -> d
+          end
+          else d
+        in
+        let d, shed_now =
+          if
+            Decision.offloads d
+            && Array.length breakers > 0
+            && not (Overload.Breaker.allow breakers.(d.Decision.server) ~now:arrival)
+          then begin
+            match ov.Overload.breaker with
+            | Some { Overload.shed_on_open = true; _ } -> (d, true)
+            | _ -> (protect_local.(dev_id), false)
+          end
+          else (d, false)
+        in
+        let shed_now =
+          shed_now
+          ||
+          match ov.Overload.admission with
+          | Some a ->
+              estimate_completion dev_id d scale
+              > a.Overload.slack *. budget_factor *. dev.Cluster.deadline
+          | None -> false
+        in
+        let shed_now =
+          shed_now
+          || Decision.offloads d
+             && Array.length buckets > 0
+             && not
+                  (Es_alloc.Admission.Token_bucket.try_take
+                     buckets.(d.Decision.server)
+                     ~now:arrival)
+        in
+        (d, shed_now)
+      end
+    in
     let rid = !n_req in
     ensure_cap d;
     incr n_req;
@@ -654,14 +921,17 @@ let run ?(options = default_options) ?metrics ?spans ?arrivals ?reconfigure
           "request";
     note_arrival arrival;
     Metrics.on_arrival collector ~device:dev_id ~now:arrival;
-    (match options.resilience with
-    | Some r when r.timeout_factor > 0.0 ->
-        Engine.schedule engine (r.timeout_factor *. dev.Cluster.deadline) (fun () ->
-            if not (resolved rid) then
-              if r.local_fallback && not (fallback_started rid) then start_fallback rid
-              else if not (fallback_started rid) then timed_out rid)
-    | _ -> ());
-    attempt_device rid
+    if shed_now then shed rid
+    else begin
+      (match options.resilience with
+      | Some r when r.timeout_factor > 0.0 ->
+          Engine.schedule engine (r.timeout_factor *. dev.Cluster.deadline) (fun () ->
+              if not (resolved rid) then
+                if r.local_fallback && not (fallback_started rid) then start_fallback rid
+                else if not (fallback_started rid) then timed_out rid)
+      | _ -> ());
+      attempt_device rid
+    end
   in
   (match arrivals with
   | Some trace ->

@@ -21,9 +21,10 @@
     per-request timeout, and an optional local fallback that re-executes
     the request on the device with the fastest device-only surgery plan
     (accuracy floors deliberately waived: a degraded answer beats a lost
-    request).  Requests then end in one of four outcomes — completed,
-    completed-degraded, dropped, or timed-out — each traced (root-span
-    [outcome] attribute) and counted ({!Metrics}, live registry counters).
+    request).  Requests then end in one of five outcomes — completed,
+    completed-degraded, dropped, timed-out, or shed (refused at arrival by
+    an {!Overload} policy) — each traced (root-span [outcome] attribute)
+    and counted ({!Metrics}, live registry counters).
 
     Everything stays deterministic under [seed]: fault injection draws no
     simulation randomness, and with [faults = Faults.empty] and
@@ -77,6 +78,14 @@ type options = {
   engine : Engine.backend;
       (** event-queue backend (default {!Engine.Calendar}); {!Engine.Heap}
           is the reference oracle — both produce identical runs *)
+  overload : Overload.policy;
+      (** overload protection: deadline-aware admission shedding, per-server
+          circuit breakers, brownout plan degradation, and per-server token
+          buckets (default {!Overload.off}).  Requests refused by any
+          mechanism end in the exactly-once [shed] outcome, extending the
+          conservation law to generated = completed + dropped + timed out +
+          shed.  With the policy off the run is bit-identical to a build
+          without overload protection — pinned by the test suite. *)
 }
 
 val default_options : options
@@ -113,11 +122,15 @@ val run :
       early-exit draws); applied to device and server compute.
     - [metrics]: live telemetry — counters [requests_generated] /
       [requests_completed] / [requests_completed_degraded] /
-      [requests_timed_out] / [requests_dropped{stage}] and histograms
+      [requests_timed_out] / [requests_shed] /
+      [requests_dropped{stage}] and histograms
       [request_latency_s] / [segment_s{stage}] restricted to the
       measurement window (matching the report), [queue_depth{station}]
       gauges, plus the end-of-run [report/…] gauges via
-      {!Metrics.record_to}.
+      {!Metrics.record_to}.  With an overload policy on, also
+      [overload/breaker_state{server}] and
+      [overload/brownout_active{server}] gauges and an
+      [overload/brownout_switches] counter.
     - [on_stats]: called once after the run drains with the engine's
       {!Engine.stats} (events processed, queue high-water mark) — the
       basis of events/s accounting.  With [metrics] set the same numbers

@@ -16,6 +16,9 @@ type t = {
   mutable epoch : int;
       (* bumped by [flush] so the completion closure of an evicted
          in-service job can recognize itself as stale and do nothing *)
+  mutable queued_work : float;
+      (* total work units of the waiting jobs (excludes the job in
+         service), maintained incrementally for O(1) backlog estimates *)
   mutable busy : float;
   mutable n_completed : int;
   mutable n_dropped : int;
@@ -33,6 +36,7 @@ let create engine ?(capacity = max_int) ?(name = "station") ~speed () =
     in_service = None;
     service_end = 0.0;
     epoch = 0;
+    queued_work = 0.0;
     busy = 0.0;
     n_completed = 0;
     n_dropped = 0;
@@ -46,6 +50,7 @@ let rec start_next t =
   | None -> t.in_service <- None
   | Some job ->
       t.in_service <- Some job;
+      t.queued_work <- Float.max 0.0 (t.queued_work -. job.work);
       (match job.on_start with Some f -> f () | None -> ());
       let service = job.work /. t.rate in
       t.busy <- t.busy +. service;
@@ -66,6 +71,7 @@ let submit t ?on_start ?on_evict ~work k =
   end
   else begin
     Queue.add { work; on_start; on_evict; k } t.waiting;
+    t.queued_work <- t.queued_work +. work;
     if t.in_service = None then start_next t;
     true
   end
@@ -83,12 +89,23 @@ let flush t =
   | None -> ());
   Queue.iter (fun job -> evicted := job :: !evicted) t.waiting;
   Queue.clear t.waiting;
+  t.queued_work <- 0.0;
   let jobs = List.rev !evicted in
   let n = List.length jobs in
   t.n_evicted <- t.n_evicted + n;
   (* state is already reset, so eviction callbacks may safely resubmit *)
   List.iter (fun job -> match job.on_evict with Some f -> f () | None -> ()) jobs;
   n
+
+let backlog_eta t =
+  let in_service =
+    match t.in_service with
+    | Some _ -> Float.max 0.0 (t.service_end -. Engine.now t.engine)
+    | None -> 0.0
+  in
+  in_service +. (t.queued_work /. t.rate)
+
+let eta t ~work = backlog_eta t +. (work /. t.rate)
 
 let set_speed t speed =
   if speed <= 0.0 then invalid_arg "Station.set_speed: non-positive speed";

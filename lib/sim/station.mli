@@ -43,6 +43,16 @@ val name : t -> string
 val queue_length : t -> int
 (** Jobs waiting or in service. *)
 
+val backlog_eta : t -> float
+(** Seconds until the current backlog (remaining service of the job in
+    service plus all waiting work) clears at the current speed — the
+    admission controller's per-station congestion signal.  Exact for a
+    dedicated FIFO station absent future speed changes and evictions. *)
+
+val eta : t -> work:float -> float
+(** [eta st ~work] = {!backlog_eta} plus the service time of a
+    hypothetical [work]-unit job submitted now. *)
+
 val busy_time : t -> float
 (** Cumulative seconds the station has been serving jobs. *)
 

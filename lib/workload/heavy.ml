@@ -149,7 +149,7 @@ let trace ~seed ~duration_s ~profile cluster =
     idx;
   Array.map (fun i -> (times.(i), devs.(i))) idx
 
-let profile_names = [ "constant"; "diurnal"; "flash"; "diurnal-flash" ]
+let profile_names = [ "constant"; "diurnal"; "flash"; "diurnal-flash"; "overload" ]
 
 let profile_by_name ~duration_s name =
   let diurnal () = Profiles.diurnal ~period_s:duration_s ~amplitude:0.6 in
@@ -162,4 +162,9 @@ let profile_by_name ~duration_s name =
   | "diurnal" -> diurnal ()
   | "flash" -> flash ()
   | "diurnal-flash" -> Profiles.product (diurnal ()) (flash ())
+  | "overload" ->
+      (* A flash crowd that never relaxes: 3x nominal from the quarter mark
+         to the end of the run — the overload-protection stress shape. *)
+      Profiles.sustained_flash ~at_s:(0.25 *. duration_s) ~rise_s:(0.05 *. duration_s)
+        ~factor:3.0
   | _ -> raise Not_found

@@ -63,7 +63,9 @@ val profile_by_name : duration_s:float -> string -> Profiles.t
     (amplitude 0.6);
     ["flash"] — a flash crowd at mid-run, 8× peak, 5% rise / 10% decay of
     the horizon;
-    ["diurnal-flash"] — the product of the two.
+    ["diurnal-flash"] — the product of the two;
+    ["overload"] — a sustained flash crowd: 3× nominal from the quarter
+    mark to the end of the run (the overload-protection stress shape).
     @raise Not_found for any other name. *)
 
 val profile_names : string list

@@ -27,3 +27,12 @@ val flash_crowd : at_s:float -> rise_s:float -> decay_s:float -> factor:float ->
 
 val product : t -> t -> t
 (** Pointwise product, e.g. a diurnal baseline carrying a flash crowd. *)
+
+val scale : float -> t -> t
+(** Constant multiplier on a profile — e.g. [scale 3.0] turns any shape
+    into a 3×-capacity stress variant. *)
+
+val sustained_flash : at_s:float -> rise_s:float -> factor:float -> t
+(** A flash crowd that never relaxes: 1.0 until [at_s], a linear surge to
+    [factor] over [rise_s], then flat at [factor] — the sustained-overload
+    shape the overload-protection bench sheds against. *)

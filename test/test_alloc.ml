@@ -396,6 +396,81 @@ let test_admission_rejects_bad_local_plan () =
            ~local_plan:(fun i -> Plan.server_only c.Cluster.devices.(i).Cluster.model)
            c ~assignment ~plans))
 
+(* ---------- Token bucket ---------- *)
+
+let test_bucket_drains_and_refills () =
+  let b = Admission.Token_bucket.create ~rate:2.0 ~burst:4.0 () in
+  Alcotest.(check (float 1e-12)) "starts full" 4.0 (Admission.Token_bucket.tokens b ~now:0.0);
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "burst admits" true (Admission.Token_bucket.try_take b ~now:0.0)
+  done;
+  Alcotest.(check bool) "empty bucket refuses" false
+    (Admission.Token_bucket.try_take b ~now:0.0);
+  (* 0.5 s at 2 tokens/s buys exactly one request. *)
+  Alcotest.(check bool) "refill admits again" true
+    (Admission.Token_bucket.try_take b ~now:0.5);
+  Alcotest.(check bool) "but only once" false (Admission.Token_bucket.try_take b ~now:0.5);
+  (* A long idle period clamps at the burst, not rate x elapsed. *)
+  Alcotest.(check (float 1e-12)) "refill clamps at burst" 4.0
+    (Admission.Token_bucket.tokens b ~now:1000.0)
+
+let test_bucket_set_rate_and_cost () =
+  let b = Admission.Token_bucket.create ~initial:0.0 ~rate:1.0 ~burst:10.0 () in
+  Alcotest.(check (float 1e-12)) "explicit initial" 0.0
+    (Admission.Token_bucket.tokens b ~now:0.0);
+  (* Settle the accrued tokens at t=2 (2 tokens), then switch to 4/s:
+     by t=3 the bucket holds 2 + 4 = 6. *)
+  Admission.Token_bucket.set_rate b ~now:2.0 4.0;
+  Alcotest.(check (float 1e-12)) "rate change applies forward only" 6.0
+    (Admission.Token_bucket.tokens b ~now:3.0);
+  Alcotest.(check bool) "weighted cost takes multiple tokens" true
+    (Admission.Token_bucket.try_take ~cost:6.0 b ~now:3.0);
+  Alcotest.(check bool) "drained by the weighted take" false
+    (Admission.Token_bucket.try_take ~cost:0.5 b ~now:3.0);
+  Alcotest.(check (float 1e-12)) "rate getter" 4.0 (Admission.Token_bucket.rate b);
+  Alcotest.(check (float 1e-12)) "burst getter" 10.0 (Admission.Token_bucket.burst b)
+
+let test_bucket_deterministic_sampling () =
+  (* Lazy refill is a pure function of elapsed time: polling the bucket at
+     different granularities must admit exactly the same request times. *)
+  let admits step =
+    let b = Admission.Token_bucket.create ~initial:1.0 ~rate:0.5 ~burst:2.0 () in
+    let out = ref [] in
+    let t = ref 0.0 in
+    while !t < 20.0 do
+      if Admission.Token_bucket.try_take b ~now:!t then out := !t :: !out;
+      t := !t +. step
+    done;
+    List.rev !out
+  in
+  (* Coarser polling is a subset sampled at the same token schedule: at
+     matching instants the two agree. *)
+  let fine = admits 0.5 and coarse = admits 2.5 in
+  List.iter
+    (fun tc ->
+      Alcotest.(check bool)
+        (Printf.sprintf "admit at %.1f agrees across sampling rates" tc)
+        true
+        (List.exists (fun tf -> Float.abs (tf -. tc) < 1.25) fine))
+    coarse
+
+let test_bucket_rejects_bad_params () =
+  let raises f =
+    match
+      try
+        ignore (f ());
+        `No_raise
+      with Invalid_argument _ -> `Raised
+    with
+    | `Raised -> ()
+    | `No_raise -> Alcotest.fail "bad bucket parameter accepted"
+  in
+  raises (fun () -> Admission.Token_bucket.create ~rate:(-1.0) ~burst:5.0 ());
+  raises (fun () -> Admission.Token_bucket.create ~rate:1.0 ~burst:0.0 ());
+  raises (fun () -> Admission.Token_bucket.create ~rate:Float.nan ~burst:5.0 ());
+  let b = Admission.Token_bucket.create ~rate:1.0 ~burst:5.0 () in
+  raises (fun () -> Admission.Token_bucket.set_rate b ~now:0.0 Float.infinity)
+
 let () =
   Alcotest.run "es_alloc"
     [
@@ -428,6 +503,13 @@ let () =
           Alcotest.test_case "weights protect" `Quick test_admission_weight_protects;
           Alcotest.test_case "noop when feasible" `Quick test_admission_noop_when_feasible;
           Alcotest.test_case "bad local plan" `Quick test_admission_rejects_bad_local_plan;
+        ] );
+      ( "token-bucket",
+        [
+          Alcotest.test_case "drains and refills" `Quick test_bucket_drains_and_refills;
+          Alcotest.test_case "set_rate and cost" `Quick test_bucket_set_rate_and_cost;
+          Alcotest.test_case "deterministic sampling" `Quick test_bucket_deterministic_sampling;
+          Alcotest.test_case "rejects bad params" `Quick test_bucket_rejects_bad_params;
         ] );
       ( "policy+assign",
         [

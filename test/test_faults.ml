@@ -172,6 +172,78 @@ let test_down_intervals () =
     [ (0, 25.0, 40.0); (1, 20.0, 30.0) ]
     (List.sort compare (Faults.down_intervals t ~horizon_s:40.0))
 
+(* ---------- backend equivalence under faults ---------- *)
+
+(* The Calendar engine is the production default, the Heap the oracle:
+   the whole fault machinery (evictions, retries, timeouts, fallbacks,
+   and overload shedding on top) must produce field-for-field identical
+   reports on both. *)
+
+let faulty_report ?(overload = Es_sim.Overload.off) engine faults =
+  let c = Es_edge.Scenario.build Es_edge.Scenario.default in
+  let ds = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve c in
+  let options =
+    {
+      Runner.default_options with
+      Runner.duration_s = 40.0;
+      faults;
+      resilience = Some Runner.default_resilience;
+      engine;
+      overload;
+    }
+  in
+  Runner.run ~options c ds
+
+let mixed_faults =
+  (* One of everything the injector can throw. *)
+  Faults.scripted
+    (Faults.crash ~at:10.0 ~for_s:8.0 0
+    @ Faults.outage ~at:15.0 ~for_s:3.0 2
+    @ Faults.straggle ~at:20.0 ~for_s:10.0 ~factor:3.0 1
+    @ [ (25.0, Faults.Link_degraded (4, 0.25)); (32.0, Faults.Link_restored 4) ])
+
+let test_backends_equal_under_faults () =
+  let rh = faulty_report Engine.Heap mixed_faults in
+  let rc = faulty_report Engine.Calendar mixed_faults in
+  Alcotest.(check bool) "scripted faults: reports identical" true (rh = rc);
+  Alcotest.(check bool) "the run actually exercised resilience" true
+    (rh.Metrics.total_degraded > 0 || rh.Metrics.total_timed_out > 0
+   || rh.Metrics.total_dropped > 0)
+
+let test_backends_equal_under_random_faults () =
+  let faults =
+    Faults.random ~seed:5 ~duration_s:40.0 ~n_servers:2 ~n_devices:20 ~server_mtbf_s:30.0
+      ~server_mttr_s:5.0 ~outage_rate:0.02 ~outage_mean_s:3.0 ~straggler_rate:0.01
+      ~straggler_factor:2.5 ~straggler_mean_s:10.0 ()
+  in
+  let rh = faulty_report Engine.Heap faults in
+  let rc = faulty_report Engine.Calendar faults in
+  Alcotest.(check bool) "random faults: reports identical" true (rh = rc)
+
+let test_backends_equal_faults_with_overload () =
+  (* Faults and overload protection together: breaker trips feed on the
+     fault-induced failures, admission sheds on the induced backlog. *)
+  let overload =
+    {
+      Es_sim.Overload.admission = Some Es_sim.Overload.default_admission;
+      breaker =
+        Some
+          {
+            Es_sim.Overload.default_breaker with
+            Es_sim.Overload.window = 8;
+            min_samples = 4;
+          };
+      brownout = Some Es_sim.Overload.default_brownout;
+      rate_limit = Some Es_sim.Overload.default_rate_limit;
+    }
+  in
+  let rh = faulty_report ~overload Engine.Heap mixed_faults in
+  let rc = faulty_report ~overload Engine.Calendar mixed_faults in
+  Alcotest.(check bool) "faults + overload: reports identical" true (rh = rc);
+  Alcotest.(check int) "conservation with shed holds" rh.Metrics.total_generated
+    (rh.Metrics.total_completed + rh.Metrics.total_dropped + rh.Metrics.total_timed_out
+   + rh.Metrics.total_shed)
+
 let () =
   Alcotest.run "es_sim_faults"
     [
@@ -198,5 +270,13 @@ let () =
           Alcotest.test_case "validate indices" `Quick test_validate_indices;
           Alcotest.test_case "down_at" `Quick test_down_at;
           Alcotest.test_case "down_intervals" `Quick test_down_intervals;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "scripted faults equal" `Quick test_backends_equal_under_faults;
+          Alcotest.test_case "random faults equal" `Quick
+            test_backends_equal_under_random_faults;
+          Alcotest.test_case "faults + overload equal" `Quick
+            test_backends_equal_faults_with_overload;
         ] );
     ]

@@ -204,6 +204,35 @@ let test_run_online_with_faults () =
           ds)
     result.Es_joint.Online.schedule
 
+let test_schedule_backends_equal () =
+  (* A full recovery pipeline — precomputed fallbacks compiled into
+     reconfigurations around a crash, resilience on — must be bit-identical
+     on the Heap oracle and the Calendar production backend. *)
+  let cluster = Lazy.force default_cluster in
+  let decisions = (Lazy.force solved).Es_joint.Optimizer.decisions in
+  let faults = Es_sim.Faults.scripted (Es_sim.Faults.crash ~at:15.0 ~for_s:10.0 0) in
+  let recover = Es_joint.Recover.precompute cluster in
+  let reconfigure = Es_joint.Recover.schedule_for_faults recover ~decisions faults in
+  Alcotest.(check bool) "schedule has swaps" true (reconfigure <> []);
+  let run engine =
+    Es_sim.Runner.run
+      ~options:
+        {
+          Es_sim.Runner.default_options with
+          duration_s = 40.0;
+          warmup_s = 0.0;
+          faults;
+          resilience = Some Es_sim.Runner.default_resilience;
+          engine;
+        }
+      ~reconfigure cluster decisions
+  in
+  let rh = run Es_sim.Engine.Heap and rc = run Es_sim.Engine.Calendar in
+  Alcotest.(check bool) "recovery run reports identical across backends" true (rh = rc);
+  Alcotest.(check int) "conservation (incl. shed outcome)" rh.Es_sim.Metrics.total_generated
+    (rh.Es_sim.Metrics.total_completed + rh.Es_sim.Metrics.total_dropped
+   + rh.Es_sim.Metrics.total_timed_out + rh.Es_sim.Metrics.total_shed)
+
 let () =
   Alcotest.run "es_joint_recover"
     [
@@ -221,6 +250,7 @@ let () =
         [
           Alcotest.test_case "timing" `Quick test_schedule_for_faults_timing;
           Alcotest.test_case "ignores link events" `Quick test_schedule_ignores_non_server_events;
+          Alcotest.test_case "backend equality" `Quick test_schedule_backends_equal;
         ] );
       ( "end-to-end",
         [

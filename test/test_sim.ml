@@ -697,6 +697,353 @@ let test_timeout_without_fallback () =
     (r.Es_sim.Metrics.total_completed + r.Es_sim.Metrics.total_dropped
    + r.Es_sim.Metrics.total_timed_out)
 
+(* ---------- Overload protection ---------- *)
+
+let conserved (r : Es_sim.Metrics.report) =
+  Alcotest.(check int) "conservation with shed" r.Es_sim.Metrics.total_generated
+    (r.Es_sim.Metrics.total_completed + r.Es_sim.Metrics.total_dropped
+   + r.Es_sim.Metrics.total_timed_out + r.Es_sim.Metrics.total_shed)
+
+let test_station_backlog_eta () =
+  let e = Es_sim.Engine.create () in
+  let st = Es_sim.Station.create e ~speed:2.0 () in
+  Alcotest.(check (float 1e-12)) "idle backlog is zero" 0.0 (Es_sim.Station.backlog_eta st);
+  Alcotest.(check (float 1e-12)) "idle eta is pure service" 1.0
+    (Es_sim.Station.eta st ~work:2.0);
+  (* First job (4 units) enters service until t=2; second (2 units) queues. *)
+  ignore (Es_sim.Station.submit st ~work:4.0 (fun () -> ()));
+  ignore (Es_sim.Station.submit st ~work:2.0 (fun () -> ()));
+  Alcotest.(check (float 1e-12)) "backlog = in-service remainder + queue" 3.0
+    (Es_sim.Station.backlog_eta st);
+  Alcotest.(check (float 1e-12)) "eta adds own service on top" 4.0
+    (Es_sim.Station.eta st ~work:2.0);
+  Es_sim.Engine.run e;
+  Alcotest.(check (float 1e-12)) "drained backlog is zero" 0.0
+    (Es_sim.Station.backlog_eta st)
+
+let test_breaker_state_machine () =
+  let cfg =
+    {
+      Es_sim.Overload.default_breaker with
+      Es_sim.Overload.window = 8;
+      failure_rate = 0.5;
+      min_samples = 4;
+      cooldown_s = 5.0;
+      half_open_probes = 2;
+    }
+  in
+  let transitions = ref 0 in
+  let b = Es_sim.Overload.Breaker.create ~on_transition:(fun _ -> incr transitions) cfg in
+  let code () = Es_sim.Overload.Breaker.(state_code (state b)) in
+  Alcotest.(check bool) "closed admits" true (Es_sim.Overload.Breaker.allow b ~now:0.0);
+  Es_sim.Overload.Breaker.record b ~now:0.1 ~ok:true;
+  Es_sim.Overload.Breaker.record b ~now:0.2 ~ok:false;
+  Es_sim.Overload.Breaker.record b ~now:0.3 ~ok:false;
+  Alcotest.(check int) "below min_samples stays closed" 0 (code ());
+  Es_sim.Overload.Breaker.record b ~now:0.4 ~ok:false;
+  Alcotest.(check int) "75% failures over 4 samples trips" 2 (code ());
+  Alcotest.(check int) "one open counted" 1 (Es_sim.Overload.Breaker.opens b);
+  Alcotest.(check bool) "open rejects before cooldown" false
+    (Es_sim.Overload.Breaker.allow b ~now:1.0);
+  Alcotest.(check bool) "cooldown elapses into a probe" true
+    (Es_sim.Overload.Breaker.allow b ~now:5.5);
+  Alcotest.(check int) "half-open" 1 (code ());
+  Es_sim.Overload.Breaker.record b ~now:5.6 ~ok:false;
+  Alcotest.(check int) "probe failure re-opens" 2 (code ());
+  Alcotest.(check bool) "second cooldown, probe again" true
+    (Es_sim.Overload.Breaker.allow b ~now:11.0);
+  Es_sim.Overload.Breaker.record b ~now:11.1 ~ok:true;
+  Alcotest.(check bool) "still half-open: second probe admitted" true
+    (Es_sim.Overload.Breaker.allow b ~now:11.2);
+  Es_sim.Overload.Breaker.record b ~now:11.3 ~ok:true;
+  Alcotest.(check int) "enough probe successes re-close" 0 (code ());
+  Alcotest.(check int) "two opens total" 2 (Es_sim.Overload.Breaker.opens b);
+  (* Closed -> Open -> Half_open -> Open -> Half_open -> Closed *)
+  Alcotest.(check int) "every transition reported" 5 !transitions
+
+(* A hopeless offload: 20 req/s into a 10 Mbit/s uplink with a 200 ms
+   deadline.  Backlog-based admission must shed most of it and keep the
+   ledger exact. *)
+let test_overload_admission_sheds () =
+  let c =
+    Cluster.make
+      ~devices:
+        [
+          Cluster.device ~id:0 ~proc:Processor.raspberry_pi ~link:Link.wifi ~model:resnet18
+            ~rate:20.0 ~deadline:0.2 ();
+        ]
+      ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_cpu ~ap_bandwidth_mbps:50.0 () ]
+  in
+  let d =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18) ~bandwidth_bps:10e6
+      ~compute_share:0.5 ()
+  in
+  let options =
+    {
+      Es_sim.Runner.default_options with
+      duration_s = 20.0;
+      warmup_s = 0.0;
+      overload =
+        {
+          Es_sim.Overload.off with
+          Es_sim.Overload.admission = Some Es_sim.Overload.default_admission;
+        };
+    }
+  in
+  let reg = Es_obs.Metric.create () in
+  let r = Es_sim.Runner.run ~options ~metrics:reg c [| d |] in
+  Alcotest.(check bool) "sheds under overload" true (r.Es_sim.Metrics.total_shed > 0);
+  conserved r;
+  Alcotest.(check int) "per-device shed matches total"
+    r.Es_sim.Metrics.total_shed
+    r.Es_sim.Metrics.per_device.(0).Es_sim.Metrics.shed;
+  Alcotest.(check bool) "admitted DSR >= raw DSR" true
+    (r.Es_sim.Metrics.dsr_admitted >= r.Es_sim.Metrics.dsr);
+  (match Es_obs.Metric.find reg "requests_shed" with
+  | Some (Es_obs.Metric.Counter n) ->
+      Alcotest.(check int) "live shed counter matches report" r.Es_sim.Metrics.total_shed n
+  | _ -> Alcotest.fail "requests_shed counter missing");
+  (* Shedding the hopeless arrivals must leave the survivors meeting their
+     deadlines far more often than the unprotected run. *)
+  let unprotected =
+    Es_sim.Runner.run
+      ~options:{ options with Es_sim.Runner.overload = Es_sim.Overload.off }
+      c [| d |]
+  in
+  Alcotest.(check bool) "admission lifts admitted DSR" true
+    (r.Es_sim.Metrics.dsr_admitted > unprotected.Es_sim.Metrics.dsr)
+
+let test_overload_breaker_reroutes () =
+  (* Server down from t=10: without protection every later offload drops;
+     with a breaker the first few failures trip it and the rest of the
+     arrivals reroute to the device's local plan and complete. *)
+  let c =
+    Cluster.make
+      ~devices:
+        [
+          Cluster.device ~id:0 ~proc:Processor.jetson_nano ~link:Link.wifi ~model:resnet18
+            ~rate:4.0 ~deadline:0.5 ();
+        ]
+      ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_gpu ~ap_bandwidth_mbps:200.0 () ]
+  in
+  let d =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18) ~bandwidth_bps:50e6
+      ~compute_share:0.8 ()
+  in
+  let breaker =
+    { Es_sim.Overload.default_breaker with Es_sim.Overload.window = 8; min_samples = 4 }
+  in
+  let options =
+    {
+      Es_sim.Runner.default_options with
+      duration_s = 40.0;
+      warmup_s = 0.0;
+      faults = Es_sim.Faults.scripted (Es_sim.Faults.crash ~at:10.0 0);
+      overload = { Es_sim.Overload.off with Es_sim.Overload.breaker = Some breaker };
+    }
+  in
+  let reg = Es_obs.Metric.create () in
+  let r = Es_sim.Runner.run ~options ~metrics:reg c [| d |] in
+  conserved r;
+  Alcotest.(check bool) "a few trip-window drops remain" true
+    (r.Es_sim.Metrics.total_dropped >= breaker.Es_sim.Overload.min_samples
+    && r.Es_sim.Metrics.total_dropped <= 2 * breaker.Es_sim.Overload.window);
+  Alcotest.(check bool) "rerouted arrivals keep completing" true
+    (r.Es_sim.Metrics.total_completed > r.Es_sim.Metrics.total_dropped);
+  (match Es_obs.Metric.find reg ~labels:[ ("server", "0") ] "overload/breaker_state" with
+  | Some (Es_obs.Metric.Gauge g) ->
+      Alcotest.(check (float 0.0)) "breaker gauge reads open" 2.0 g
+  | _ -> Alcotest.fail "breaker gauge missing");
+  let unprotected =
+    Es_sim.Runner.run
+      ~options:{ options with Es_sim.Runner.overload = Es_sim.Overload.off }
+      c [| d |]
+  in
+  Alcotest.(check bool) "breaker saves requests the bare run drops" true
+    (r.Es_sim.Metrics.total_completed > unprotected.Es_sim.Metrics.total_completed)
+
+let test_overload_brownout_switches () =
+  (* A starved server share builds server-station backlog; the watermark
+     controller must engage, swap the device to its local plan, and count
+     the switch. *)
+  let c =
+    Cluster.make
+      ~devices:
+        [
+          Cluster.device ~id:0 ~proc:Processor.jetson_nano ~link:Link.wifi ~model:resnet18
+            ~rate:8.0 ~deadline:0.5 ();
+        ]
+      ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_cpu ~ap_bandwidth_mbps:200.0 () ]
+  in
+  let d =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18) ~bandwidth_bps:50e6
+      ~compute_share:0.02 ()
+  in
+  let brownout =
+    {
+      Es_sim.Overload.default_brownout with
+      Es_sim.Overload.high_watermark = 4;
+      low_watermark = 1;
+      check_every_s = 0.25;
+    }
+  in
+  let options =
+    {
+      Es_sim.Runner.default_options with
+      duration_s = 30.0;
+      warmup_s = 0.0;
+      overload = { Es_sim.Overload.off with Es_sim.Overload.brownout = Some brownout };
+    }
+  in
+  let reg = Es_obs.Metric.create () in
+  let r = Es_sim.Runner.run ~options ~metrics:reg c [| d |] in
+  conserved r;
+  (match Es_obs.Metric.find reg "overload/brownout_switches" with
+  | Some (Es_obs.Metric.Counter n) ->
+      Alcotest.(check bool) "controller engaged at least once" true (n >= 1)
+  | _ -> Alcotest.fail "brownout switch counter missing");
+  let unprotected =
+    Es_sim.Runner.run
+      ~options:{ options with Es_sim.Runner.overload = Es_sim.Overload.off }
+      c [| d |]
+  in
+  Alcotest.(check bool) "brownout beats queueing on the starved share" true
+    (r.Es_sim.Metrics.mean_latency_s < unprotected.Es_sim.Metrics.mean_latency_s)
+
+let test_overload_rate_limit_sheds () =
+  (* A fixed 2 req/s bucket under an 8 req/s offered load: roughly three
+     quarters of the offloads shed, and the ledger stays exact. *)
+  let c =
+    Cluster.make
+      ~devices:
+        [
+          Cluster.device ~id:0 ~proc:Processor.jetson_nano ~link:Link.wifi ~model:resnet18
+            ~rate:8.0 ~deadline:0.5 ();
+        ]
+      ~servers:[ Cluster.server ~id:0 ~proc:Processor.edge_gpu ~ap_bandwidth_mbps:200.0 () ]
+  in
+  let d =
+    Decision.make ~device:0 ~server:0 ~plan:(Plan.server_only resnet18) ~bandwidth_bps:50e6
+      ~compute_share:0.8 ()
+  in
+  let options =
+    {
+      Es_sim.Runner.default_options with
+      duration_s = 30.0;
+      warmup_s = 0.0;
+      overload =
+        {
+          Es_sim.Overload.off with
+          Es_sim.Overload.rate_limit =
+            Some { Es_sim.Overload.rate_per_server = 2.0; burst = 1.0 };
+        };
+    }
+  in
+  let r = Es_sim.Runner.run ~options c [| d |] in
+  conserved r;
+  Alcotest.(check bool) "rate limit sheds the excess" true
+    (r.Es_sim.Metrics.total_shed > r.Es_sim.Metrics.total_generated / 2);
+  Alcotest.(check bool) "admitted requests still flow" true
+    (r.Es_sim.Metrics.total_completed > 0)
+
+let armed_but_lax =
+  (* Every mechanism on, every threshold unreachable: the run must be
+     byte-identical to an unprotected one — arming costs nothing. *)
+  {
+    Es_sim.Overload.admission = Some { Es_sim.Overload.slack = 1e9 };
+    breaker = Some Es_sim.Overload.default_breaker;
+    brownout =
+      Some
+        {
+          Es_sim.Overload.default_brownout with
+          Es_sim.Overload.high_watermark = 1_000_000;
+          low_watermark = 0;
+        };
+    rate_limit = Some { Es_sim.Overload.rate_per_server = 1e12; burst = 1e9 };
+  }
+
+let test_overload_off_and_lax_bit_identical () =
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve c in
+  let run overload =
+    Es_sim.Runner.run ~options:{ Es_sim.Runner.default_options with overload } c ds
+  in
+  let off = run Es_sim.Overload.off in
+  (* The golden pins (test_runner_golden_bit_identity) apply unchanged. *)
+  Alcotest.(check int) "off-policy generated pin" 1636 off.Es_sim.Metrics.total_generated;
+  Alcotest.(check (float 0.0)) "off-policy dsr pin" 0.9193154034229829 off.Es_sim.Metrics.dsr;
+  Alcotest.(check int) "off-policy sheds nothing" 0 off.Es_sim.Metrics.total_shed;
+  Alcotest.(check (float 0.0)) "dsr_admitted folds to dsr" off.Es_sim.Metrics.dsr
+    off.Es_sim.Metrics.dsr_admitted;
+  let lax = run armed_but_lax in
+  Alcotest.(check bool) "armed-but-lax run is report-identical" true (off = lax)
+
+let overload_flash_setup seed =
+  let c = Scenario.build Scenario.default in
+  let ds = Es_baselines.Baselines.neurosurgeon.Es_baselines.Baselines.solve c in
+  let profile = Es_workload.Heavy.profile_by_name ~duration_s:30.0 "overload" in
+  let arrivals = Es_workload.Heavy.trace ~seed ~duration_s:30.0 ~profile c in
+  (c, ds, arrivals)
+
+let all_protections =
+  {
+    Es_sim.Overload.admission = Some Es_sim.Overload.default_admission;
+    breaker = Some Es_sim.Overload.default_breaker;
+    brownout = Some Es_sim.Overload.default_brownout;
+    rate_limit = Some Es_sim.Overload.default_rate_limit;
+  }
+
+let prop_overload_flash_deterministic =
+  qtest ~count:8 "protected flash crowd: repeat runs and both backends bit-identical"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c, ds, arrivals = overload_flash_setup seed in
+      let run engine =
+        Es_sim.Runner.run
+          ~options:
+            {
+              Es_sim.Runner.default_options with
+              duration_s = 30.0;
+              engine;
+              overload = all_protections;
+            }
+          ~arrivals c ds
+      in
+      let r1 = run Es_sim.Engine.Calendar in
+      let r2 = run Es_sim.Engine.Calendar in
+      let r3 = run Es_sim.Engine.Heap in
+      let conserved (r : Es_sim.Metrics.report) =
+        r.Es_sim.Metrics.total_generated
+        = r.Es_sim.Metrics.total_completed + r.Es_sim.Metrics.total_dropped
+          + r.Es_sim.Metrics.total_timed_out + r.Es_sim.Metrics.total_shed
+      in
+      r1 = r2 && r1 = r3 && conserved r1)
+
+let test_overload_jobs_invariant () =
+  (* Solver parallelism must not leak into the protected run: decisions are
+     bit-identical for every [jobs], so the flash-crowd reports are too. *)
+  let c, _, arrivals = overload_flash_setup 11 in
+  let solve jobs =
+    (Es_joint.Optimizer.solve
+       ~config:{ Es_joint.Optimizer.default_config with Es_joint.Optimizer.jobs }
+       c)
+      .Es_joint.Optimizer.decisions
+  in
+  let d1 = solve 1 and d2 = solve 2 in
+  Alcotest.(check string) "decisions bit-identical across jobs"
+    (Decision.fingerprint d1) (Decision.fingerprint d2);
+  let run ds =
+    Es_sim.Runner.run
+      ~options:
+        {
+          Es_sim.Runner.default_options with
+          duration_s = 30.0;
+          overload = all_protections;
+        }
+      ~arrivals c ds
+  in
+  Alcotest.(check bool) "reports equal under either jobs count" true (run d1 = run d2)
+
 let () =
   Alcotest.run "es_sim"
     [
@@ -762,5 +1109,18 @@ let () =
           Alcotest.test_case "straggler slows" `Quick test_faults_straggler_slows;
           Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
           Alcotest.test_case "timeout without fallback" `Quick test_timeout_without_fallback;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "station backlog eta" `Quick test_station_backlog_eta;
+          Alcotest.test_case "breaker state machine" `Quick test_breaker_state_machine;
+          Alcotest.test_case "admission sheds" `Quick test_overload_admission_sheds;
+          Alcotest.test_case "breaker reroutes" `Quick test_overload_breaker_reroutes;
+          Alcotest.test_case "brownout switches" `Quick test_overload_brownout_switches;
+          Alcotest.test_case "rate limit sheds" `Quick test_overload_rate_limit_sheds;
+          Alcotest.test_case "off and lax bit-identical" `Quick
+            test_overload_off_and_lax_bit_identical;
+          Alcotest.test_case "jobs invariant" `Quick test_overload_jobs_invariant;
+          prop_overload_flash_deterministic;
         ] );
     ]
