@@ -24,7 +24,12 @@
      - each sharded_vs_mono record is gated against the baseline record
        with the same device count: machine-relative speedup within the
        2x band, and the decomposition's objective give-up bounded
-       (quality_ratio <= 1.25, the bound the test suite enforces).
+       (quality_ratio <= 1.25, the bound the test suite enforces);
+     - each alloc_per_solve record (when the current run carries any) is
+       gated absolutely: allocation counts are machine-independent, so
+       minor-heap words per solve must stay within 5% + 1024 words of the
+       committed baseline, and the flat kernels must agree with their
+       retained reference oracles on the solve's landing point.
 
    Usage: perf_gate.exe --baseline BENCH_solver.json --current bench_smoke.json
    Exit 0 on pass, 1 on regression, 2 on usage/parse errors. *)
@@ -66,13 +71,16 @@ let float_field name j = Option.bind (J.member name j) J.to_float_opt
 let bool_field name j =
   match J.member name j with Some (J.Bool b) -> Some b | _ -> None
 
-let failures : string list ref = ref []
+(* Failures carry their detail string so the summary can repeat the
+   absolute baseline and current values — a CI log skimmed bottom-up then
+   shows the numbers, not just the check names. *)
+let failures : (string * string) list ref = ref []
 
 let check name ok detail =
   if ok then Printf.printf "perf-gate: PASS %-28s %s\n" name detail
   else begin
     Printf.printf "perf-gate: FAIL %-28s %s\n" name detail;
-    failures := name :: !failures
+    failures := (name, detail) :: !failures
   end
 
 (* A current speedup is acceptable when it retains at least half the
@@ -273,6 +281,45 @@ let () =
             | None -> "current record/field missing"))
         [ "no_fewer_hits"; "off_identical"; "conservation" ]);
 
+  (* alloc_per_solve: allocated minor-heap words per steady-state solve.
+     Allocation counts are machine-independent (same binary, same compiler
+     -> same words), so unlike the wall-clock checks above this one is
+     absolute: a small tolerance for harness jitter (5% + 1024 words), no
+     2x band.  The section is skipped when the current run carries no
+     alloc records (plain smoke runs), but once it does, every record must
+     pair with a committed baseline and its flat kernels must agree with
+     the retained reference oracles. *)
+  let alloc_of records = List.filter (fun j -> kind_of j = Some "alloc_per_solve") records in
+  let string_field name j = Option.bind (J.member name j) J.to_string_opt in
+  List.iter
+    (fun cur ->
+      let scenario = Option.value ~default:"?" (string_field "scenario" cur) in
+      let name suffix = Printf.sprintf "alloc.%s.%s" scenario suffix in
+      (match bool_field "oracle_ok" cur with
+      | Some b -> check (name "oracle") b "flat kernels vs reference oracles on the landing point"
+      | None -> check (name "oracle") false "current record missing oracle_ok");
+      let base =
+        List.find_opt
+          (fun b ->
+            kind_of b = Some "alloc_per_solve"
+            && string_field "scenario" b = Some scenario
+            && int_field "devices" b = int_field "devices" cur)
+          (alloc_of baseline)
+      in
+      match base with
+      | None -> check (name "minor_words") false "no baseline alloc record for this scenario"
+      | Some b -> (
+          match
+            (float_field "minor_words_per_solve" b, float_field "minor_words_per_solve" cur)
+          with
+          | Some bw, Some cw ->
+              let ceiling = (bw *. 1.05) +. 1024.0 in
+              check (name "minor_words") (cw <= ceiling)
+                (Printf.sprintf "current %.0f vs baseline %.0f words/solve (ceiling %.0f)" cw
+                   bw ceiling)
+          | _ -> check (name "minor_words") false "missing minor_words_per_solve field"))
+    (alloc_of current);
+
   (* Name the failed checks in the summary and flush before exiting, so a
      CI log that truncates at the non-zero exit still shows what failed. *)
   match List.rev !failures with
@@ -280,7 +327,7 @@ let () =
       print_endline "perf-gate: all checks passed";
       flush stdout
   | failed ->
-      Printf.printf "perf-gate: %d check(s) failed: %s\n" (List.length failed)
-        (String.concat ", " failed);
+      Printf.printf "perf-gate: %d check(s) failed:\n" (List.length failed);
+      List.iter (fun (name, detail) -> Printf.printf "  FAIL %s — %s\n" name detail) failed;
       flush stdout;
       exit 1

@@ -203,6 +203,74 @@ let sharded_vs_mono ~repeats n =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* alloc_per_solve — allocated words per steady-state solve            *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocation counts are a property of the code path, not of the machine:
+   the same binary solving the same scenario allocates the same number of
+   minor-heap words on every run, on every box.  Unlike the wall-clock
+   records above, the gate therefore compares minor_words_per_solve
+   absolutely against the committed baseline (small tolerance, no 2x noise
+   band) — the budget the zero-allocation kernels (DESIGN.md §15) buy.
+
+   Solves run at jobs=1: the parallel fan-out would add per-domain arenas
+   and dispatch buffers that belong to the runtime, not to the solver.
+   Each record also re-scores the landing point through the retained
+   reference kernels (oracle_ok), so a flat/oracle divergence fails the
+   gate even if no test caught it.  words_per_solve (minor + major -
+   promoted) is recorded for context only: direct-to-major block counters
+   lag the running collection slice, so that figure is not exact. *)
+
+let alloc_per_solve_record ~scenario ~cluster ~(solve : unit -> Es_edge.Decision.t array) =
+  let open Es_edge in
+  ignore (Sys.opaque_identity (solve ()));
+  (* warm: candidate pools, scratch arenas, lazies *)
+  let sink = ref [||] in
+  let thunk () = sink := solve () in
+  let minor = Es_util.Alloc_probe.minor_words thunk in
+  let total = Es_util.Alloc_probe.words thunk in
+  let decisions = !sink in
+  let oracle_ok =
+    Int64.bits_of_float (Es_joint.Objective.of_decisions cluster decisions)
+    = Int64.bits_of_float (Es_joint.Objective.of_decisions_ref cluster decisions)
+  in
+  Printf.printf
+    "alloc_per_solve %-12s %4d devices  minor %.0f words/solve  total %.0f  oracle_ok %b\n%!"
+    scenario (Cluster.n_devices cluster) minor total oracle_ok;
+  J.Obj
+    [
+      ("kind", J.String "alloc_per_solve");
+      ("scenario", J.String scenario);
+      ("devices", J.Int (Cluster.n_devices cluster));
+      ("servers", J.Int (Cluster.n_servers cluster));
+      ("minor_words_per_solve", J.Float minor);
+      ("words_per_solve", J.Float total);
+      ("oracle_ok", J.Bool oracle_ok);
+    ]
+
+let alloc_scenario_names = [ "default"; "smart_city"; "ar_assistant"; "drone_swarm" ]
+
+let alloc_named name =
+  let open Es_edge in
+  let cluster = Scenario.build (Es_workload.Scenarios.by_name name) in
+  let config = { Es_joint.Optimizer.default_config with Es_joint.Optimizer.jobs = 1 } in
+  alloc_per_solve_record ~scenario:name ~cluster ~solve:(fun () ->
+      (Es_joint.Optimizer.solve ~config cluster).Es_joint.Optimizer.decisions)
+
+let alloc_sharded n =
+  let open Es_edge in
+  let servers = sharded_servers n in
+  let cluster =
+    Scenario.default |> Scenario.with_n_devices n |> Scenario.with_n_servers servers
+    |> Scenario.build
+  in
+  let config = { Es_scale.default_config with Es_scale.jobs = 1 } in
+  alloc_per_solve_record
+    ~scenario:(Printf.sprintf "sharded_%d" n)
+    ~cluster
+    ~solve:(fun () -> (Es_scale.solve ~config cluster).Es_scale.decisions)
+
+(* ------------------------------------------------------------------ *)
 (* warm_online — warm-started + cached epoch re-solves vs cold         *)
 (* ------------------------------------------------------------------ *)
 
@@ -591,9 +659,11 @@ let () =
   let warm = ref false in
   let million = ref 0 in
   let overload = ref 0 in
+  let alloc = ref false in
+  let alloc_sharded_sizes = ref [] in
   let usage () =
     prerr_endline
-      "usage: timing.exe [--sizes N,N,..] [--sharded-sizes N,N,..] [--vs-mono N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online] [--million-request N] [--overload N]";
+      "usage: timing.exe [--sizes N,N,..] [--sharded-sizes N,N,..] [--vs-mono N,N,..] [--jobs N] [--repeats N] [--out PATH] [--suite] [--warm-online] [--million-request N] [--overload N] [--alloc] [--alloc-sharded N,N,..]";
     exit 2
   in
   let parse_sizes into s rest k =
@@ -628,6 +698,10 @@ let () =
     | "--warm-online" :: rest ->
         warm := true;
         parse rest
+    | "--alloc" :: rest ->
+        alloc := true;
+        parse rest
+    | "--alloc-sharded" :: s :: rest -> parse_sizes alloc_sharded_sizes s rest parse
     | "--million-request" :: n :: rest -> (
         match int_of_string_opt n with
         | Some m when m >= 1 ->
@@ -666,6 +740,8 @@ let () =
   List.iter (fun n -> emit (solver_scaling ~jobs:!jobs ~repeats:!repeats n)) !sizes;
   List.iter (fun n -> emit (sharded_scaling ~jobs:!jobs ~repeats:!repeats n)) !sharded_sizes;
   List.iter (fun n -> emit (sharded_vs_mono ~repeats:!repeats n)) !vs_mono_sizes;
+  if !alloc then List.iter (fun name -> emit (alloc_named name)) alloc_scenario_names;
+  List.iter (fun n -> emit (alloc_sharded n)) !alloc_sharded_sizes;
   if !warm then emit (warm_online ~repeats:!repeats);
   if !million >= 1 then emit (million_request ~repeats:!repeats !million);
   if !overload >= 1 then emit (overload_protection ~repeats:!repeats !overload);

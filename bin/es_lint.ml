@@ -1,7 +1,7 @@
 (* es_lint — determinism & domain-safety static analysis over the library.
 
    Parses every .ml under the given paths (default: lib bin bench) and
-   reports D1–D5 findings as sorted `file:line:col [rule] message` lines,
+   reports D1–D6 findings as sorted `file:line:col [rule] message` lines,
    then a per-rule summary table.  Exit status: 0 clean, 1 unsuppressed
    findings, 2 usage/IO error.  Output is byte-identical across runs and
    across any ordering or duplication of the input paths. *)
@@ -14,7 +14,7 @@ let usage () =
     \  PATHS       files or directories, relative to --root (default: lib bin bench)\n\
     \  --root DIR  repo root the paths resolve against (default: .)\n\
     \  --allow F   allowlist of legacy RULE:PATH exceptions (default: lint.allow if present)\n\
-    \  --rules L   comma-separated rule ids to enable (default: all of D1,D2,D3,D4,D5)\n\
+    \  --rules L   comma-separated rule ids to enable (default: all of D1,D2,D3,D4,D5,D6)\n\
     \  --disable L comma-separated rule ids to disable\n\
     \  --jsonl F   also write findings as JSON lines to F";
   exit 2
@@ -27,7 +27,7 @@ let parse_rule_list spec =
   |> List.map (fun s ->
          match Es_lint.Rule.of_id s with
          | Some r -> r
-         | None -> fail "unknown rule id %S (expected D1..D5)" (String.trim s))
+         | None -> fail "unknown rule id %S (expected D1..D6)" (String.trim s))
 
 (* Deterministic directory walk: readdir order is filesystem-dependent, so
    sort entries before recursing (the engine re-sorts the union anyway). *)

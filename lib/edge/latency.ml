@@ -1,3 +1,4 @@
+(* es_lint: hot *)
 open Es_surgery
 
 type breakdown = {
@@ -28,15 +29,55 @@ let breakdown cluster (d : Decision.t) =
 
 let total b = b.device_s +. b.uplink_s +. b.server_s +. b.downlink_s
 
-let of_decision cluster d = total (breakdown cluster d)
+let of_decision_ref cluster d = total (breakdown cluster d)
+
+(* Straight-line [of_decision]: the same stage terms summed in the same
+   operation order as [total (breakdown ...)], minus the intermediate
+   record.  The zero additions on the local path keep bit-parity with the
+   four-term sum (−0.0 +. 0.0 normalizes identically on both). *)
+let of_decision cluster (d : Decision.t) =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  let plan = d.Decision.plan in
+  let device_s = Plan.device_time dev.Cluster.proc.Processor.perf plan in
+  if not (Decision.offloads d) then device_s +. 0.0 +. 0.0 +. 0.0
+  else begin
+    let srv = cluster.Cluster.servers.(d.Decision.server) in
+    let rate = d.Decision.bandwidth_bps in
+    let uplink_s = Link.transfer_time dev.Cluster.link ~rate_bps:rate (Plan.transfer_bytes plan) in
+    let work = Plan.server_time srv.Cluster.sproc.Processor.perf plan in
+    let server_s = if work <= 0.0 then 0.0 else work /. d.Decision.compute_share in
+    let downlink_s =
+      Link.transfer_time dev.Cluster.link ~rate_bps:rate (Plan.result_bytes plan)
+    in
+    device_s +. uplink_s +. server_s +. downlink_s
+  end
 
 let meets_deadline cluster d =
   let dev = cluster.Cluster.devices.(d.Decision.device) in
   of_decision cluster d <= dev.Cluster.deadline +. 1e-12
 
+let server_load_into cluster decisions load =
+  let ns = Cluster.n_servers cluster in
+  Array.fill load 0 ns 0.0;
+  for i = 0 to Array.length decisions - 1 do
+    let d = decisions.(i) in
+    if Decision.offloads d then begin
+      let dev = cluster.Cluster.devices.(d.Decision.device) in
+      let srv = cluster.Cluster.servers.(d.Decision.server) in
+      let work = Plan.server_time srv.Cluster.sproc.Processor.perf d.Decision.plan in
+      load.(d.Decision.server) <- load.(d.Decision.server) +. (dev.Cluster.rate *. work)
+    end
+  done
+
 let server_load cluster decisions =
+  let load = Array.make (Cluster.n_servers cluster) 0.0 in
+  server_load_into cluster decisions load;
+  load
+
+let server_load_ref cluster decisions =
   let ns = Cluster.n_servers cluster in
   let load = Array.make ns 0.0 in
+  (* es_lint: cold — list/closure reference oracle *)
   Array.iter
     (fun (d : Decision.t) ->
       if Decision.offloads d then begin
@@ -48,7 +89,7 @@ let server_load cluster decisions =
     decisions;
   load
 
-let device_stable cluster (d : Decision.t) =
+let device_stable_ref cluster (d : Decision.t) =
   let dev = cluster.Cluster.devices.(d.Decision.device) in
   let b = breakdown cluster d in
   let local_ok = dev.Cluster.rate *. b.device_s < 1.0 in
@@ -57,30 +98,71 @@ let device_stable cluster (d : Decision.t) =
   in
   local_ok && remote_ok
 
-let mm1_estimate cluster (d : Decision.t) =
+let device_stable cluster (d : Decision.t) =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  let plan = d.Decision.plan in
+  let device_s = Plan.device_time dev.Cluster.proc.Processor.perf plan in
+  let local_ok = dev.Cluster.rate *. device_s < 1.0 in
+  local_ok
+  && ((not (Decision.offloads d))
+     ||
+     let srv = cluster.Cluster.servers.(d.Decision.server) in
+     let work = Plan.server_time srv.Cluster.sproc.Processor.perf plan in
+     let server_s = if work <= 0.0 then 0.0 else work /. d.Decision.compute_share in
+     dev.Cluster.rate *. server_s < 1.0)
+
+(* Propagation is not queued; inflate only the service portions. *)
+let inflate rate service =
+  if service <= 0.0 then 0.0
+  else begin
+    let rho = rate *. service in
+    if rho >= 1.0 then infinity else service /. (1.0 -. rho)
+  end
+
+let mm1_estimate_ref cluster (d : Decision.t) =
   let dev = cluster.Cluster.devices.(d.Decision.device) in
   let rate = dev.Cluster.rate in
   let b = breakdown cluster d in
   let rtt = if Decision.offloads d then dev.Cluster.link.Link.rtt_s else 0.0 in
-  (* Propagation is not queued; inflate only the service portions. *)
-  let inflate service =
-    if service <= 0.0 then 0.0
-    else begin
-      let rho = rate *. service in
-      if rho >= 1.0 then infinity else service /. (1.0 -. rho)
-    end
-  in
   let half_rtt = rtt /. 2.0 in
-  inflate b.device_s
-  +. inflate (Float.max 0.0 (b.uplink_s -. half_rtt))
-  +. inflate b.server_s
-  +. inflate (Float.max 0.0 (b.downlink_s -. half_rtt))
+  inflate rate b.device_s
+  +. inflate rate (Float.max 0.0 (b.uplink_s -. half_rtt))
+  +. inflate rate b.server_s
+  +. inflate rate (Float.max 0.0 (b.downlink_s -. half_rtt))
   +. rtt
 
-let deadline_satisfaction cluster decisions =
+let mm1_estimate cluster (d : Decision.t) =
+  let dev = cluster.Cluster.devices.(d.Decision.device) in
+  let rate = dev.Cluster.rate in
+  let plan = d.Decision.plan in
+  let device_s = Plan.device_time dev.Cluster.proc.Processor.perf plan in
+  if not (Decision.offloads d) then
+    (* Stage terms of the local breakdown are 0; only device time inflates.
+       The explicit zero terms keep bit-parity with the five-term sum. *)
+    inflate rate device_s +. 0.0 +. 0.0 +. 0.0 +. 0.0
+  else begin
+    let srv = cluster.Cluster.servers.(d.Decision.server) in
+    let bw = d.Decision.bandwidth_bps in
+    let uplink_s = Link.transfer_time dev.Cluster.link ~rate_bps:bw (Plan.transfer_bytes plan) in
+    let work = Plan.server_time srv.Cluster.sproc.Processor.perf plan in
+    let server_s = if work <= 0.0 then 0.0 else work /. d.Decision.compute_share in
+    let downlink_s =
+      Link.transfer_time dev.Cluster.link ~rate_bps:bw (Plan.result_bytes plan)
+    in
+    let rtt = dev.Cluster.link.Link.rtt_s in
+    let half_rtt = rtt /. 2.0 in
+    inflate rate device_s
+    +. inflate rate (Float.max 0.0 (uplink_s -. half_rtt))
+    +. inflate rate server_s
+    +. inflate rate (Float.max 0.0 (downlink_s -. half_rtt))
+    +. rtt
+  end
+
+let deadline_satisfaction_ref cluster decisions =
   if Array.length decisions = 0 then 1.0
   else begin
     let hits =
+      (* es_lint: cold — fold/closure reference oracle *)
       Array.fold_left
         (fun acc d -> if meets_deadline cluster d then acc + 1 else acc)
         0 decisions
@@ -88,8 +170,31 @@ let deadline_satisfaction cluster decisions =
     float_of_int hits /. float_of_int (Array.length decisions)
   end
 
-let mean_latency cluster decisions =
+let deadline_satisfaction cluster decisions =
+  let n = Array.length decisions in
+  if n = 0 then 1.0
+  else begin
+    let hits = ref 0 in
+    for i = 0 to n - 1 do
+      if meets_deadline cluster decisions.(i) then incr hits
+    done;
+    float_of_int !hits /. float_of_int n
+  end
+
+let mean_latency_ref cluster decisions =
   if Array.length decisions = 0 then 0.0
   else
-    Array.fold_left (fun acc d -> acc +. of_decision cluster d) 0.0 decisions
+    (* es_lint: cold — fold/closure reference oracle *)
+    Array.fold_left (fun acc d -> acc +. of_decision_ref cluster d) 0.0 decisions
     /. float_of_int (Array.length decisions)
+
+let mean_latency cluster decisions =
+  let n = Array.length decisions in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. of_decision cluster decisions.(i)
+    done;
+    !acc /. float_of_int n
+  end

@@ -183,34 +183,36 @@ let best_scored cluster ~device ~server (pool : scored array) ~bandwidth_bps ~co
   let share_lat = Float.max compute_share 1e-6 in
   (* Stability path: unclamped grants, capped at peak. *)
   let bw_st = Float.min bandwidth_bps peak in
-  let latency c =
-    if c.local then c.dev_s
-    else begin
-      let up = if c.up_bytes <= 0.0 then 0.0 else (c.up_bytes *. 8.0 /. bw_lat) +. half_rtt in
-      let srv = c.work.(server) /. share_lat in
-      let down =
-        if c.down_bytes <= 0.0 then 0.0 else (c.down_bytes *. 8.0 /. bw_lat) +. half_rtt
-      in
-      c.dev_s +. up +. srv +. down
-    end
-  in
-  let stable c =
-    c.mem_ok
-    && rate *. c.dev_s < stability_margin
-    && (c.local
-       || bw_st > 0.0
-          && rate *. c.bits /. bw_st < stability_margin
-          && (let w = c.work.(server) in
-              w = 0.0 || (compute_share > 0.0 && rate *. w /. compute_share < stability_margin)))
-  in
   let el_st = ref (-1) and el_st_l = ref infinity in
   let el_any = ref (-1) and el_any_l = ref infinity in
   let all_st = ref (-1) and all_st_l = ref infinity in
   let all_any = ref (-1) and all_any_l = ref infinity in
+  (* Latency and stability are written inline in the scan (not as local
+     closures) so the steady-state loop is allocation-free: record-field
+     reads, array loads and register float arithmetic only — the property
+     the Alloc_probe test asserts as exactly zero minor words. *)
   for i = 0 to Array.length pool - 1 do
     let c = pool.(i) in
-    let l = latency c in
-    let st = stable c in
+    let l =
+      if c.local then c.dev_s
+      else begin
+        let up = if c.up_bytes <= 0.0 then 0.0 else (c.up_bytes *. 8.0 /. bw_lat) +. half_rtt in
+        let srv = c.work.(server) /. share_lat in
+        let down =
+          if c.down_bytes <= 0.0 then 0.0 else (c.down_bytes *. 8.0 /. bw_lat) +. half_rtt
+        in
+        c.dev_s +. up +. srv +. down
+      end
+    in
+    let st =
+      c.mem_ok
+      && rate *. c.dev_s < stability_margin
+      && (c.local
+         || bw_st > 0.0
+            && rate *. c.bits /. bw_st < stability_margin
+            && (let w = c.work.(server) in
+                w = 0.0 || (compute_share > 0.0 && rate *. w /. compute_share < stability_margin)))
+    in
     if c.plan.Plan.accuracy >= floor then begin
       if !el_any < 0 || l < !el_any_l then begin
         el_any := i;
@@ -342,8 +344,42 @@ let best_allocation ?(allocator = Policy.Minmax_alloc) cluster ~assignment ~plan
   Es_util.Numeric.argmin_by (Objective.of_decisions cluster) (primary @ extras)
 
 (* Cheap per-assignment load proxy used by the local search: the worst
-   server's max of bandwidth and compute load. *)
+   server's max of bandwidth and compute load.  Called once per candidate
+   move/swap the local search evaluates, so the per-server accumulators are
+   borrowed scratch rather than fresh arrays. *)
 let load_proxy cluster ~plans assignment =
+  let ns = Cluster.n_servers cluster in
+  let bw = Es_util.Scratch.borrow_floats ns in
+  let cpu = Es_util.Scratch.borrow_floats ns in
+  Array.fill bw 0 ns 0.0;
+  Array.fill cpu 0 ns 0.0;
+  for dev_id = 0 to Array.length assignment - 1 do
+    let s = assignment.(dev_id) in
+    let plan = plans.(dev_id) in
+    if not (Plan.is_device_only plan) then begin
+      let dev = cluster.Cluster.devices.(dev_id) in
+      let srv = cluster.Cluster.servers.(s) in
+      bw.(s) <-
+        bw.(s)
+        +. dev.Cluster.rate
+           *. 8.0
+           *. (Plan.transfer_bytes plan +. Plan.result_bytes plan)
+           /. srv.Cluster.ap_bandwidth_bps;
+      cpu.(s) <-
+        cpu.(s)
+        +. (dev.Cluster.rate *. Plan.server_time srv.Cluster.sproc.Processor.perf plan)
+    end
+  done;
+  let worst = ref 0.0 in
+  for s = 0 to ns - 1 do
+    worst := Float.max !worst (Float.max bw.(s) cpu.(s))
+  done;
+  let w = !worst in
+  Es_util.Scratch.release_floats cpu;
+  Es_util.Scratch.release_floats bw;
+  w
+
+let load_proxy_ref cluster ~plans assignment =
   let ns = Cluster.n_servers cluster in
   let bw = Array.make ns 0.0 and cpu = Array.make ns 0.0 in
   Array.iteri
@@ -374,6 +410,16 @@ let load_proxy cluster ~plans assignment =
 let fair_share_estimate cluster ~plans ~assignment ~device =
   let s = assignment.(device) in
   let srv = cluster.Cluster.servers.(s) in
+  let n_active = ref 0 in
+  for i = 0 to Array.length assignment - 1 do
+    if assignment.(i) = s && not (Plan.is_device_only plans.(i)) then incr n_active
+  done;
+  let k = float_of_int (!n_active + 1) in
+  (srv.Cluster.ap_bandwidth_bps /. k, 1.0 /. k)
+
+let fair_share_estimate_ref cluster ~plans ~assignment ~device =
+  let s = assignment.(device) in
+  let srv = cluster.Cluster.servers.(s) in
   let n_active =
     Array.to_list assignment
     |> List.mapi (fun i a -> (i, a))
@@ -385,7 +431,83 @@ let fair_share_estimate cluster ~plans ~assignment ~device =
 
 let force_feasible config cluster plans assignment =
   (* Last-resort degradation: flip the heaviest offloaders to device-only
-     until the allocator accepts (guaranteed once everyone is local). *)
+     until the allocator accepts (guaranteed once everyone is local).
+     Ordering runs on scratch (heapsort under the same strict total order
+     the reference's stable sort induces: weight descending, index
+     ascending on ties); the device-only fallback scans the cached scored
+     pool instead of regenerating and filtering the candidate list. *)
+  let n = Array.length plans in
+  let order = Es_util.Scratch.borrow_ints n in
+  let weight = Es_util.Scratch.borrow_floats n in
+  for i = 0 to n - 1 do
+    order.(i) <- i;
+    weight.(i) <- cluster.Cluster.devices.(i).Cluster.rate *. Plan.srv_flops plans.(i)
+  done;
+  let cmp i j =
+    let c = Float.compare weight.(j) weight.(i) in
+    if c <> 0 then c else Int.compare i j
+  in
+  let sift root len =
+    let j = ref root in
+    let walking = ref true in
+    while !walking do
+      let l = (2 * !j) + 1 in
+      if l >= len then walking := false
+      else begin
+        let c = if l + 1 < len && cmp order.(l) order.(l + 1) < 0 then l + 1 else l in
+        if cmp order.(!j) order.(c) < 0 then begin
+          let t = order.(!j) in
+          order.(!j) <- order.(c);
+          order.(c) <- t;
+          j := c
+        end
+        else walking := false
+      end
+    done
+  in
+  for root = (n / 2) - 1 downto 0 do
+    sift root n
+  done;
+  for last = n - 1 downto 1 do
+    let t = order.(0) in
+    order.(0) <- order.(last);
+    order.(last) <- t;
+    sift 0 last
+  done;
+  let rec go k =
+    if k >= n then Policy.decisions config.allocator cluster ~assignment ~plans
+    else
+      match Policy.decisions config.allocator cluster ~assignment ~plans with
+      | Some ds -> Some ds
+      | None ->
+          let i = order.(k) in
+          let dev = cluster.Cluster.devices.(i) in
+          let pool =
+            device_pool ?max_candidates:config.max_candidates ~precisions:config.precisions
+              ~widths:config.widths cluster ~device:i
+          in
+          (* Fastest device-only candidate, first-wins like argmin_by. *)
+          let best = ref (-1) and best_t = ref infinity in
+          for j = 0 to Array.length pool - 1 do
+            let c = pool.(j) in
+            if c.local && (!best < 0 || c.dev_s < !best_t) then begin
+              best := j;
+              best_t := c.dev_s
+            end
+          done;
+          if !best >= 0 then plans.(i) <- pool.(!best).plan
+          else plans.(i) <- Plan.device_only dev.Cluster.model;
+          go (k + 1)
+  in
+  let out = go 0 in
+  Es_util.Scratch.release_floats weight;
+  Es_util.Scratch.release_ints order;
+  out
+
+(* The original list-sorting, candidate-regenerating implementation, kept
+   as the qcheck oracle: [force_feasible] must make the same plan flips and
+   return the same decisions on every input. *)
+let force_feasible_ref config cluster plans assignment =
   let order =
     Array.init (Array.length plans) (fun i -> i)
     |> Array.to_list

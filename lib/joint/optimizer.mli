@@ -171,3 +171,66 @@ val best_plan_for_grants_ref :
 (** The original list-based implementation (allocates a Decision per
     candidate), kept as the qcheck reference oracle for
     {!best_plan_for_grants}: both must return bit-identical plans. *)
+
+type scored
+(** Precomputed per-plan invariants for one device archetype (device time,
+    transfer bytes, per-server work), the unit the surgery step scans. *)
+
+val device_pool :
+  ?exits:int option list ->
+  ?max_candidates:int ->
+  ?precisions:Es_surgery.Precision.t list ->
+  widths:float list ->
+  Es_edge.Cluster.t ->
+  device:int ->
+  scored array
+(** The device's scored candidate pool, built once per archetype and cached
+    process-wide (see {!clear_pool_cache}). *)
+
+val best_scored :
+  Es_edge.Cluster.t ->
+  device:int ->
+  server:int ->
+  scored array ->
+  bandwidth_bps:float ->
+  compute_share:float ->
+  Es_surgery.Plan.t
+(** The surgery step over a prebuilt pool — the solver's innermost loop,
+    and the zero-allocation kernel: a steady-state call performs no minor-
+    heap allocation at all (asserted by the Alloc_probe test; the alloc
+    gate in [bench/perf_gate.exe] budgets the full solve around it). *)
+
+val force_feasible :
+  config -> Es_edge.Cluster.t -> Es_surgery.Plan.t array -> int array ->
+  Es_edge.Decision.t array option
+(** Last-resort degradation: flip the heaviest offloaders to device-only
+    (mutating [plans]) until the allocator accepts the assignment.  Exposed
+    for the oracle test against {!force_feasible_ref}. *)
+
+val force_feasible_ref :
+  config -> Es_edge.Cluster.t -> Es_surgery.Plan.t array -> int array ->
+  Es_edge.Decision.t array option
+(** List-sorting original of {!force_feasible}; both must make identical
+    plan flips and return identical decisions. *)
+
+val load_proxy : Es_edge.Cluster.t -> plans:Es_surgery.Plan.t array -> int array -> float
+(** The local-search load proxy (worst server's max of bandwidth and
+    compute load), accumulating into borrowed scratch. *)
+
+val load_proxy_ref :
+  Es_edge.Cluster.t -> plans:Es_surgery.Plan.t array -> int array -> float
+
+val fair_share_estimate :
+  Es_edge.Cluster.t ->
+  plans:Es_surgery.Plan.t array ->
+  assignment:int array ->
+  device:int ->
+  float * float
+(** Fair-share (bandwidth, compute) guess for a device holding no grant. *)
+
+val fair_share_estimate_ref :
+  Es_edge.Cluster.t ->
+  plans:Es_surgery.Plan.t array ->
+  assignment:int array ->
+  device:int ->
+  float * float

@@ -1,5 +1,5 @@
 (* The analysis core: parse each .ml with compiler-libs, walk the parsetree,
-   and emit findings for the five determinism/domain-safety rules (see
+   and emit findings for the six determinism/domain-safety rules (see
    Rule).  Everything here is list-based on purpose — the linter that
    enforces "no unordered iteration feeding output" must itself be trivially
    order-independent, so it never touches Hashtbl.
@@ -9,7 +9,11 @@
    [compare] in a file whose type declarations mention [float]; D4 sees only
    directly-initialized module-level bindings, and its record check is
    name-based per file — a field declared [Atomic.t] anywhere in the file
-   exempts that name even where another type declares it plain mutable. *)
+   exempts that name even where another type declares it plain mutable; D6
+   sees only the named List builders and syntactic closure literals in
+   argument position — partial applications and let-bound closures that
+   escape are invisible to it (the allocation gate, not the linter, is the
+   ground truth for words-per-solve). *)
 
 open Parsetree
 
@@ -198,6 +202,47 @@ let d3_violation path =
       Some (String.concat "." path)
   | _ -> None
 
+(* D6 (hot-tagged files only): the list builders named by the rule, plus
+   closure literals in argument position (detected separately below). *)
+let d6_violation path =
+  match path with
+  | [ "List"; ("map" | "init") ] -> Some (String.concat "." path)
+  | _ -> None
+
+(* D6 closure-argument sniff.  [Pexp_fun]'s parsetree representation
+   changed between compiler-libs versions this linter builds against, so
+   argument expressions are classified textually instead of by
+   constructor: from the argument's source offset (the lexbuf is fed the
+   whole file, so [pos_cnum] is an absolute offset), skip opening
+   parens/[begin]/whitespace and test for the [fun]/[function] keyword.
+   The parser relocates a parenthesized expression to span its parens, so
+   the sniff lands on the right token. *)
+let ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+let keyword_at text i kw =
+  let k = String.length kw in
+  i + k <= String.length text
+  && String.sub text i k = kw
+  && (i + k = String.length text || not (ident_char text.[i + k]))
+
+let is_closure_literal text (e : expression) =
+  let n = String.length text in
+  let rec skip i =
+    if i >= n then n
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' | '(' -> skip (i + 1)
+      | 'b' when keyword_at text i "begin" -> skip (i + 5)
+      | _ -> i
+  in
+  let off = e.pexp_loc.Location.loc_start.Lexing.pos_cnum in
+  off >= 0 && off < n
+  &&
+  let i = skip off in
+  keyword_at text i "fun" || keyword_at text i "function"
+
 (* ------------------------------------------------------------------ *)
 (* D4: module-level mutable state                                      *)
 
@@ -294,6 +339,8 @@ let lint_one config rel =
   | str ->
       let ctx = collect_ctx str in
       let sorted_lines = Source.suppression_lines text in
+      let hot = enabled Rule.D6 && Source.is_hot text in
+      let cold_lines = Source.cold_lines text in
       let on_ident loc path =
         let line, col = pos_of loc in
         (match d1_violation path with
@@ -314,14 +361,37 @@ let lint_one config rel =
                   mark the call site (* es_lint: sorted *)"
                  what)
         | _ -> ());
-        match d3_violation path with
+        (match d3_violation path with
         | Some what when enabled Rule.D3 && ctx.float_bearing ->
             emit ~rule:Rule.D3 ~line ~col
               (Printf.sprintf
                  "polymorphic %s in a float-bearing module; use Float.compare or an explicit \
                   comparator"
                  what)
+        | _ -> ());
+        match d6_violation path with
+        | Some what when hot ->
+            emit
+              ~suppress:(Source.suppressed_at cold_lines ~line)
+              ~rule:Rule.D6 ~line ~col
+              (Printf.sprintf
+                 "allocating %s in a hot-tagged file; use a preallocated-array loop or mark \
+                  the call site (* es_lint: cold *)"
+                 what)
         | _ -> ()
+      in
+      (* One D6 finding per application carrying closure-literal arguments,
+         anchored at the application itself — cold markers sit above the
+         call site, which may start lines before the closure token. *)
+      let on_apply loc args =
+        if hot && List.exists (fun (_, a) -> is_closure_literal text a) args then begin
+          let line, col = pos_of loc in
+          emit
+            ~suppress:(Source.suppressed_at cold_lines ~line)
+            ~rule:Rule.D6 ~line ~col
+            "closure literal in argument position in a hot-tagged file; hoist it to a \
+             top-level function or mark the call site (* es_lint: cold *)"
+        end
       in
       let it =
         {
@@ -330,6 +400,7 @@ let lint_one config rel =
             (fun it e ->
               (match e.pexp_desc with
               | Pexp_ident { txt; loc } -> on_ident loc (flatten txt)
+              | Pexp_apply (_, args) -> on_apply e.pexp_loc args
               | _ -> ());
               Ast_iterator.default_iterator.expr it e);
         }

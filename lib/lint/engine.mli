@@ -1,5 +1,5 @@
 (** The analysis core: parses [.ml] files with compiler-libs and runs the
-    D1–D5 determinism/domain-safety rules over the parsetree.
+    D1–D6 determinism/domain-safety rules over the parsetree.
 
     The engine is purely syntactic (no typing pass) and deliberately
     Hashtbl-free, so its output depends only on the set of input paths —

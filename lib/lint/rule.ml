@@ -1,6 +1,6 @@
-type t = Parse_error | D1 | D2 | D3 | D4 | D5
+type t = Parse_error | D1 | D2 | D3 | D4 | D5 | D6
 
-let all = [ Parse_error; D1; D2; D3; D4; D5 ]
+let all = [ Parse_error; D1; D2; D3; D4; D5; D6 ]
 
 let id = function
   | Parse_error -> "parse"
@@ -9,6 +9,7 @@ let id = function
   | D3 -> "D3"
   | D4 -> "D4"
   | D5 -> "D5"
+  | D6 -> "D6"
 
 let describe = function
   | Parse_error -> "file failed to parse"
@@ -17,6 +18,7 @@ let describe = function
   | D3 -> "polymorphic compare in a float-bearing module"
   | D4 -> "mutable toplevel state without a [@@es_lint.guarded] mutex"
   | D5 -> "missing sibling .mli interface"
+  | D6 -> "allocation (List.map/List.init/closure argument) in a hot-tagged file"
 
 let of_id s =
   match String.lowercase_ascii (String.trim s) with
@@ -26,9 +28,17 @@ let of_id s =
   | "d3" -> Some D3
   | "d4" -> Some D4
   | "d5" -> Some D5
+  | "d6" -> Some D6
   | _ -> None
 
 (* Rank order = presentation order; Parse_error sorts first so a broken
    file's findings lead its listing. *)
-let rank = function Parse_error -> 0 | D1 -> 1 | D2 -> 2 | D3 -> 3 | D4 -> 4 | D5 -> 5
+let rank = function
+  | Parse_error -> 0
+  | D1 -> 1
+  | D2 -> 2
+  | D3 -> 3
+  | D4 -> 4
+  | D5 -> 5
+  | D6 -> 6
 let compare a b = Int.compare (rank a) (rank b)

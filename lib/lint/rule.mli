@@ -18,9 +18,16 @@
       [Mutex.t] record field).
     - {b D5} interface coverage: every [lib/**/*.ml] and [bin/**/*.ml] must
       have a sibling [.mli].
+    - {b D6} hot-path allocation: inside a file tagged [(* es_lint: hot *)]
+      (the zero-allocation numeric kernels, DESIGN.md §15), [List.map]/
+      [List.init] call sites and closure literals in argument position,
+      unless the line (or the line above) carries an
+      [(* es_lint: cold *)] comment marking a deliberate cold path
+      (reference oracles, API-shaped outputs).  Files without the hot tag
+      are never checked.
     - {b parse} is the pseudo-rule for files the parser rejects. *)
 
-type t = Parse_error | D1 | D2 | D3 | D4 | D5
+type t = Parse_error | D1 | D2 | D3 | D4 | D5 | D6
 
 val all : t list
 (** All rules, in presentation order. *)

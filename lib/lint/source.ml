@@ -13,15 +13,23 @@ let line_contains line sub =
   let rec go i = i < n && (contains_at line ~pos:i ~sub || go (i + 1)) in
   go 0
 
-(* The D2 suppression marker.  A plain substring scan (rather than a token
-   stream walk) deliberately also matches the marker inside strings — the
-   false-positive risk is negligible and the scan stays independent of
-   lexer versioning. *)
-let sorted_marker = "es_lint: sorted"
-
-let suppression_lines text =
+(* Comment markers (D2 suppression, D6 hot tag and cold suppression).  A
+   plain substring scan (rather than a token stream walk) deliberately also
+   matches a marker inside strings — the false-positive risk is negligible
+   and the scan stays independent of lexer versioning. *)
+let marker_lines marker text =
   String.split_on_char '\n' text
   |> List.mapi (fun i line -> (i + 1, line))
-  |> List.filter_map (fun (n, line) -> if line_contains line sorted_marker then Some n else None)
+  |> List.filter_map (fun (n, line) -> if line_contains line marker then Some n else None)
+
+let sorted_marker = "es_lint: sorted"
+let suppression_lines text = marker_lines sorted_marker text
+
+(* Spelled as concatenations so the markers' own definitions don't tag this
+   very file hot when the linter scans itself. *)
+let hot_marker = "es_lint: " ^ "hot"
+let cold_marker = "es_lint: " ^ "cold"
+let is_hot text = line_contains text hot_marker
+let cold_lines text = marker_lines cold_marker text
 
 let suppressed_at lines ~line = List.mem line lines || List.mem (line - 1) lines

@@ -1,6 +1,7 @@
 (** Raw source-text helpers: file slurping and the line-based
-    [(* es_lint: sorted *)] suppression scan (comments are not part of the
-    parsetree, so D2 suppressions are matched textually). *)
+    [(* es_lint: sorted *)] / [(* es_lint: hot *)] / [(* es_lint: cold *)]
+    marker scans (comments are not part of the parsetree, so D2/D6 markers
+    are matched textually). *)
 
 val read_file : string -> string
 (** Whole file contents (binary-safe). *)
@@ -8,6 +9,14 @@ val read_file : string -> string
 val suppression_lines : string -> int list
 (** 1-based line numbers containing the [es_lint: sorted] marker, in
     ascending order. *)
+
+val is_hot : string -> bool
+(** Whether the file carries the [es_lint: hot] tag anywhere — opting the
+    whole file into the D6 hot-path allocation rule. *)
+
+val cold_lines : string -> int list
+(** 1-based line numbers containing the [es_lint: cold] marker (D6
+    suppression), in ascending order. *)
 
 val suppressed_at : int list -> line:int -> bool
 (** A finding on [line] is suppressed when the marker sits on the same line

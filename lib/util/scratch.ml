@@ -1,0 +1,169 @@
+(* Domain-local arena of reusable scratch buffers for the zero-allocation
+   numeric kernels (DESIGN.md §15).
+
+   Each domain owns one arena: a stack of float buffers and a stack of int
+   buffers.  [borrow_*] hands out the buffer at the current stack depth
+   (growing it geometrically when too small — the only allocation, and only
+   on first touch or growth); [release_*] pops it back in LIFO order.  The
+   steady state therefore allocates nothing: the same solve borrowing the
+   same shapes touches only preexisting arrays.
+
+   Aliasing is the hazard this discipline exists to prevent: two live
+   borrows must never see the same backing array.  The LIFO stack makes
+   aliasing structurally impossible as long as borrows and releases pair up
+   — so [release_*] always verifies the released array is physically the
+   most recent live borrow and raises [Misuse] otherwise (a mispaired
+   release is exactly the bug that would alias the next borrower).  Debug
+   mode ([set_debug true]) additionally pads every borrow with canary cells
+   beyond the requested length and verifies them on release, catching
+   kernels that write past what they asked for (which would corrupt the
+   next deeper borrow — aliasing by overflow). *)
+
+type arena = {
+  mutable fbufs : float array array;  (* slot per borrow depth *)
+  mutable freq : int array;  (* requested length per live borrow *)
+  mutable fdepth : int;
+  mutable ibufs : int array array;
+  mutable ireq : int array;
+  mutable idepth : int;
+}
+
+exception Misuse of string
+
+(* Flipping debug is a test-harness action; reads on the hot path are a
+   single atomic load. *)
+let debug_flag = Atomic.make false
+let set_debug b = Atomic.set debug_flag b
+let debug () = Atomic.get debug_flag
+
+let float_canary = -6.02214076e23
+let int_canary = min_int + 77
+let canary_pad = 4
+
+let arena_key : arena Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        fbufs = Array.make 8 [||];
+        freq = Array.make 8 0;
+        fdepth = 0;
+        ibufs = Array.make 8 [||];
+        ireq = Array.make 8 0;
+        idepth = 0;
+      })
+
+let live () =
+  let a = Domain.DLS.get arena_key in
+  (a.fdepth, a.idepth)
+
+(* Slot-stack growth (rare: only when borrow nesting gets deeper than ever
+   before on this domain). *)
+let grow_slots a =
+  let grow_f n = Array.make n [||] and grow_i n = Array.make n 0 in
+  if a.fdepth >= Array.length a.fbufs then begin
+    let n = 2 * Array.length a.fbufs in
+    let fb = grow_f n and fr = grow_i n in
+    Array.blit a.fbufs 0 fb 0 (Array.length a.fbufs);
+    Array.blit a.freq 0 fr 0 (Array.length a.freq);
+    a.fbufs <- fb;
+    a.freq <- fr
+  end;
+  if a.idepth >= Array.length a.ibufs then begin
+    let n = 2 * Array.length a.ibufs in
+    let ib = Array.make n [||] and ir = grow_i n in
+    Array.blit a.ibufs 0 ib 0 (Array.length a.ibufs);
+    Array.blit a.ireq 0 ir 0 (Array.length a.ireq);
+    a.ibufs <- ib;
+    a.ireq <- ir
+  end
+
+let borrow_floats n =
+  if n < 0 then invalid_arg "Scratch.borrow_floats: negative length";
+  let a = Domain.DLS.get arena_key in
+  if a.fdepth >= Array.length a.fbufs then grow_slots a;
+  let d = a.fdepth in
+  let want = n + if debug () then canary_pad else 0 in
+  let buf =
+    let cur = a.fbufs.(d) in
+    if Array.length cur >= want then cur
+    else begin
+      let cap = max want (2 * Array.length cur) in
+      let fresh = Array.make cap 0.0 in
+      a.fbufs.(d) <- fresh;
+      fresh
+    end
+  in
+  a.freq.(d) <- n;
+  a.fdepth <- d + 1;
+  if debug () then
+    for i = n to Array.length buf - 1 do
+      buf.(i) <- float_canary
+    done;
+  buf
+
+let release_floats buf =
+  let a = Domain.DLS.get arena_key in
+  if a.fdepth = 0 then raise (Misuse "Scratch.release_floats: nothing borrowed");
+  let d = a.fdepth - 1 in
+  if not (buf == a.fbufs.(d)) then
+    raise (Misuse "Scratch.release_floats: non-LIFO release (aliasing hazard)");
+  if debug () then begin
+    let n = a.freq.(d) in
+    for i = n to Array.length buf - 1 do
+      if buf.(i) <> float_canary then
+        raise
+          (Misuse
+             (Printf.sprintf
+                "Scratch.release_floats: canary clobbered at %d (borrowed %d)" i n))
+    done
+  end;
+  a.fdepth <- d
+
+let borrow_ints n =
+  if n < 0 then invalid_arg "Scratch.borrow_ints: negative length";
+  let a = Domain.DLS.get arena_key in
+  if a.idepth >= Array.length a.ibufs then grow_slots a;
+  let d = a.idepth in
+  let want = n + if debug () then canary_pad else 0 in
+  let buf =
+    let cur = a.ibufs.(d) in
+    if Array.length cur >= want then cur
+    else begin
+      let cap = max want (2 * Array.length cur) in
+      let fresh = Array.make cap 0 in
+      a.ibufs.(d) <- fresh;
+      fresh
+    end
+  in
+  a.ireq.(d) <- n;
+  a.idepth <- d + 1;
+  if debug () then
+    for i = n to Array.length buf - 1 do
+      buf.(i) <- int_canary
+    done;
+  buf
+
+let release_ints buf =
+  let a = Domain.DLS.get arena_key in
+  if a.idepth = 0 then raise (Misuse "Scratch.release_ints: nothing borrowed");
+  let d = a.idepth - 1 in
+  if not (buf == a.ibufs.(d)) then
+    raise (Misuse "Scratch.release_ints: non-LIFO release (aliasing hazard)");
+  if debug () then begin
+    let n = a.ireq.(d) in
+    for i = n to Array.length buf - 1 do
+      if buf.(i) <> int_canary then
+        raise
+          (Misuse
+             (Printf.sprintf "Scratch.release_ints: canary clobbered at %d (borrowed %d)"
+                i n))
+    done
+  end;
+  a.idepth <- d
+
+let with_floats n f =
+  let buf = borrow_floats n in
+  Fun.protect ~finally:(fun () -> release_floats buf) (fun () -> f buf)
+
+let with_ints n f =
+  let buf = borrow_ints n in
+  Fun.protect ~finally:(fun () -> release_ints buf) (fun () -> f buf)

@@ -1,0 +1,52 @@
+(** Domain-local arena of reusable float/int scratch buffers.
+
+    The zero-allocation kernels (DESIGN.md §15) borrow their working arrays
+    from here instead of allocating per call: each domain keeps a stack of
+    buffers per element type, [borrow_*] returns the buffer at the current
+    depth (growing it geometrically only when too small), and [release_*]
+    pops it back.  After warm-up a solve that borrows the same shapes
+    allocates nothing.
+
+    Discipline: borrows and releases must pair in LIFO order within one
+    domain — [release_*] verifies physical identity with the most recent
+    live borrow and raises {!Misuse} otherwise, because a mispaired release
+    would alias the next borrower onto a live buffer.  Buffer contents are
+    unspecified at borrow time (no clearing on the hot path); never hold a
+    borrowed buffer across a release of an earlier borrow.
+
+    Debug mode pads every borrow with canary cells past the requested
+    length and verifies them on release, catching out-of-bounds writes that
+    would corrupt a deeper borrow.  Do not toggle debug while borrows are
+    live. *)
+
+exception Misuse of string
+(** Raised on non-LIFO release, release with nothing borrowed, or a
+    clobbered debug canary. *)
+
+val borrow_floats : int -> float array
+(** [borrow_floats n] returns a buffer of length at least [n] (unspecified
+    contents).  Allocation-free once the arena slot has grown to [n].
+    @raise Invalid_argument on negative [n]. *)
+
+val release_floats : float array -> unit
+(** Return the most recent live float borrow.  @raise Misuse otherwise. *)
+
+val borrow_ints : int -> int array
+val release_ints : int array -> unit
+
+val with_floats : int -> (float array -> 'a) -> 'a
+(** Borrow/release bracketed by [Fun.protect].  Convenient and
+    exception-safe, but the closure argument allocates at the call site —
+    use the raw borrow/release pair inside allocation-budgeted kernels. *)
+
+val with_ints : int -> (int array -> 'a) -> 'a
+
+val set_debug : bool -> unit
+(** Enable canary padding + verification on every borrow/release (test
+    harness use; borrows become slightly larger and releases O(pad)). *)
+
+val debug : unit -> bool
+
+val live : unit -> int * int
+(** Current (float, int) borrow depths on this domain — (0, 0) when every
+    borrow has been released. *)

@@ -1,0 +1,17 @@
+(* es_lint: hot *)
+
+let doubled xs = List.map (fun x -> x *. 2.0) xs
+
+let table n = List.init n float_of_int
+
+let paired xs = List.combine xs xs
+
+let marked xs =
+  (* es_lint: cold *)
+  List.map (fun x -> x +. 1.0) xs
+
+let inline_marked n = List.init n float_of_int (* es_lint: cold *)
+
+let hoisted = fun x -> x + 1
+
+let summed xs = Array.fold_left ( +. ) 0.0 xs

@@ -471,6 +471,75 @@ let test_bucket_rejects_bad_params () =
   let b = Admission.Token_bucket.create ~rate:1.0 ~burst:5.0 () in
   raises (fun () -> Admission.Token_bucket.set_rate b ~now:0.0 Float.infinity)
 
+(* ---------- Flat scratch-buffer solver vs the record/closure oracle ---------- *)
+
+(* Bit-pattern equality: stricter than (=), which conflates 0.0 and -0.0. *)
+let feq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let grants_eq a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (k, (g : Minmax.grant)) (k', (g' : Minmax.grant)) ->
+         k = k'
+         && feq g.Minmax.bandwidth_bps g'.Minmax.bandwidth_bps
+         && feq g.Minmax.compute_share g'.Minmax.compute_share)
+       a b
+
+(* Server bandwidth plus up to 7 items; the 0.0 lower bounds on bits and
+   work deliberately hit the transfer-only / compute-only special cases,
+   and fixed_s close to deadline_s probes the infeasible-theta growth
+   path. *)
+let arb_instance =
+  QCheck.(
+    pair
+      (float_range 1e7 3e8)
+      (list_of_size (Gen.int_range 0 7)
+         (pair
+            (quad (float_range 0.0 0.05) (float_range 0.0 2e7) (float_range 0.0 0.05)
+               (float_range 0.05 0.3))
+            (pair (float_range 0.2 5.0) (float_range 2e7 1.5e8)))))
+
+let items_of specs =
+  List.mapi
+    (fun i ((fixed, bits, work, deadline), (rate, peak)) ->
+      item ~key:i ~fixed ~bits ~work ~deadline ~peak ~rate ())
+    specs
+
+let solve_agrees ?stability_margin ?tol (bandwidth_bps, specs) =
+  let items = items_of specs in
+  match
+    ( Minmax.solve ?stability_margin ?tol ~bandwidth_bps items,
+      Minmax.solve_ref ?stability_margin ?tol ~bandwidth_bps items )
+  with
+  | None, None -> true
+  | Some r, Some r' ->
+      feq r.Minmax.theta r'.Minmax.theta && grants_eq r.Minmax.grants r'.Minmax.grants
+  | _ -> false
+
+let prop_minmax_flat_matches_oracle =
+  qtest ~count:300 "flat scratch solve = record/closure solve (bit-exact)" arb_instance
+    (fun inst -> solve_agrees inst)
+
+let prop_minmax_flat_matches_oracle_tight =
+  qtest ~count:150 "flat = oracle under non-default margin and tolerance" arb_instance
+    (fun inst -> solve_agrees ~stability_margin:0.85 ~tol:1e-5 inst)
+
+let prop_share_rules_match_oracle =
+  qtest ~count:200 "share rules = their _ref oracles (bit-exact)" arb_instance
+    (fun (bandwidth_bps, specs) ->
+      let items = items_of specs in
+      let w (it : Minmax.item) = it.Minmax.bits +. 1.0 in
+      grants_eq (Share.equal ~bandwidth_bps items) (Share.equal_ref ~bandwidth_bps items)
+      && grants_eq
+           (Share.proportional ~bandwidth_bps items)
+           (Share.proportional_ref ~bandwidth_bps items)
+      && grants_eq
+           (Share.sqrt_rule ~bandwidth_bps items)
+           (Share.sqrt_rule_ref ~bandwidth_bps items)
+      && grants_eq
+           (Share.sqrt_rule ~weights:w ~bandwidth_bps items)
+           (Share.sqrt_rule_ref ~weights:w ~bandwidth_bps items))
+
 let () =
   Alcotest.run "es_alloc"
     [
@@ -487,6 +556,8 @@ let () =
           Alcotest.test_case "beats equal split" `Quick test_minmax_better_than_equal_split;
           prop_minmax_grants_feasible;
           prop_minmax_brute_force_theta;
+          prop_minmax_flat_matches_oracle;
+          prop_minmax_flat_matches_oracle_tight;
         ] );
       ( "share",
         [
@@ -495,6 +566,7 @@ let () =
           Alcotest.test_case "proportional" `Quick test_share_proportional;
           Alcotest.test_case "sqrt rule" `Quick test_share_sqrt_rule;
           Alcotest.test_case "zero demand" `Quick test_share_zero_demand_gets_nothing;
+          prop_share_rules_match_oracle;
         ] );
       ( "admission",
         [

@@ -314,6 +314,46 @@ let prop_mm1_pessimistic =
          in
          Latency.mm1_estimate c d >= Latency.of_decision c d -. 1e-9))
 
+(* The straight-line latency kernels (DESIGN.md §15) must reproduce the
+   breakdown-record oracles to the last bit — including -0.0 vs 0.0, hence
+   the bit-pattern comparison rather than (=). *)
+let feq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let prop_latency_flat_matches_breakdown =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300
+       ~name:"flat latency kernels = breakdown oracles (bit-exact)"
+       QCheck.(triple (int_range 0 11) (float_range 0.1 200.0) (float_range 0.001 1.0))
+       (fun (pick, bw_mbps, share) ->
+         let c = small_cluster () in
+         let device = pick mod 2 in
+         let server = pick / 2 mod 2 in
+         let plan =
+           match pick mod 3 with
+           | 0 -> Plan.device_only resnet18
+           | 1 -> Plan.server_only resnet18
+           | _ -> Plan.with_cut (Plan.server_only resnet18) (Graph.n_nodes resnet18 / 2)
+         in
+         let d =
+           if Plan.is_device_only plan then Decision.make ~device ~server ~plan ()
+           else
+             Decision.make ~device ~server ~plan ~bandwidth_bps:(bw_mbps *. 1e6)
+               ~compute_share:share ()
+         in
+         let ds =
+           Array.init 2 (fun i ->
+               if i = device then d
+               else Decision.make ~device:i ~server:0 ~plan:(Plan.device_only resnet18) ())
+         in
+         let loads = Latency.server_load c ds and loads' = Latency.server_load_ref c ds in
+         feq (Latency.of_decision c d) (Latency.of_decision_ref c d)
+         && Latency.device_stable c d = Latency.device_stable_ref c d
+         && feq (Latency.mm1_estimate c d) (Latency.mm1_estimate_ref c d)
+         && Array.length loads = Array.length loads'
+         && Array.for_all2 feq loads loads'
+         && feq (Latency.deadline_satisfaction c ds) (Latency.deadline_satisfaction_ref c ds)
+         && feq (Latency.mean_latency c ds) (Latency.mean_latency_ref c ds)))
+
 (* ---------- Scenario ---------- *)
 
 let test_scenario_deterministic () =
@@ -397,6 +437,7 @@ let () =
           Alcotest.test_case "offload saves joules" `Quick test_energy_offload_saves_device_joules;
           Alcotest.test_case "mm1 estimate" `Quick test_mm1_estimate;
           prop_mm1_pessimistic;
+          prop_latency_flat_matches_breakdown;
         ] );
       ( "scenario",
         [

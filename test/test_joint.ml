@@ -511,6 +511,139 @@ let test_online_burst_beats_static () =
     (adaptive.Online.report.Es_sim.Metrics.dsr
      >= static.Online.report.Es_sim.Metrics.dsr -. 0.02)
 
+(* ---------- Zero-allocation kernels vs their oracles (DESIGN.md §15) ---------- *)
+
+(* Bit-pattern equality: stricter than (=), which conflates 0.0 and -0.0. *)
+let feq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let solved =
+  lazy
+    (let c = Lazy.force default_cluster in
+     (c, Optimizer.solve ~config:{ Optimizer.default_config with Optimizer.jobs = 1 } c))
+
+let test_objective_flat_matches_ref () =
+  let c, out = Lazy.force solved in
+  let check_set label ds =
+    Alcotest.(check bool)
+      (label ^ ": of_decisions bit-identical")
+      true
+      (feq (Objective.of_decisions c ds) (Objective.of_decisions_ref c ds));
+    Alcotest.(check int) (label ^ ": misses") (Objective.misses_ref c ds)
+      (Objective.misses c ds);
+    Alcotest.(check int)
+      (label ^ ": mm1_misses")
+      (Objective.mm1_misses_ref c ds)
+      (Objective.mm1_misses c ds)
+  in
+  check_set "solved" out.Optimizer.decisions;
+  (* Quartered grants force deadline misses and mm1 saturation, so the miss
+     branches of the flat kernels get exercised too. *)
+  let starved =
+    Array.map
+      (fun (d : Decision.t) ->
+        if d.Decision.bandwidth_bps > 0.0 then
+          Decision.make ~device:d.Decision.device ~server:d.Decision.server
+            ~plan:d.Decision.plan
+            ~bandwidth_bps:(0.25 *. d.Decision.bandwidth_bps)
+            ~compute_share:(0.25 *. d.Decision.compute_share) ()
+        else d)
+      out.Optimizer.decisions
+  in
+  check_set "starved" starved
+
+let test_force_feasible_matches_ref () =
+  (* High-rate devices against one modest server: every device offloading
+     its full model cannot be stable, so both implementations must walk the
+     same flip sequence. *)
+  let c =
+    let model = Es_dnn.Zoo.resnet18 () in
+    let devices =
+      List.init 12 (fun i ->
+          Cluster.device ~id:i ~proc:Processor.raspberry_pi ~link:Link.wifi ~model
+            ~rate:30.0 ~deadline:0.05 ())
+    in
+    let servers =
+      [ Cluster.server ~id:0 ~proc:Processor.edge_gpu ~ap_bandwidth_mbps:100.0 () ]
+    in
+    Cluster.make ~devices ~servers
+  in
+  let n = Cluster.n_devices c in
+  let config = { Optimizer.default_config with Optimizer.jobs = 1 } in
+  let fresh () =
+    Array.init n (fun i ->
+        Es_surgery.Plan.server_only c.Cluster.devices.(i).Cluster.model)
+  in
+  let assignment = Array.make n 0 in
+  let p = fresh () and p' = fresh () in
+  let r = Optimizer.force_feasible config c p assignment in
+  let r' = Optimizer.force_feasible_ref config c p' (Array.copy assignment) in
+  (match (r, r') with
+  | Some d, Some d' ->
+      Alcotest.(check int) "same arity" (Array.length d) (Array.length d');
+      Array.iteri
+        (fun i (x : Decision.t) ->
+          let y = d'.(i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "decision %d identical" i)
+            true
+            (x.Decision.server = y.Decision.server
+            && feq x.Decision.bandwidth_bps y.Decision.bandwidth_bps
+            && feq x.Decision.compute_share y.Decision.compute_share
+            && plan_fingerprint x.Decision.plan = plan_fingerprint y.Decision.plan))
+        d
+  | None, None -> ()
+  | _ -> Alcotest.fail "force_feasible and its oracle diverged on feasibility");
+  Array.iteri
+    (fun i q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "plan flip %d identical" i)
+        true
+        (plan_fingerprint q = plan_fingerprint p'.(i)))
+    p;
+  Alcotest.(check bool) "overload actually forced flips" true
+    (Array.exists Es_surgery.Plan.is_device_only p)
+
+let test_assignment_helpers_match_ref () =
+  let c, out = Lazy.force solved in
+  let plans = Array.map (fun (d : Decision.t) -> d.Decision.plan) out.Optimizer.decisions in
+  let asg = Array.map (fun (d : Decision.t) -> d.Decision.server) out.Optimizer.decisions in
+  let rotated = Array.map (fun s -> (s + 1) mod Cluster.n_servers c) asg in
+  List.iter
+    (fun assignment ->
+      Alcotest.(check bool) "load_proxy bit-identical" true
+        (feq
+           (Optimizer.load_proxy c ~plans assignment)
+           (Optimizer.load_proxy_ref c ~plans assignment));
+      for device = 0 to Cluster.n_devices c - 1 do
+        let b, s = Optimizer.fair_share_estimate c ~plans ~assignment ~device in
+        let b', s' = Optimizer.fair_share_estimate_ref c ~plans ~assignment ~device in
+        Alcotest.(check bool)
+          (Printf.sprintf "fair share %d bit-identical" device)
+          true
+          (feq b b' && feq s s')
+      done)
+    [ asg; rotated ]
+
+(* The ISSUE's headline claim: a steady-state surgery scan — the innermost
+   solver loop — allocates nothing on the minor heap.  Grants are literals
+   so the call site doesn't box them. *)
+let test_best_scored_zero_alloc () =
+  let c = Lazy.force default_cluster in
+  let pool = Optimizer.device_pool ~widths:[ 1.0; 0.75; 0.5 ] c ~device:0 in
+  let sink =
+    ref (Optimizer.best_scored c ~device:0 ~server:0 pool ~bandwidth_bps:50e6
+           ~compute_share:0.5)
+  in
+  let thunk () =
+    sink :=
+      Optimizer.best_scored c ~device:0 ~server:0 pool ~bandwidth_bps:50e6
+        ~compute_share:0.5
+  in
+  let words = Es_util.Alloc_probe.minor_words thunk in
+  Alcotest.(check (float 0.0))
+    "steady-state surgery scan allocates zero minor-heap words" 0.0 words;
+  ignore (Sys.opaque_identity !sink)
+
 let () =
   Alcotest.run "es_joint"
     [
@@ -546,6 +679,15 @@ let () =
           Alcotest.test_case "exhaustive across jobs" `Quick test_exhaustive_jobs_identical;
           Alcotest.test_case "final gauges from landing point" `Quick
             test_final_gauges_from_landing_point;
+        ] );
+      ( "zero-alloc",
+        [
+          Alcotest.test_case "objective oracles" `Quick test_objective_flat_matches_ref;
+          Alcotest.test_case "force_feasible oracle" `Quick test_force_feasible_matches_ref;
+          Alcotest.test_case "assignment helpers oracle" `Quick
+            test_assignment_helpers_match_ref;
+          Alcotest.test_case "best_scored zero minor words" `Quick
+            test_best_scored_zero_alloc;
         ] );
       ( "exhaustive",
         [

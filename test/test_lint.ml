@@ -16,7 +16,16 @@ let cfg ?(rules = Rule.all) ?(allow = Allowlist.empty) ?(mli = Engine.Mli_never)
   { Engine.rules; allow; mli_mode = mli; root }
 
 let all_fixtures =
-  [ "bad_d1.ml"; "bad_d2.ml"; "bad_d3.ml"; "bad_d4.ml"; "bad_parse.ml"; "clean.ml"; "d5_missing.ml" ]
+  [
+    "bad_d1.ml";
+    "bad_d2.ml";
+    "bad_d3.ml";
+    "bad_d4.ml";
+    "bad_parse.ml";
+    "clean.ml";
+    "d5_missing.ml";
+    "hot_d6.ml";
+  ]
 
 let rule_lines (fs : Finding.t list) = List.map (fun (f : Finding.t) -> (Rule.id f.rule, f.line)) fs
 
@@ -90,6 +99,26 @@ let test_d5 () =
     (List.hd r.findings).Finding.file;
   let r = Engine.lint_files (cfg ~rules:[ Rule.D5 ] ~mli:Engine.Mli_never ()) [ "d5_missing.ml" ] in
   check_rule_lines "Mli_never disables D5" [] r.findings
+
+let test_d6 () =
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D6 ] ()) [ "hot_d6.ml" ] in
+  (* Line 3 carries two findings at the same position: the List.map ident
+     and the closure-literal argument of the same application.  List.combine
+     (line 7), the let-bound closure (line 15) and the operator-section
+     argument (line 17) must stay silent. *)
+  check_rule_lines "D6 fires on List builders and closure arguments"
+    [ ("D6", 3); ("D6", 3); ("D6", 5) ]
+    r.findings;
+  check_rule_lines "cold markers (line above + same line) suppress"
+    [ ("D6", 11); ("D6", 11); ("D6", 13) ]
+    r.suppressed
+
+let test_d6_needs_hot_tag () =
+  (* clean.ml constructs closures in argument position but carries no
+     [es_lint: hot] tag, so D6 never looks at it. *)
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D6 ] ()) [ "clean.ml"; "bad_d2.ml" ] in
+  check_rule_lines "untagged files are exempt" [] r.findings;
+  check_rule_lines "…with nothing suppressed either" [] r.suppressed
 
 let test_parse_error () =
   let r = Engine.lint_files (cfg ()) [ "bad_parse.ml" ] in
@@ -186,6 +215,8 @@ let () =
           Alcotest.test_case "D4 mutable toplevel state" `Quick test_d4;
           Alcotest.test_case "D4 Atomic.t record fields exempt" `Quick test_d4_atomic_fields;
           Alcotest.test_case "D5 mli coverage" `Quick test_d5;
+          Alcotest.test_case "D6 hot-path allocation" `Quick test_d6;
+          Alcotest.test_case "D6 needs the hot tag" `Quick test_d6_needs_hot_tag;
           Alcotest.test_case "parse error" `Quick test_parse_error;
           Alcotest.test_case "clean fixture is clean" `Quick test_clean_fixture;
           Alcotest.test_case "rule toggling" `Quick test_rule_toggle;

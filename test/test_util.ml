@@ -578,6 +578,124 @@ let test_table_formats () =
   Alcotest.(check string) "fmt_ms" "12.30" (Table.fmt_ms 0.0123);
   Alcotest.(check string) "fmt_pct" "97.5" (Table.fmt_pct 0.975)
 
+(* ---------- Scratch ---------- *)
+
+let test_scratch_reuse () =
+  Alcotest.(check bool) "balanced at start" true (Scratch.live () = (0, 0));
+  let a = Scratch.borrow_floats 64 in
+  Scratch.release_floats a;
+  let b = Scratch.borrow_floats 32 in
+  Alcotest.(check bool) "smaller re-borrow reuses the same buffer" true (a == b);
+  Scratch.release_floats b;
+  let i = Scratch.borrow_ints 16 in
+  Scratch.release_ints i;
+  let j = Scratch.borrow_ints 16 in
+  Alcotest.(check bool) "int buffer reused" true (i == j);
+  Scratch.release_ints j;
+  Alcotest.(check bool) "balanced at end" true (Scratch.live () = (0, 0))
+
+let test_scratch_nested_distinct () =
+  let a = Scratch.borrow_floats 8 in
+  let b = Scratch.borrow_floats 8 in
+  Alcotest.(check bool) "nested borrows never alias" true (not (a == b));
+  Alcotest.(check bool) "two floats live" true (Scratch.live () = (2, 0));
+  Scratch.release_floats b;
+  Scratch.release_floats a
+
+let test_scratch_misuse () =
+  let a = Scratch.borrow_floats 8 in
+  let b = Scratch.borrow_floats 8 in
+  (match Scratch.release_floats a with
+  | () -> Alcotest.fail "non-LIFO release must raise Misuse"
+  | exception Scratch.Misuse _ -> ());
+  Scratch.release_floats b;
+  Scratch.release_floats a;
+  (match Scratch.release_floats a with
+  | () -> Alcotest.fail "release with nothing borrowed must raise Misuse"
+  | exception Scratch.Misuse _ -> ());
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Scratch.borrow_floats: negative length") (fun () ->
+      ignore (Scratch.borrow_floats (-1)))
+
+let test_scratch_with_brackets () =
+  (match Scratch.with_floats 4 (fun _ -> failwith "boom") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "released on exception" true (Scratch.live () = (0, 0));
+  let sum =
+    Scratch.with_ints 3 (fun b ->
+        b.(0) <- 1;
+        b.(1) <- 2;
+        b.(2) <- 3;
+        b.(0) + b.(1) + b.(2))
+  in
+  Alcotest.(check int) "with_ints returns the closure's result" 6 sum
+
+let test_scratch_canary () =
+  Fun.protect
+    ~finally:(fun () -> Scratch.set_debug false)
+    (fun () ->
+      Scratch.set_debug true;
+      let buf = Scratch.borrow_floats 4 in
+      buf.(0) <- 1.0;
+      Scratch.release_floats buf;
+      (* Writing past the requested length clobbers a canary. *)
+      let buf = Scratch.borrow_floats 4 in
+      buf.(4) <- 0.0;
+      (match Scratch.release_floats buf with
+      | () -> Alcotest.fail "clobbered canary must be detected"
+      | exception Scratch.Misuse _ -> ());
+      (* The failed release leaves the borrow live; pop it with the canary
+         check disabled to restore balance for the tests that follow. *)
+      Scratch.set_debug false;
+      Scratch.release_floats buf;
+      Alcotest.(check bool) "balanced after cleanup" true (Scratch.live () = (0, 0)))
+
+(* ---------- Alloc_probe ---------- *)
+
+let test_alloc_probe_sees_allocation () =
+  (* Small enough to land on the minor heap (large blocks go straight to the
+     major heap, whose counters lag the running slice).  The probe's unit is
+     whatever Gc.counters reports on this runtime — the gate and the tests
+     only need zero-vs-nonzero and same-binary comparability, so assert
+     positivity and proportionality rather than an absolute word count. *)
+  let measure n =
+    Alloc_probe.minor_words (fun () -> ignore (Sys.opaque_identity (Array.make n 0.0)))
+  in
+  let small = measure 32 and big = measure 96 in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocating thunk measured positive (got %g)" small)
+    true (small > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "measure scales with allocation (%g < %g)" small big)
+    true
+    (big > 2.0 *. small && big < 4.0 *. small)
+
+let test_alloc_probe_pure_loop_zero () =
+  let buf = Array.make 64 1.5 in
+  let thunk () =
+    let acc = ref 0.0 in
+    for i = 0 to Array.length buf - 1 do
+      acc := !acc +. buf.(i)
+    done;
+    buf.(0) <- !acc
+  in
+  Alcotest.(check (float 0.0)) "pure float-array loop allocates nothing" 0.0
+    (Alloc_probe.minor_words thunk)
+
+let test_scratch_steady_state_zero_alloc () =
+  Alcotest.(check bool) "debug must be off" false (Scratch.debug ());
+  let thunk () =
+    let f = Scratch.borrow_floats 48 in
+    let i = Scratch.borrow_ints 48 in
+    f.(0) <- f.(0) +. 1.0;
+    i.(0) <- i.(0) + 1;
+    Scratch.release_ints i;
+    Scratch.release_floats f
+  in
+  Alcotest.(check (float 0.0)) "steady-state borrow/release allocates nothing" 0.0
+    (Alloc_probe.minor_words thunk)
+
 let () =
   Alcotest.run "es_util"
     [
@@ -668,5 +786,20 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "scratch",
+        [
+          Alcotest.test_case "reuse" `Quick test_scratch_reuse;
+          Alcotest.test_case "nested distinct" `Quick test_scratch_nested_distinct;
+          Alcotest.test_case "misuse" `Quick test_scratch_misuse;
+          Alcotest.test_case "with_ brackets" `Quick test_scratch_with_brackets;
+          Alcotest.test_case "canary" `Quick test_scratch_canary;
+        ] );
+      ( "alloc-probe",
+        [
+          Alcotest.test_case "sees allocation" `Quick test_alloc_probe_sees_allocation;
+          Alcotest.test_case "pure loop zero" `Quick test_alloc_probe_pure_loop_zero;
+          Alcotest.test_case "scratch steady state zero" `Quick
+            test_scratch_steady_state_zero_alloc;
         ] );
     ]
