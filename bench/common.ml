@@ -10,14 +10,17 @@ let fmt_f = Es_util.Table.fmt_f
 (* Machine-readable result stream: when main.ml routes --jsonl here, every
    policy run is also logged as one JSONL line through the es_obs exporters
    (same format the CLI's --metrics-out uses), replacing ad-hoc scraping of
-   the printed tables. *)
-let jsonl_out : out_channel option ref = ref None
-let current_experiment = ref ""
+   the printed tables.  Both cells are (re)assigned only from the main domain
+   (startup / heading, before any fan-out); the concurrent readers in
+   log_report run under log_lock, which is the guard the attribute names. *)
+let jsonl_out : out_channel option ref = ref None [@@es_lint.guarded "log_lock"]
+let current_experiment = ref "" [@@es_lint.guarded "log_lock"]
 
 (* Harness-level parallelism (bench/main.exe --jobs N): sweep experiments fan
    their independent (sweep-point × policy) cells out over this many domains.
-   1 = sequential (the default). *)
-let jobs = ref 1
+   1 = sequential (the default).  Atomic because timing.ml flips it around
+   fan-outs while measuring the harness at different widths. *)
+let jobs = Atomic.make 1
 
 (* JSONL writes are serialized: under --jobs concurrent policy runs would
    otherwise interleave partial lines.  Each record carries the sweep-point
@@ -74,10 +77,10 @@ let run_policy ?duration ?seed ?point cluster (p : Es_baselines.Baselines.t) =
   log_report ?point ~policy:p.Es_baselines.Baselines.name report;
   (decisions, report)
 
-(* Fan a sweep's independent cells out over [!jobs] domains.  Each cell is a
+(* Fan a sweep's independent cells out over [jobs] domains.  Each cell is a
    closure that prints nothing (tables are rendered after collection), so
    stdout stays ordered; results come back in input order. *)
-let parallel_cells cells = Es_util.Par.parallel_map ~jobs:!jobs (fun f -> f ()) cells
+let parallel_cells cells = Es_util.Par.parallel_map ~jobs:(Atomic.get jobs) (fun f -> f ()) cells
 
 let mean_accuracy (decisions : Decision.t array) =
   if Array.length decisions = 0 then nan

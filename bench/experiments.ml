@@ -955,7 +955,7 @@ let f17 () =
       ~options:(options (Some Es_sim.Runner.default_resilience))
       cluster decisions
   in
-  let recover = Es_joint.Recover.precompute ~jobs:!jobs cluster in
+  let recover = Es_joint.Recover.precompute ~jobs:(Atomic.get jobs) cluster in
   let reconfigure = Es_joint.Recover.schedule_for_faults recover ~decisions faults in
   let resolve =
     Es_sim.Runner.run

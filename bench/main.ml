@@ -23,7 +23,7 @@ let () =
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
         | Some j when j >= 0 ->
-            Common.jobs := (if j = 0 then Es_util.Par.default_jobs () else j);
+            Atomic.set Common.jobs (if j = 0 then Es_util.Par.default_jobs () else j);
             extract acc rest
         | Some _ | None ->
             prerr_endline "--jobs expects a non-negative integer";

@@ -625,12 +625,12 @@ let bench_suite ~jobs =
   in
   (* Warm the candidate cache once so neither measurement pays first-touch
      plan generation. *)
-  Common.jobs := 1;
+  Atomic.set Common.jobs 1;
   silenced run_suite;
   let t1 = time_best ~repeats:1 (fun () -> silenced run_suite) in
-  Common.jobs := jobs;
+  Atomic.set Common.jobs jobs;
   let tn = time_best ~repeats:1 (fun () -> silenced run_suite) in
-  Common.jobs := 1;
+  Atomic.set Common.jobs 1;
   let speedup = t1 /. tn in
   Printf.printf "bench_suite     %s  jobs=1 %.2fs  jobs=%d %.2fs  speedup %.2fx\n%!"
     (String.concat "," suite_ids) t1 jobs tn speedup;

@@ -1,0 +1,129 @@
+(* Ratchet baseline: the committed findings inventory (lint_findings.jsonl)
+   that CI diffs against.  A run fails only on findings NOT in the
+   baseline, so adopting a new rule never blocks the tree — the existing
+   debt is frozen in the file and only regressions (or new code tripping
+   the rules) fail the gate.
+
+   Format: one schema-version header line, then one JSON object per
+   finding ({!Finding.to_jsonl}), sorted by {!Finding.compare} so
+   regeneration is a stable diff.  Matching ignores line/col — a finding
+   is baselined by (rule, file, message), so unrelated edits that shift
+   line numbers don't resurrect frozen findings. *)
+
+module SSet = Set.Make (String)
+
+type t = SSet.t
+
+let schema_line = {|{"schema":"es_lint-baseline","version":1}|}
+
+let key_of (f : Finding.t) = Rule.id f.Finding.rule ^ "\t" ^ f.Finding.file ^ "\t" ^ f.Finding.msg
+
+let empty = SSet.empty
+
+let of_findings fs = List.fold_left (fun s f -> SSet.add (key_of f) s) SSet.empty fs
+
+let mem t f = SSet.mem (key_of f) t
+
+let diff t fs = List.filter (fun f -> not (mem t f)) fs
+
+let render findings =
+  schema_line ^ "\n" ^ Report.jsonl (List.sort_uniq Finding.compare findings)
+
+let save ~path findings =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render findings))
+
+(* ------------------------------------------------------------------ *)
+(* Loading: a minimal parser for the exact JSONL shape the writer above
+   produces.  Fields are scanned in writer order (rule, file, …,
+   message), so field markers inside message text cannot confuse the
+   scan. *)
+
+let find_from hay needle start =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = if i + m > n then None else if String.sub hay i m = needle then Some i else go (i + 1) in
+  if start > n then None else go start
+
+let string_field line name start =
+  match find_from line ("\"" ^ name ^ "\":\"") start with
+  | None -> None
+  | Some i ->
+      let j0 = i + String.length name + 4 in
+      let n = String.length line in
+      let buf = Buffer.create 64 in
+      let rec go j =
+        if j >= n then None
+        else
+          match line.[j] with
+          | '"' -> Some (Buffer.contents buf, j + 1)
+          | '\\' when j + 1 < n -> (
+              match line.[j + 1] with
+              | 'n' ->
+                  Buffer.add_char buf '\n';
+                  go (j + 2)
+              | 't' ->
+                  Buffer.add_char buf '\t';
+                  go (j + 2)
+              | 'r' ->
+                  Buffer.add_char buf '\r';
+                  go (j + 2)
+              | 'u' when j + 5 < n -> (
+                  match int_of_string_opt ("0x" ^ String.sub line (j + 2) 4) with
+                  | Some code when code < 0x100 ->
+                      Buffer.add_char buf (Char.chr code);
+                      go (j + 6)
+                  | _ -> None)
+              | c ->
+                  Buffer.add_char buf c;
+                  go (j + 2))
+          | c ->
+              Buffer.add_char buf c;
+              go (j + 1)
+      in
+      go j0
+
+let parse_line line =
+  match string_field line "rule" 0 with
+  | None -> None
+  | Some (rule, after_rule) -> (
+      match Rule.of_id rule with
+      | None -> None
+      | Some r -> (
+          match string_field line "file" after_rule with
+          | None -> None
+          | Some (file, after_file) -> (
+              match string_field line "message" after_file with
+              | None -> None
+              | Some (msg, _) ->
+                  Some (Rule.id r ^ "\t" ^ file ^ "\t" ^ msg))))
+
+let of_string ~file text =
+  match String.split_on_char '\n' text with
+  | header :: rest when header = schema_line ->
+      let bad = ref None in
+      let set =
+        List.fold_left
+          (fun s line ->
+            if line = "" || !bad <> None then s
+            else
+              match parse_line line with
+              | Some k -> SSet.add k s
+              | None ->
+                  bad := Some line;
+                  s)
+          SSet.empty rest
+      in
+      (match !bad with
+      | Some line -> Error (Printf.sprintf "%s: unparsable baseline line %S" file line)
+      | None -> Ok set)
+  | header :: _ ->
+      Error
+        (Printf.sprintf "%s: bad or missing schema header %S (expected %S); regenerate with \
+                         --write-baseline"
+           file header schema_line)
+  | [] -> Error (Printf.sprintf "%s: empty baseline" file)
+
+let load path =
+  match Source.read_file path with
+  | exception Sys_error m -> Error m
+  | text -> of_string ~file:path text

@@ -1,0 +1,31 @@
+(** Ratchet baseline ([lint_findings.jsonl]): the committed findings
+    inventory a CI run diffs against, failing only on findings absent
+    from it.  The file is one schema-version header line followed by one
+    sorted JSON object per finding; matching ignores line/col — a
+    finding is baselined by (rule, file, message), so edits that merely
+    shift line numbers don't resurrect frozen findings. *)
+
+type t
+
+val empty : t
+
+val schema_line : string
+(** The exact header line: [{"schema":"es_lint-baseline","version":1}]. *)
+
+val of_findings : Finding.t list -> t
+
+val mem : t -> Finding.t -> bool
+
+val diff : t -> Finding.t list -> Finding.t list
+(** Findings not covered by the baseline (order preserved). *)
+
+val render : Finding.t list -> string
+(** Header + sorted findings as JSONL — what [--write-baseline] commits. *)
+
+val save : path:string -> Finding.t list -> unit
+
+val of_string : file:string -> string -> (t, string) result
+(** Parse baseline text; [file] is used in error messages only.  Rejects
+    a missing/mismatched schema header and unparsable lines. *)
+
+val load : string -> (t, string) result

@@ -1,0 +1,65 @@
+(** Shared vocabulary for both analysis phases: path classifiers for the
+    per-file rules (D1/D2/D3/D6), the fan-out sinks and container mutators
+    the interprocedural rules track (D7–D10), and small version-portable
+    parsetree helpers. *)
+
+val flatten : Longident.t -> string list
+(** [Longident.flatten] that returns [[]] instead of raising on
+    applicative paths. *)
+
+val peel_expr : Parsetree.expression -> Parsetree.expression
+(** Strip [Pexp_constraint]/[Pexp_coerce] wrappers. *)
+
+val peel_pat : Parsetree.pattern -> Parsetree.pattern
+(** Strip [Ppat_constraint] wrappers. *)
+
+val pos_of : Location.t -> int * int
+(** (1-based line, 0-based column) of the location's start. *)
+
+val field_chain : Parsetree.expression -> (string list * string list) option
+(** Peel a chain of field projections down to its base identifier:
+    [pool.queue] ↦ [(["pool"], ["queue"])]; [None] when the base is not a
+    plain identifier. *)
+
+val d1_violation : string list -> string option
+(** Wall-clock / global-RNG read; returns the display name. *)
+
+val d2_violation : string list -> string option
+(** Unordered [Hashtbl] iteration. *)
+
+val d3_violation : string list -> string option
+(** Bare polymorphic [compare]. *)
+
+val d6_violation : string list -> string option
+(** Per-element list builders ([List.map]/[List.init]) — also the
+    "allocates" effect propagated for D10. *)
+
+val par_sink : string list -> string option
+(** [Par.parallel_map]/[parallel_map_array]/[parallel_iter]/[both] (any
+    qualification) or [Domain.spawn]; returns the display name. *)
+
+val container_mutator : string list -> (string * int list) option
+(** Stdlib call that mutates a container argument
+    ([Hashtbl.add]/[replace]/…, [Buffer.add_*], [Queue], [Stack]);
+    returns the display name and the positional indices of the mutated
+    argument(s). *)
+
+val assignment_op : string list -> bool
+(** The [:=] operator. *)
+
+val incr_decr : string list -> bool
+(** [incr]/[decr]. *)
+
+type lock_op = Lock | Unlock
+
+val mutex_op : string list -> lock_op option
+(** [Mutex.lock]/[Mutex.unlock]. *)
+
+val callable_head : string list -> bool
+(** Whether the application head is a plain identifier worth recording as
+    a call-graph edge (last segment alphabetic — not an operator). *)
+
+val is_closure_literal : string -> Parsetree.expression -> bool
+(** Textual sniff: does the expression's source text (after parens /
+    [begin] / whitespace) start with [fun]/[function]?  Version-portable
+    replacement for matching [Pexp_fun]. *)

@@ -1,21 +1,27 @@
-(* The analysis core: parse each .ml with compiler-libs, walk the parsetree,
-   and emit findings for the six determinism/domain-safety rules (see
-   Rule).  Everything here is list-based on purpose — the linter that
-   enforces "no unordered iteration feeding output" must itself be trivially
+(* The analysis orchestrator.  Phase 1 ({!Summary}) parses each .ml once
+   and produces both its per-file raw findings (D1–D4, D6, parse) and a
+   serializable effect summary; phase 2 ({!Callgraph}) resolves the
+   summaries into a whole-program call graph, fixpoints the effect
+   lattice over its SCCs and fires the interprocedural rules (D7–D10)
+   plus the cross-unit [@@es_lint.guarded] verifications.  This module
+   wires the phases together, evaluates the one filesystem-dependent rule
+   (D5) fresh every run, and applies the configuration — enabled rules
+   and the allowlist — to the union.
+
+   Everything stays list/Map-based on purpose: the linter that enforces
+   "no unordered iteration feeding output" must itself be trivially
    order-independent, so it never touches Hashtbl.
 
-   Known syntactic approximations (documented in DESIGN.md §11): module
-   aliases (`module H = Hashtbl`) hide D2 sites; D3 triggers on any bare
-   [compare] in a file whose type declarations mention [float]; D4 sees only
-   directly-initialized module-level bindings, and its record check is
-   name-based per file — a field declared [Atomic.t] anywhere in the file
-   exempts that name even where another type declares it plain mutable; D6
-   sees only the named List builders and syntactic closure literals in
-   argument position — partial applications and let-bound closures that
-   escape are invisible to it (the allocation gate, not the linter, is the
-   ground truth for words-per-solve). *)
-
-open Parsetree
+   Known syntactic approximations (documented in DESIGN.md §11/§16):
+   module aliases (`module H = Hashtbl`) hide D2 sites; D3 triggers on
+   any bare [compare] in a file whose type declarations mention [float];
+   D4 sees only directly-initialized module-level bindings, and its
+   record check is name-based per file; D6 sees only the named List
+   builders and syntactic closure literals in argument position; the
+   call graph sees only direct applications of (possibly qualified)
+   identifiers — functions passed as values are invisible to D7–D10, and
+   the lock-order walk is linear in source order, so branch-local
+   acquisitions blend across arms of the same function. *)
 
 type mli_mode = Mli_by_path | Mli_always | Mli_never
 
@@ -24,12 +30,21 @@ type config = {
   allow : Allowlist.t;
   mli_mode : mli_mode;
   root : string;
+  cache_dir : string option;
 }
 
 let default_config =
-  { rules = Rule.all; allow = Allowlist.empty; mli_mode = Mli_by_path; root = "." }
+  {
+    rules = Rule.all;
+    allow = Allowlist.empty;
+    mli_mode = Mli_by_path;
+    root = ".";
+    cache_dir = None;
+  }
 
 type result = { findings : Finding.t list; suppressed : Finding.t list }
+
+type analysis = { summaries : Summary.t list; graph : Callgraph.t; result : result }
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping                                                        *)
@@ -42,7 +57,8 @@ let normalize_rel path =
   String.concat "/" (List.filter (fun seg -> seg <> "" && seg <> ".") (String.split_on_char '/' path))
 
 (* D1 carve-outs: the designated clock module and the benchmark harness
-   (benches measure real wall time by definition). *)
+   (benches measure real wall time by definition).  The same files are
+   exempt from D8 — clock effects neither originate nor fire there. *)
 let d1_exempt rel = rel = "lib/obs/obs.ml" || starts_with ~prefix:"bench/" rel
 
 (* D5 scope under [Mli_by_path]: the library and binary trees must ship
@@ -50,412 +66,67 @@ let d1_exempt rel = rel = "lib/obs/obs.ml" || starts_with ~prefix:"bench/" rel
 let mli_required_by_path rel = starts_with ~prefix:"lib/" rel || starts_with ~prefix:"bin/" rel
 
 (* ------------------------------------------------------------------ *)
-(* Longident helpers                                                   *)
 
-let flatten lid = try Longident.flatten lid with _ -> []
-
-let rec peel_expr e =
-  match e.pexp_desc with
-  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> peel_expr e
-  | _ -> e
-
-let rec peel_pat p = match p.ppat_desc with Ppat_constraint (p, _) -> peel_pat p | _ -> p
-
-let pos_of (loc : Location.t) =
-  let p = loc.loc_start in
-  (p.pos_lnum, p.pos_cnum - p.pos_bol)
-
-(* ------------------------------------------------------------------ *)
-(* Per-file context: what the module's own declarations tell us        *)
-
-type ctx = {
-  mutable float_bearing : bool;  (* a type declaration mentions float *)
-  mutable mutable_fields : string list;  (* record fields declared mutable *)
-  mutable atomic_fields : string list;  (* record fields of type _ Atomic.t *)
-  mutable mutex_fields : string list;  (* record fields of type Mutex.t *)
-  mutable top_values : string list;  (* module-level value names *)
-  mutable top_mutexes : string list;  (* module-level `let m = Mutex.create ()` *)
-}
-
-let rec core_type_mentions_float ty =
-  match ty.ptyp_desc with
-  | Ptyp_constr ({ txt; _ }, args) ->
-      (match flatten txt with
-      | [ "float" ] | [ "Float"; "t" ] -> true
-      | _ -> List.exists core_type_mentions_float args)
-  | Ptyp_tuple tys -> List.exists core_type_mentions_float tys
-  | Ptyp_arrow (_, a, b) -> core_type_mentions_float a || core_type_mentions_float b
-  | Ptyp_alias (ty, _) | Ptyp_poly (_, ty) -> core_type_mentions_float ty
-  | _ -> false
-
-let is_mutex_type ty =
-  match ty.ptyp_desc with
-  | Ptyp_constr ({ txt; _ }, _) -> flatten txt = [ "Mutex"; "t" ]
-  | _ -> false
-
-(* An [Atomic.t] field is already domain-safe state: a record of atomics
-   needs no mutex, so D4 must not count such fields as guard-needing —
-   even when an unrelated type in the file declares a plain-mutable field
-   of the same name (the record check below is name-based). *)
-let is_atomic_type ty =
-  match ty.ptyp_desc with
-  | Ptyp_constr ({ txt; _ }, _) -> flatten txt = [ "Atomic"; "t" ]
-  | _ -> false
-
-let scan_type_decl ctx (td : type_declaration) =
-  let scan_label (ld : label_declaration) =
-    if core_type_mentions_float ld.pld_type then ctx.float_bearing <- true;
-    if ld.pld_mutable = Mutable then ctx.mutable_fields <- ld.pld_name.txt :: ctx.mutable_fields;
-    if is_atomic_type ld.pld_type then ctx.atomic_fields <- ld.pld_name.txt :: ctx.atomic_fields;
-    if is_mutex_type ld.pld_type then ctx.mutex_fields <- ld.pld_name.txt :: ctx.mutex_fields
-  in
-  let scan_constructor (cd : constructor_declaration) =
-    match cd.pcd_args with
-    | Pcstr_tuple tys -> if List.exists core_type_mentions_float tys then ctx.float_bearing <- true
-    | Pcstr_record lds -> List.iter scan_label lds
-  in
-  (match td.ptype_manifest with
-  | Some ty -> if core_type_mentions_float ty then ctx.float_bearing <- true
-  | None -> ());
-  match td.ptype_kind with
-  | Ptype_record lds -> List.iter scan_label lds
-  | Ptype_variant cds -> List.iter scan_constructor cds
-  | Ptype_abstract | Ptype_open -> ()
-
-(* Walk module-level bindings, recursing into nested module structures
-   (their bodies are still module-level state once the module is applied
-   or bound at the top). *)
-let rec walk_toplevel f str =
-  List.iter
-    (fun (si : structure_item) ->
-      match si.pstr_desc with
-      | Pstr_value (_, vbs) -> List.iter f vbs
-      | Pstr_module mb -> walk_toplevel_me f mb.pmb_expr
-      | Pstr_recmodule mbs -> List.iter (fun mb -> walk_toplevel_me f mb.pmb_expr) mbs
-      | Pstr_include inc -> walk_toplevel_me f inc.pincl_mod
-      | _ -> ())
-    str
-
-and walk_toplevel_me f me =
-  match me.pmod_desc with
-  | Pmod_structure str -> walk_toplevel f str
-  | Pmod_constraint (me, _) -> walk_toplevel_me f me
-  | Pmod_functor (_, me) -> walk_toplevel_me f me
-  | _ -> ()
-
-let collect_ctx str =
-  let ctx =
-    {
-      float_bearing = false;
-      mutable_fields = [];
-      atomic_fields = [];
-      mutex_fields = [];
-      top_values = [];
-      top_mutexes = [];
-    }
-  in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      type_declaration =
-        (fun it td ->
-          scan_type_decl ctx td;
-          Ast_iterator.default_iterator.type_declaration it td);
-    }
-  in
-  it.structure it str;
-  walk_toplevel
-    (fun vb ->
-      match (peel_pat vb.pvb_pat).ppat_desc with
-      | Ppat_var { txt = name; _ } ->
-          ctx.top_values <- name :: ctx.top_values;
-          (match (peel_expr vb.pvb_expr).pexp_desc with
-          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
-            when flatten txt = [ "Mutex"; "create" ] ->
-              ctx.top_mutexes <- name :: ctx.top_mutexes
-          | _ -> ())
-      | _ -> ())
-    str;
-  ctx
-
-(* ------------------------------------------------------------------ *)
-(* Rules over expressions (D1/D2/D3)                                   *)
-
-let d1_violation path =
-  match path with
-  | [ "Sys"; "time" ] -> Some "Sys.time"
-  | [ "Unix"; ("gettimeofday" | "time" | "localtime" | "gmtime") ] ->
-      Some (String.concat "." path)
-  | [ "Random"; "State"; "make_self_init" ] -> Some "Random.State.make_self_init"
-  | [ "Random"; _ ] -> Some (String.concat "." path)
-  | _ -> None
-
-let d2_violation path =
-  match path with
-  | [ "Hashtbl"; ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values") ] ->
-      Some (String.concat "." path)
-  | _ -> None
-
-let d3_violation path =
-  match path with
-  | [ "compare" ] | [ "Stdlib"; "compare" ] | [ "Pervasives"; "compare" ] ->
-      Some (String.concat "." path)
-  | _ -> None
-
-(* D6 (hot-tagged files only): the list builders named by the rule, plus
-   closure literals in argument position (detected separately below). *)
-let d6_violation path =
-  match path with
-  | [ "List"; ("map" | "init") ] -> Some (String.concat "." path)
-  | _ -> None
-
-(* D6 closure-argument sniff.  [Pexp_fun]'s parsetree representation
-   changed between compiler-libs versions this linter builds against, so
-   argument expressions are classified textually instead of by
-   constructor: from the argument's source offset (the lexbuf is fed the
-   whole file, so [pos_cnum] is an absolute offset), skip opening
-   parens/[begin]/whitespace and test for the [fun]/[function] keyword.
-   The parser relocates a parenthesized expression to span its parens, so
-   the sniff lands on the right token. *)
-let ident_char = function
-  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
-  | _ -> false
-
-let keyword_at text i kw =
-  let k = String.length kw in
-  i + k <= String.length text
-  && String.sub text i k = kw
-  && (i + k = String.length text || not (ident_char text.[i + k]))
-
-let is_closure_literal text (e : expression) =
-  let n = String.length text in
-  let rec skip i =
-    if i >= n then n
-    else
-      match text.[i] with
-      | ' ' | '\t' | '\n' | '\r' | '(' -> skip (i + 1)
-      | 'b' when keyword_at text i "begin" -> skip (i + 5)
-      | _ -> i
-  in
-  let off = e.pexp_loc.Location.loc_start.Lexing.pos_cnum in
-  off >= 0 && off < n
-  &&
-  let i = skip off in
-  keyword_at text i "fun" || keyword_at text i "function"
-
-(* ------------------------------------------------------------------ *)
-(* D4: module-level mutable state                                      *)
-
-let mutable_init ctx e =
-  match e.pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
-      match flatten txt with
-      | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref cell"
-      | [ "Hashtbl"; "create" ] -> Some "Hashtbl.t"
-      | [ "Buffer"; "create" ] -> Some "Buffer.t"
-      | [ "Queue"; "create" ] -> Some "Queue.t"
-      | [ "Stack"; "create" ] -> Some "Stack.t"
-      | _ -> None)
-  | Pexp_record (fields, _) ->
-      let counts n = List.mem n ctx.mutable_fields && not (List.mem n ctx.atomic_fields) in
-      if
-        List.exists
-          (fun (({ txt; _ } : Longident.t Location.loc), _) ->
-            match txt with
-            | Longident.Lident n -> counts n
-            | _ -> counts (Longident.last txt))
-          fields
-      then Some "record with mutable fields"
-      else None
-  | _ -> None
-
-let guarded_attr vb =
-  List.find_map
-    (fun (a : attribute) ->
-      if a.attr_name.txt <> "es_lint.guarded" then None
-      else
-        match a.attr_payload with
-        | PStr
-            [
-              {
-                pstr_desc =
-                  Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-                _;
-              };
-            ] ->
-            Some (`Named s)
-        | _ -> Some `Malformed)
-    vb.pvb_attributes
-
-let guard_exists ctx name =
-  match String.split_on_char '.' name with
-  | [ m ] -> List.mem m ctx.top_mutexes
-  | [ v; f ] -> List.mem v ctx.top_values && List.mem f ctx.mutex_fields
-  | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* Driving one file                                                    *)
-
-let parse_impl ~rel text =
-  let lexbuf = Lexing.from_string text in
-  lexbuf.Lexing.lex_curr_p <- { pos_fname = rel; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
-  Parse.implementation lexbuf
-
-let loc_of_exn exn =
-  match Location.error_of_exn exn with
-  | Some (`Ok e) -> Some e.Location.main.Location.loc
-  | _ -> None
-
-let lint_one config rel =
-  let abs = Filename.concat config.root rel in
-  let enabled r = List.mem r config.rules in
-  let findings = ref [] and suppressed = ref [] in
-  let emit ?(suppress = false) ~rule ~line ~col msg =
-    let f = Finding.make ~rule ~file:rel ~line ~col msg in
-    if suppress || Allowlist.mem config.allow ~rule_id:(Rule.id rule) ~path:rel then
-      suppressed := f :: !suppressed
-    else findings := f :: !findings
-  in
-  (* D5 needs no parse. *)
-  let mli_required =
-    match config.mli_mode with
-    | Mli_always -> true
-    | Mli_never -> false
-    | Mli_by_path -> mli_required_by_path rel
-  in
-  if enabled Rule.D5 && mli_required && Filename.check_suffix rel ".ml" then begin
-    let mli = Filename.chop_suffix abs ".ml" ^ ".mli" in
-    if not (Sys.file_exists mli) then
-      emit ~rule:Rule.D5 ~line:1 ~col:0
-        (Printf.sprintf "missing sibling interface %s"
-           (Filename.basename (Filename.chop_suffix rel ".ml" ^ ".mli")))
-  end;
-  let text = Source.read_file abs in
-  match parse_impl ~rel text with
-  | exception exn ->
-      let line, col = match loc_of_exn exn with Some loc -> pos_of loc | None -> (1, 0) in
-      emit ~rule:Rule.Parse_error ~line ~col "syntax error";
-      (List.rev !findings, List.rev !suppressed)
-  | str ->
-      let ctx = collect_ctx str in
-      let sorted_lines = Source.suppression_lines text in
-      let hot = enabled Rule.D6 && Source.is_hot text in
-      let cold_lines = Source.cold_lines text in
-      let on_ident loc path =
-        let line, col = pos_of loc in
-        (match d1_violation path with
-        | Some what when enabled Rule.D1 && not (d1_exempt rel) ->
-            emit ~rule:Rule.D1 ~line ~col
-              (Printf.sprintf
-                 "nondeterministic call %s; route time through Es_obs.Obs.wall_clock and \
-                  randomness through a seeded Es_util.Prng"
-                 what)
-        | _ -> ());
-        (match d2_violation path with
-        | Some what when enabled Rule.D2 ->
-            emit
-              ~suppress:(Source.suppressed_at sorted_lines ~line)
-              ~rule:Rule.D2 ~line ~col
-              (Printf.sprintf
-                 "unordered %s; sort before the result can reach output or fingerprints, then \
-                  mark the call site (* es_lint: sorted *)"
-                 what)
-        | _ -> ());
-        (match d3_violation path with
-        | Some what when enabled Rule.D3 && ctx.float_bearing ->
-            emit ~rule:Rule.D3 ~line ~col
-              (Printf.sprintf
-                 "polymorphic %s in a float-bearing module; use Float.compare or an explicit \
-                  comparator"
-                 what)
-        | _ -> ());
-        match d6_violation path with
-        | Some what when hot ->
-            emit
-              ~suppress:(Source.suppressed_at cold_lines ~line)
-              ~rule:Rule.D6 ~line ~col
-              (Printf.sprintf
-                 "allocating %s in a hot-tagged file; use a preallocated-array loop or mark \
-                  the call site (* es_lint: cold *)"
-                 what)
-        | _ -> ()
-      in
-      (* One D6 finding per application carrying closure-literal arguments,
-         anchored at the application itself — cold markers sit above the
-         call site, which may start lines before the closure token. *)
-      let on_apply loc args =
-        if hot && List.exists (fun (_, a) -> is_closure_literal text a) args then begin
-          let line, col = pos_of loc in
-          emit
-            ~suppress:(Source.suppressed_at cold_lines ~line)
-            ~rule:Rule.D6 ~line ~col
-            "closure literal in argument position in a hot-tagged file; hoist it to a \
-             top-level function or mark the call site (* es_lint: cold *)"
-        end
-      in
-      let it =
-        {
-          Ast_iterator.default_iterator with
-          expr =
-            (fun it e ->
-              (match e.pexp_desc with
-              | Pexp_ident { txt; loc } -> on_ident loc (flatten txt)
-              | Pexp_apply (_, args) -> on_apply e.pexp_loc args
-              | _ -> ());
-              Ast_iterator.default_iterator.expr it e);
-        }
-      in
-      it.structure it str;
-      if enabled Rule.D4 then
-        walk_toplevel
-          (fun vb ->
-            match (peel_pat vb.pvb_pat).ppat_desc with
-            | Ppat_var { txt = name; _ } -> (
-                match mutable_init ctx (peel_expr vb.pvb_expr) with
-                | None -> ()
-                | Some what -> (
-                    let line, col = pos_of vb.pvb_pat.ppat_loc in
-                    match guarded_attr vb with
-                    | Some (`Named guard) when guard_exists ctx guard ->
-                        emit ~suppress:true ~rule:Rule.D4 ~line ~col
-                          (Printf.sprintf "%s %S guarded by %s" what name guard)
-                    | Some (`Named guard) ->
-                        emit ~rule:Rule.D4 ~line ~col
-                          (Printf.sprintf
-                             "[@@es_lint.guarded %S] on %S names no Mutex.t in this file" guard
-                             name)
-                    | Some `Malformed ->
-                        emit ~rule:Rule.D4 ~line ~col
-                          (Printf.sprintf
-                             "[@@es_lint.guarded] on %S: payload must be a string literal \
-                              naming a mutex"
-                             name)
-                    | None ->
-                        emit ~rule:Rule.D4 ~line ~col
-                          (Printf.sprintf
-                             "module-level mutable state (%s) %S; guard it with a mutex and \
-                              annotate [@@es_lint.guarded \"<mutex>\"]"
-                             what name)))
-            | _ -> ())
-          str;
-      (List.rev !findings, List.rev !suppressed)
-
-(* ------------------------------------------------------------------ *)
-
-let lint_files config paths =
+let analyze_files config paths =
   let paths =
     paths |> List.map normalize_rel
     |> List.filter (fun p -> Filename.check_suffix p ".ml")
     |> List.sort_uniq String.compare
   in
-  let findings, suppressed =
-    List.fold_left
-      (fun (fs, ss) rel ->
-        let f, s = lint_one config rel in
-        (f :: fs, s :: ss))
-      ([], []) paths
+  let summaries =
+    List.map
+      (fun rel ->
+        Summary.of_file ?cache_dir:config.cache_dir ~rel ~exempt:(d1_exempt rel)
+          ~root:config.root ())
+      paths
   in
+  let graph = Callgraph.build summaries in
+  let enabled r = r = Rule.Parse_error || List.mem r config.rules in
+  let findings = ref [] in
+  let suppressed = ref [] in
+  let route ~inline (f : Finding.t) =
+    if enabled f.Finding.rule then
+      if inline || Allowlist.mem config.allow ~rule_id:(Rule.id f.Finding.rule) ~path:f.Finding.file
+      then suppressed := f :: !suppressed
+      else findings := f :: !findings
+  in
+  List.iter
+    (fun (s : Summary.t) ->
+      (* D5 is filesystem state, not parse state: evaluated fresh every
+         run so a cache hit can never mask a deleted interface. *)
+      let mli_required =
+        match config.mli_mode with
+        | Mli_always -> true
+        | Mli_never -> false
+        | Mli_by_path -> mli_required_by_path s.file
+      in
+      if mli_required then begin
+        let mli = Filename.chop_suffix (Filename.concat config.root s.file) ".ml" ^ ".mli" in
+        if not (Sys.file_exists mli) then
+          route ~inline:false
+            (Finding.make ~rule:Rule.D5 ~file:s.file ~line:1 ~col:0
+               (Printf.sprintf "missing sibling interface %s"
+                  (Filename.basename (Filename.chop_suffix s.file ".ml" ^ ".mli"))));
+      end;
+      List.iter
+        (fun (r : Summary.raw_finding) ->
+          route ~inline:r.rf_inline
+            (Finding.make ~rule:r.rf_rule ~file:s.file ~line:r.rf_line ~col:r.rf_col r.rf_msg))
+        s.raw)
+    summaries;
+  List.iter (fun (f, inline) -> route ~inline f) (Callgraph.findings graph);
   {
-    findings = List.sort_uniq Finding.compare (List.concat findings);
-    suppressed = List.sort_uniq Finding.compare (List.concat suppressed);
+    summaries;
+    graph;
+    result =
+      {
+        findings = List.sort_uniq Finding.compare !findings;
+        suppressed = List.sort_uniq Finding.compare !suppressed;
+      };
   }
+
+let lint_files config paths = (analyze_files config paths).result
+
+let lint_one config rel =
+  let r = lint_files config [ rel ] in
+  (r.findings, r.suppressed)

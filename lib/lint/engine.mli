@@ -1,5 +1,8 @@
-(** The analysis core: parses [.ml] files with compiler-libs and runs the
-    D1–D6 determinism/domain-safety rules over the parsetree.
+(** The analysis orchestrator: phase 1 ({!Summary}, one parse per unit —
+    per-file rules D1–D4/D6 plus effect extraction, optionally cached)
+    feeding phase 2 ({!Callgraph}, the whole-program SCC effect fixpoint
+    behind D7–D10), with the filesystem-dependent D5 evaluated fresh and
+    the configuration (enabled rules, allowlist) applied to the union.
 
     The engine is purely syntactic (no typing pass) and deliberately
     Hashtbl-free, so its output depends only on the set of input paths —
@@ -15,24 +18,44 @@ type config = {
   allow : Allowlist.t;  (** committed legacy exceptions (rule:path) *)
   mli_mode : mli_mode;
   root : string;  (** directory the relative input paths resolve against *)
+  cache_dir : string option;
+      (** per-file summary cache directory ([None] = no caching); entries
+          are keyed by content hash, so cold and warm runs are identical *)
 }
 
 val default_config : config
-(** All rules, empty allowlist, [Mli_by_path], root ["."]. *)
+(** All rules, empty allowlist, [Mli_by_path], root ["."], no cache. *)
 
 type result = {
   findings : Finding.t list;  (** unsuppressed, sorted by {!Finding.compare} *)
   suppressed : Finding.t list;
-      (** findings disarmed by an [(* es_lint: sorted *)] comment, a valid
-          [[@@es_lint.guarded]] attribute, or an allowlist entry; sorted *)
+      (** findings disarmed by an [(* es_lint: sorted *)]/[cold] comment,
+          a verified [[@@es_lint.guarded]] attribute, or an allowlist
+          entry; sorted *)
 }
+
+type analysis = {
+  summaries : Summary.t list;  (** phase-1 unit summaries, path-sorted *)
+  graph : Callgraph.t;  (** the phase-2 call graph (for --why / --effects-dump) *)
+  result : result;
+}
+
+val normalize_rel : string -> string
+(** Canonicalize a root-relative path (strip [./], collapse separators). *)
+
+val d1_exempt : string -> bool
+(** D1/D8 carve-outs: the clock module and [bench/]. *)
+
+val analyze_files : config -> string list -> analysis
+(** Full two-phase analysis over a set of root-relative paths.  Paths are
+    normalized, deduplicated and sorted first; the analysis — summaries,
+    graph and both finding lists — is byte-identical for any permutation
+    or duplication of the input.  Non-[.ml] paths are ignored. *)
+
+val lint_files : config -> string list -> result
+(** [analyze_files] keeping only the findings. *)
 
 val lint_one : config -> string -> Finding.t list * Finding.t list
 (** Lint a single root-relative [.ml] path; returns (findings, suppressed)
-    in source order.  Raises [Sys_error] if the file cannot be read. *)
-
-val lint_files : config -> string list -> result
-(** Lint a set of root-relative paths.  Paths are normalized, deduplicated
-    and sorted first and both output lists are sorted, so the result is
-    byte-identical for any permutation or duplication of [paths].  Non-[.ml]
-    paths are ignored. *)
+    sorted by {!Finding.compare}.  Interprocedural rules see only this one
+    unit.  Raises [Sys_error] if the file cannot be read. *)

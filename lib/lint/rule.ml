@@ -1,6 +1,6 @@
-type t = Parse_error | D1 | D2 | D3 | D4 | D5 | D6
+type t = Parse_error | D1 | D2 | D3 | D4 | D5 | D6 | D7 | D8 | D9 | D10
 
-let all = [ Parse_error; D1; D2; D3; D4; D5; D6 ]
+let all = [ Parse_error; D1; D2; D3; D4; D5; D6; D7; D8; D9; D10 ]
 
 let id = function
   | Parse_error -> "parse"
@@ -10,6 +10,10 @@ let id = function
   | D4 -> "D4"
   | D5 -> "D5"
   | D6 -> "D6"
+  | D7 -> "D7"
+  | D8 -> "D8"
+  | D9 -> "D9"
+  | D10 -> "D10"
 
 let describe = function
   | Parse_error -> "file failed to parse"
@@ -19,6 +23,10 @@ let describe = function
   | D4 -> "mutable toplevel state without a [@@es_lint.guarded] mutex"
   | D5 -> "missing sibling .mli interface"
   | D6 -> "allocation (List.map/List.init/closure argument) in a hot-tagged file"
+  | D7 -> "unguarded shared-state mutation reachable from a Par/Domain fan-out"
+  | D8 -> "call into a function that transitively reads a nondeterminism source"
+  | D9 -> "inconsistent lock acquisition order (deadlock-risk cycle)"
+  | D10 -> "hot-tagged call into a function that transitively allocates"
 
 let of_id s =
   match String.lowercase_ascii (String.trim s) with
@@ -29,6 +37,10 @@ let of_id s =
   | "d4" -> Some D4
   | "d5" -> Some D5
   | "d6" -> Some D6
+  | "d7" -> Some D7
+  | "d8" -> Some D8
+  | "d9" -> Some D9
+  | "d10" -> Some D10
   | _ -> None
 
 (* Rank order = presentation order; Parse_error sorts first so a broken
@@ -41,4 +53,11 @@ let rank = function
   | D4 -> 4
   | D5 -> 5
   | D6 -> 6
+  | D7 -> 7
+  | D8 -> 8
+  | D9 -> 9
+  | D10 -> 10
+
 let compare a b = Int.compare (rank a) (rank b)
+
+let interprocedural = function D7 | D8 | D9 | D10 -> true | _ -> false

@@ -1,0 +1,8 @@
+module L = Locks_d9
+
+let real_lock = Mutex.create ()
+let m = real_lock
+let table = Hashtbl.create 8 [@@es_lint.guarded "m"]
+let cache = ref 0 [@@es_lint.guarded "Locks_d9.a"]
+let remote = ref 0 [@@es_lint.guarded "L.b"]
+let orphan = ref 0 [@@es_lint.guarded "Locks_d9.zzz"]

@@ -1,0 +1,2 @@
+let build xs = List.map (fun x -> x + 1) xs
+let wrap xs = build xs

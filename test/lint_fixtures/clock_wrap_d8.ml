@@ -1,0 +1,3 @@
+let now () = Unix.gettimeofday ()
+let stamp () = now () +. 1.0
+let log_latency () = stamp ()

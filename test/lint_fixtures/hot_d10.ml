@@ -1,0 +1,7 @@
+(* es_lint: hot *)
+let solve xs = Alloc_helper.build xs
+let deep xs = Alloc_helper.wrap xs
+
+let solve_cold xs =
+  (* es_lint: cold *)
+  Alloc_helper.build xs

@@ -1,0 +1,14 @@
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let first () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let second () =
+  Mutex.lock b;
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock b

@@ -1,0 +1,10 @@
+let total = ref 0
+let bump x = total := !total + x
+let sum xs = Es_util.Par.parallel_map (fun x -> bump x; x) xs
+
+let count xs =
+  let local = ref 0 in
+  Es_util.Par.parallel_iter (fun _ -> incr local) xs;
+  !local
+
+let spawn_race () = Domain.spawn bump

@@ -12,8 +12,8 @@ let qtest ?(count = 100) name arb law =
    `dune exec test/test_lint.exe` runs from the repo root. *)
 let root = if Sys.file_exists "lint_fixtures" then "lint_fixtures" else "test/lint_fixtures"
 
-let cfg ?(rules = Rule.all) ?(allow = Allowlist.empty) ?(mli = Engine.Mli_never) () =
-  { Engine.rules; allow; mli_mode = mli; root }
+let cfg ?(rules = Rule.all) ?(allow = Allowlist.empty) ?(mli = Engine.Mli_never) ?cache () =
+  { Engine.rules; allow; mli_mode = mli; root; cache_dir = cache }
 
 let all_fixtures =
   [
@@ -25,6 +25,15 @@ let all_fixtures =
     "clean.ml";
     "d5_missing.ml";
     "hot_d6.ml";
+    (* interprocedural fixtures: these five interact through the phase-2
+       call graph (cross-unit guards, transitive effects), so shuffling
+       them exercises the summary-fixpoint order-independence too. *)
+    "par_race_d7.ml";
+    "clock_wrap_d8.ml";
+    "locks_d9.ml";
+    "hot_d10.ml";
+    "alloc_helper.ml";
+    "alias_d4.ml";
   ]
 
 let rule_lines (fs : Finding.t list) = List.map (fun (f : Finding.t) -> (Rule.id f.rule, f.line)) fs
@@ -164,9 +173,15 @@ let test_allow_round_trip () =
         "to_lines/of_string round-trips" (Allowlist.entries t) (Allowlist.entries t')
 
 let test_allow_rejects_garbage () =
-  (match Allowlist.of_string ~file:"<mem>" "D9:foo.ml" with
+  (* D7–D10 are real rules now, so their entries must parse… *)
+  (match Allowlist.of_string ~file:"<mem>" "D9:foo.ml\nD10:bar.ml" with
+  | Ok a ->
+      Alcotest.(check bool) "interprocedural rules allowed" true
+        (Allowlist.mem a ~rule_id:"D10" ~path:"bar.ml")
+  | Error m -> Alcotest.fail m);
+  (match Allowlist.of_string ~file:"<mem>" "D42:foo.ml" with
   | Ok _ -> Alcotest.fail "unknown rule accepted"
-  | Error m -> Alcotest.(check bool) "names the bad rule" true (contains ~sub:"D9" m));
+  | Error m -> Alcotest.(check bool) "names the bad rule" true (contains ~sub:"D42" m));
   match Allowlist.of_string ~file:"<mem>" "no-colon-here" with
   | Ok _ -> Alcotest.fail "missing colon accepted"
   | Error _ -> ()
@@ -184,8 +199,8 @@ let shuffle seed xs =
   done;
   Array.to_list arr
 
-let render_all files =
-  let r = Engine.lint_files (cfg ~mli:Engine.Mli_always ()) files in
+let render_all ?cache files =
+  let r = Engine.lint_files (cfg ~mli:Engine.Mli_always ?cache ()) files in
   Report.render_findings r.findings ^ Report.render_summary r ^ Report.jsonl r.findings
 
 let qcheck_order_invariance =
@@ -202,6 +217,169 @@ let test_finding_format () =
     && contains ~sub:"[D1]" (Finding.to_line first));
   Alcotest.(check bool) "jsonl carries the rule id" true
     (contains ~sub:{|"rule":"D1"|} (Finding.to_jsonl first))
+
+(* ---------- interprocedural rules (D7–D10) ---------- *)
+
+let test_d7 () =
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D7 ] ()) [ "par_race_d7.ml" ] in
+  check_rule_lines "D7 fires at each domain fan-out shipping racy work"
+    [ ("D7", 3); ("D7", 7); ("D7", 10) ]
+    r.findings;
+  let at l = List.find (fun (f : Finding.t) -> f.line = l) r.findings in
+  Alcotest.(check bool) "transitive toplevel race names the ref and the hop" true
+    (contains ~sub:"Par_race_d7.total" (at 3).msg && contains ~sub:"par_race_d7.ml:2" (at 3).msg);
+  Alcotest.(check bool) "captured-local race is its own message" true
+    (contains ~sub:"captured local" (at 7).msg && contains ~sub:"local" (at 7).msg);
+  Alcotest.(check bool) "Domain.spawn of a function reference is covered" true
+    (contains ~sub:"Par_race_d7.total" (at 10).msg)
+
+let test_d8 () =
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D8 ] ()) [ "clock_wrap_d8.ml" ] in
+  (* now () reads the clock directly (that is D1's beat); D8 fires at every
+     call site whose callee is transitively clocky: stamp -> now (one hop)
+     and log_latency -> stamp (two hops). *)
+  check_rule_lines "D8 fires at each call site reaching the clock"
+    [ ("D8", 2); ("D8", 3) ]
+    r.findings;
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool) "names the underlying clock read" true
+        (contains ~sub:"Unix.gettimeofday" f.msg))
+    r.findings
+
+let test_d9 () =
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D9 ] ()) [ "locks_d9.ml" ] in
+  (* first takes a then b, second takes b then a: both inner acquisitions
+     complete the a<->b cycle. *)
+  check_rule_lines "D9 fires on both edges of the AB/BA cycle"
+    [ ("D9", 6); ("D9", 12) ]
+    r.findings;
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool) "names both mutexes" true
+        (contains ~sub:"Locks_d9.a" f.msg && contains ~sub:"Locks_d9.b" f.msg))
+    r.findings
+
+let test_d10 () =
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D10 ] ()) [ "hot_d10.ml"; "alloc_helper.ml" ] in
+  check_rule_lines "hot-file calls into allocating helpers fire, one and two hops"
+    [ ("D10", 2); ("D10", 3) ]
+    r.findings;
+  let deep = List.find (fun (f : Finding.t) -> f.line = 3) r.findings in
+  Alcotest.(check bool) "witness is the List.map in the helper" true
+    (contains ~sub:"List.map" deep.msg && contains ~sub:"alloc_helper.ml:1" deep.msg);
+  check_rule_lines "a cold marker on the call site suppresses" [ ("D10", 7) ] r.suppressed;
+  (* The helper itself is not a hot file: alone it yields nothing. *)
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D10 ] ()) [ "alloc_helper.ml" ] in
+  check_rule_lines "no hot tag, no D10" [] r.findings
+
+let test_alias_d4 () =
+  (* alias_d4.ml guards through a value alias (m = real_lock), a qualified
+     cross-unit mutex (Locks_d9.a) and a module alias (L.b = Locks_d9.b);
+     only the guard naming a nonexistent mutex fires. *)
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D4 ] ()) [ "alias_d4.ml"; "locks_d9.ml" ] in
+  check_rule_lines "only the orphan guard fires" [ ("D4", 8) ] r.findings;
+  let orphan = List.hd r.findings in
+  Alcotest.(check bool) "orphan guard names the missing mutex" true
+    (contains ~sub:"Locks_d9.zzz" orphan.msg && contains ~sub:"no Mutex.t" orphan.msg);
+  Alcotest.(check (list int))
+    "alias, cross-unit and module-alias guards all verify"
+    [ 5; 6; 7 ]
+    (List.map (fun (f : Finding.t) -> f.line) r.suppressed);
+  (* Without locks_d9.ml in the analyzed set, the qualified guards cannot
+     be verified and fire instead of verifying. *)
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D4 ] ()) [ "alias_d4.ml" ] in
+  check_rule_lines "qualified guards need the defining unit"
+    [ ("D4", 6); ("D4", 7); ("D4", 8) ]
+    r.findings
+
+let test_why_chain () =
+  let a = Engine.analyze_files (cfg ()) all_fixtures in
+  (* D8 at clock_wrap_d8.ml:3 is two hops from the clock read: the chain
+     must walk log_latency -> stamp -> now -> Unix.gettimeofday. *)
+  let chain = Callgraph.explain a.graph ~rule:Rule.D8 ~file:"clock_wrap_d8.ml" ~line:3 in
+  let text = String.concat "\n" chain in
+  Alcotest.(check bool) "multi-hop chain reaches the witness" true
+    (contains ~sub:"log_latency" text && contains ~sub:"stamp" text && contains ~sub:"now" text
+    && contains ~sub:"Unix.gettimeofday" text
+    && contains ~sub:"clock_wrap_d8.ml:1" text);
+  (* D9 explains the cycle rather than a call chain. *)
+  let cycle = String.concat "\n" (Callgraph.explain a.graph ~rule:Rule.D9 ~file:"locks_d9.ml" ~line:6) in
+  Alcotest.(check bool) "lock cycle names both mutexes" true
+    (contains ~sub:"Locks_d9.a" cycle && contains ~sub:"Locks_d9.b" cycle);
+  Alcotest.(check (list string))
+    "no anchored finding, no chain" []
+    (Callgraph.explain a.graph ~rule:Rule.D8 ~file:"clean.ml" ~line:1)
+
+let test_summary_cache () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "es_lint_cache_test" in
+  (* Stale entries from a previous run are fine: the key embeds the content
+     hash and the format version, so they can only miss. *)
+  let cold = render_all ~cache:dir all_fixtures in
+  Alcotest.(check bool) "cold run populates the cache" true
+    (Sys.file_exists dir && Array.length (Sys.readdir dir) > 0);
+  let warm = render_all ~cache:dir all_fixtures in
+  Alcotest.(check string) "warm run is byte-identical" cold warm;
+  Alcotest.(check string) "…and matches the uncached analysis" (render_all all_fixtures) cold
+
+let qcheck_cache_order_invariance =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "es_lint_cache_qtest" in
+  let baseline = lazy (render_all all_fixtures) in
+  qtest ~count:20 "cached analysis is byte-identical under shuffled file order" QCheck.int
+    (fun seed ->
+      let files = shuffle seed all_fixtures in
+      String.equal (Lazy.force baseline) (render_all ~cache:dir files))
+
+(* ---------- ratchet baseline ---------- *)
+
+let mk_finding ?(rule = Rule.D4) ?(file = "x.ml") ?(line = 1) ?(col = 0) msg =
+  Finding.make ~rule ~file ~line ~col msg
+
+let test_baseline_round_trip () =
+  let fs =
+    [
+      mk_finding ~rule:Rule.D7 ~file:"b.ml" ~line:9 "races on B.state";
+      mk_finding ~rule:Rule.D4 ~file:"a.ml" ~line:2 {|mutable "t" with \ and "quotes"|};
+    ]
+  in
+  let text = Baseline.render fs in
+  Alcotest.(check bool) "render leads with the schema header" true
+    (contains ~sub:Baseline.schema_line text);
+  match Baseline.of_string ~file:"<mem>" text with
+  | Error m -> Alcotest.fail m
+  | Ok b ->
+      List.iter (fun f -> Alcotest.(check bool) "round-trips" true (Baseline.mem b f)) fs;
+      (* Matching is by (rule, file, message): line drift stays baselined,
+         a new message or file does not. *)
+      Alcotest.(check bool) "line shift still matches" true
+        (Baseline.mem b (mk_finding ~rule:Rule.D7 ~file:"b.ml" ~line:99 "races on B.state"));
+      check_rule_lines "rogue finding survives the diff"
+        [ ("D7", 9) ]
+        (Baseline.diff b (fs @ [ mk_finding ~rule:Rule.D7 ~file:"c.ml" ~line:9 "races on B.state" ]))
+
+let test_baseline_rejects_bad_header () =
+  (match Baseline.of_string ~file:"<mem>" "{\"rule\":\"D1\"}\n" with
+  | Ok _ -> Alcotest.fail "missing schema header accepted"
+  | Error m -> Alcotest.(check bool) "error mentions the schema" true (contains ~sub:"schema" m));
+  match Baseline.of_string ~file:"<mem>" (Baseline.schema_line ^ "\nnot json\n") with
+  | Ok _ -> Alcotest.fail "garbage line accepted"
+  | Error _ -> ()
+
+let test_baseline_gates_engine_output () =
+  (* Freeze the current D4 fixture findings, then check only a fresh rule
+     violation escapes the ratchet. *)
+  let r = Engine.lint_files (cfg ~rules:[ Rule.D4 ] ()) [ "bad_d4.ml" ] in
+  let b =
+    match Baseline.of_string ~file:"<mem>" (Baseline.render r.findings) with
+    | Ok b -> b
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check (list (pair string int))) "baselined run is clean" [] (rule_lines (Baseline.diff b r.findings));
+  let r2 = Engine.lint_files (cfg ~rules:[ Rule.D4; Rule.D7 ] ()) [ "bad_d4.ml"; "par_race_d7.ml" ] in
+  (* The new file brings one new D4 (its unguarded ref) and three D7s. *)
+  check_rule_lines "new findings escape the ratchet"
+    [ ("D4", 1); ("D7", 3); ("D7", 7); ("D7", 10) ]
+    (Baseline.diff b r2.findings)
 
 let () =
   Alcotest.run "es_lint"
@@ -220,6 +398,23 @@ let () =
           Alcotest.test_case "parse error" `Quick test_parse_error;
           Alcotest.test_case "clean fixture is clean" `Quick test_clean_fixture;
           Alcotest.test_case "rule toggling" `Quick test_rule_toggle;
+        ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "D7 domain-escape races" `Quick test_d7;
+          Alcotest.test_case "D8 transitive nondeterminism" `Quick test_d8;
+          Alcotest.test_case "D9 lock-order cycle" `Quick test_d9;
+          Alcotest.test_case "D10 transitive hot-path allocation" `Quick test_d10;
+          Alcotest.test_case "D4 guard aliases and cross-unit mutexes" `Quick test_alias_d4;
+          Alcotest.test_case "--why call chains" `Quick test_why_chain;
+          Alcotest.test_case "summary cache cold vs warm" `Quick test_summary_cache;
+          qcheck_cache_order_invariance;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "render/of_string round-trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "rejects bad header" `Quick test_baseline_rejects_bad_header;
+          Alcotest.test_case "gates engine output" `Quick test_baseline_gates_engine_output;
         ] );
       ( "suppression",
         [
